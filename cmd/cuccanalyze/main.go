@@ -1,0 +1,91 @@
+// Command cuccanalyze runs the Allgather-distributable analysis.
+//
+// Usage:
+//
+//	cuccanalyze kernels.cu     # analyze kernels in a mini-CUDA source file
+//	cuccanalyze -              # read source from stdin
+//	cuccanalyze -coverage      # the Figure 7 coverage report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cucc/internal/analysis"
+	"cucc/internal/core"
+	"cucc/internal/lang"
+	"cucc/internal/suites"
+)
+
+func main() {
+	coverage := flag.Bool("coverage", false, "print the Figure 7 coverage report over the built-in suites")
+	verbose := flag.Bool("v", false, "print per-kernel details in the coverage report")
+	explain := flag.Bool("explain", false, "print the generated CPU host module (Figure 6 template) per kernel")
+	flag.Parse()
+
+	if *coverage {
+		printCoverage(*verbose)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cuccanalyze <file.cu | -> | cuccanalyze -coverage")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mod, err := lang.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parse error: %v\n", err)
+		os.Exit(1)
+	}
+	if *explain {
+		prog, err := core.Compile(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, k := range mod.Kernels {
+			report, err := prog.ExplainKernel(k.Name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(report)
+		}
+		return
+	}
+	for _, k := range mod.Kernels {
+		md := analysis.Analyze(k)
+		fmt.Println(md.Summary())
+		if md.GIDOnly {
+			fmt.Println("  note: GID-only kernel; eligible for block redistribution (-split)")
+		}
+	}
+}
+
+func printCoverage(verbose bool) {
+	fmt.Println("Figure 7: Allgather-distributable coverage")
+	for _, c := range suites.CountCoverage() {
+		fmt.Printf("  %-12s %2d/%2d distributable (%d overlapping writes, %d indirect)\n",
+			c.Suite, c.Distributable, c.Total, c.Overlap, c.Indirect)
+	}
+	if !verbose {
+		return
+	}
+	fmt.Println()
+	for _, ck := range suites.CoverageSuite() {
+		md := ck.Classify()
+		fmt.Printf("  [%-11s] %s\n", ck.Suite, md.Summary())
+	}
+}

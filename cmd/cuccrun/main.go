@@ -1,0 +1,166 @@
+// Command cuccrun executes one evaluation program on a simulated CPU
+// cluster and reports the three-phase execution statistics.
+//
+// Usage:
+//
+//	cuccrun -prog FIR -nodes 8                 # paper scale, cost model
+//	cuccrun -prog Kmeans -nodes 4 -real        # reduced scale, really executed and checked
+//	cuccrun -prog EP -nodes 32 -split 4        # with §8.3 block redistribution
+//	cuccrun -prog Transpose -machine thread -pgas
+//	cuccrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/machine"
+	"cucc/internal/pgas"
+	"cucc/internal/simnet"
+	"cucc/internal/suites"
+	"cucc/internal/trace"
+)
+
+func main() {
+	progName := flag.String("prog", "VecAdd", "program name (see -list)")
+	nodes := flag.Int("nodes", 4, "cluster node count")
+	mach := flag.String("machine", "simd", "node type: simd (Intel 6226) or thread (AMD 7713)")
+	real := flag.Bool("real", false, "really execute at reduced scale and verify output (default: cost model at paper scale)")
+	usePGAS := flag.Bool("pgas", false, "run the PGAS baseline instead of CuCC")
+	split := flag.Int("split", 1, "block redistribution factor (GID-only kernels)")
+	list := flag.Bool("list", false, "list available programs")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (-real runs)")
+	flag.Parse()
+
+	all := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
+	if *list {
+		for _, p := range all {
+			md := p.Compiled.Meta[p.Kernel]
+			fmt.Printf("  %-15s %s\n", p.Name, md.Summary())
+		}
+		return
+	}
+
+	var prog *suites.Program
+	for _, p := range all {
+		if strings.EqualFold(p.Name, *progName) {
+			prog = p
+		}
+	}
+	if prog == nil {
+		fmt.Fprintf(os.Stderr, "unknown program %q (try -list)\n", *progName)
+		os.Exit(2)
+	}
+
+	m := machine.Intel6226()
+	if strings.EqualFold(*mach, "thread") {
+		m = machine.AMD7713()
+	}
+	c, err := cluster.New(cluster.Config{Nodes: *nodes, Machine: m, Net: simnet.IB100()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	fmt.Printf("program %s on %d x %s over %s\n", prog.Name, *nodes, m, c.Net())
+	md := prog.Compiled.Meta[prog.Kernel]
+	fmt.Printf("analysis: %s\n", md.Summary())
+
+	if *usePGAS {
+		runPGAS(c, prog, *real)
+		return
+	}
+
+	sess := core.NewSession(c, prog.Compiled)
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+		sess.Trace = rec
+	}
+	var stats *core.Stats
+	if *real {
+		inst, err := prog.Build(c, prog.Small)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		inst.Spec.BlockSplit = *split
+		sess.Verify = true
+		stats, err = sess.Launch(inst.Spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := inst.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "output check FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("reduced-scale execution: output verified against Go reference; memory consistent across nodes")
+	} else {
+		spec := prog.Spec(prog.Default)
+		spec.BlockSplit = *split
+		stats, err = sess.Estimate(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("paper-scale cost model (use -real for reduced-scale execution)")
+	}
+
+	fmt.Printf("  distributed:      %v (tail-divergent: %v)\n", stats.Distributed, stats.TailDivergent)
+	fmt.Printf("  blocks/node:      %d (+%d callback blocks on every node)\n", stats.BlocksPerNode, stats.CallbackBlocks)
+	fmt.Printf("  phase 1 compute:  %.3f ms\n", stats.Phase1Sec*1e3)
+	fmt.Printf("  allgather:        %.3f ms (%d bytes/node, %d msgs)\n", stats.CommSec*1e3, stats.CommBytesPerNode, stats.CommMsgs)
+	fmt.Printf("  callback compute: %.3f ms\n", stats.CallbackSec*1e3)
+	fmt.Printf("  total:            %.3f ms\n", stats.TotalSec*1e3)
+	if rec != nil {
+		raw, err := rec.ChromeTrace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s", rec.Summary())
+		fmt.Printf("chrome trace written to %s\n", *traceOut)
+	}
+}
+
+func runPGAS(c *cluster.Cluster, prog *suites.Program, real bool) {
+	sess := pgas.NewSession(c, prog.Compiled)
+	var res *pgas.Result
+	if real {
+		inst, err := prog.Build(c, prog.Small)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err = sess.Run(inst.Spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("reduced-scale PGAS execution (measured traffic)")
+	} else {
+		spec := prog.Spec(prog.Default)
+		work, err := core.NewSession(c, prog.Compiled).EstimateWork(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res = sess.Estimate(spec.Grid.Count(), work, prog.Traffic(prog.Default, c.N()))
+		fmt.Println("paper-scale PGAS cost model")
+	}
+	fmt.Printf("  remote puts/gets: %d / %d (busiest rank %d / %d)\n", res.RemotePuts, res.RemoteGets, res.MaxRankPuts, res.MaxRankGets)
+	fmt.Printf("  owner incast:     %d puts\n", res.IncastPuts)
+	fmt.Printf("  compute:          %.3f ms\n", res.CompSec*1e3)
+	fmt.Printf("  communication:    %.3f ms\n", res.CommSec*1e3)
+	fmt.Printf("  total:            %.3f ms\n", res.TotalSec*1e3)
+}

@@ -1,0 +1,31 @@
+// Package cucc is the root of the CuCC-Go repository: a from-scratch Go
+// reproduction of "Scaling GPU-to-CPU Migration for Efficient Distributed
+// Execution on CPU Clusters" (PPoPP 2026).
+//
+// CuCC migrates CUDA-style GPU kernels to distributed CPU clusters.  The
+// repository contains the complete stack the paper depends on, implemented
+// with the Go standard library only:
+//
+//   - internal/lang      mini-CUDA front-end (lexer, parser)
+//   - internal/kir       typed kernel IR
+//   - internal/analysis  the Allgather-distributable compiler analysis
+//   - internal/core      the CuCC compiler driver and three-phase runtime
+//   - internal/interp    reference KIR interpreter with work accounting
+//   - internal/suites    evaluation programs, native backends, coverage suites
+//   - internal/cluster   simulated distributed-memory CPU cluster
+//   - internal/comm      collective communication (mini-MPI)
+//   - internal/transport in-process and TCP message transports
+//   - internal/simnet    alpha-beta network cost model
+//   - internal/machine   CPU hardware models (Table 1)
+//   - internal/gpu       GPU roofline model (A100 / V100)
+//   - internal/pgas      fine-grained PGAS baseline (UPC++-style)
+//   - internal/sched     Slurm-like partition queue simulator (Figure 1)
+//   - internal/throughput cluster-wide throughput model (Figure 12)
+//   - internal/hostapi   CUDA-like host API for migrated programs
+//   - internal/trace     execution timelines (Chrome trace export)
+//   - internal/experiments  per-figure experiment orchestration
+//
+// The package itself holds the repository-level benchmark harness
+// (bench_test.go), one benchmark per paper table/figure.  See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package cucc

@@ -1,0 +1,244 @@
+// BERT encoder layer on a CPU cluster: a multi-kernel AI pipeline of the
+// kind the paper's coverage study draws from (§7.1) — layernorm, QKV
+// projections, attention scores, softmax, context matmul, and the residual
+// add — all compiled from Triton-style mini-CUDA source, analyzed
+// (every kernel is Allgather distributable), and chained through the
+// CUDA-like host API on a simulated 4-node cluster.  The final hidden
+// states are verified against a pure-Go reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"cucc/internal/hostapi"
+	"cucc/internal/kir"
+)
+
+const layerSrc = `
+__global__ void layernorm(float* x, float* gamma, float* beta, float* out, int rows, int hidden) {
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row < rows) {
+        float mean = 0.0f;
+        for (int c = 0; c < hidden; c++)
+            mean += x[row * hidden + c];
+        mean = mean / (float)hidden;
+        float var = 0.0f;
+        for (int c = 0; c < hidden; c++) {
+            float d = x[row * hidden + c] - mean;
+            var += d * d;
+        }
+        float inv = 1.0f / sqrtf(var / (float)hidden + 0.00001f);
+        for (int c = 0; c < hidden; c++)
+            out[row * hidden + c] = (x[row * hidden + c] - mean) * inv * gamma[c] + beta[c];
+    }
+}
+__global__ void matmul(float* x, float* w, float* out, int tiles, int k) {
+    int width = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < k; j++)
+            acc += x[row * k + j] * w[j * width + col];
+        out[row * width + col] = acc;
+    }
+}
+__global__ void scores(float* q, float* km, float* out, int tiles, int d, float scale) {
+    int cols = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < d; j++)
+            acc += q[row * d + j] * km[col * d + j];
+        out[row * cols + col] = acc * scale;
+    }
+}
+__global__ void softmax(float* x, float* out, int rows, int cols) {
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row < rows) {
+        float maxv = -1e30f;
+        for (int c = 0; c < cols; c++) {
+            float v = x[row * cols + c];
+            if (v > maxv) maxv = v;
+        }
+        float sum = 0.0f;
+        for (int c = 0; c < cols; c++)
+            sum += expf(x[row * cols + c] - maxv);
+        for (int c = 0; c < cols; c++)
+            out[row * cols + c] = expf(x[row * cols + c] - maxv) / sum;
+    }
+}
+__global__ void residual_add(float* x, float* res, float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        out[id] = x[id] + res[id];
+}
+`
+
+const (
+	seq    = 32
+	hidden = 64
+	block  = 32
+	tiles  = hidden / block // 2
+)
+
+func main() {
+	dev, err := hostapi.Open(hostapi.DefaultConfig(), layerSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dev.Close()
+
+	fmt.Println("BERT encoder layer: seq=32, hidden=64, single head, 4-node cluster")
+	for _, name := range []string{"layernorm", "matmul", "scores", "softmax", "residual_add"} {
+		md := dev.Program().Meta[name]
+		fmt.Printf("  %-13s %s\n", name, md.Summary())
+		if !md.Distributable {
+			log.Fatalf("kernel %s must be distributable", name)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	randMat := func(n int, scale float32) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = (rng.Float32() - 0.5) * scale
+		}
+		return out
+	}
+	xs := randMat(seq*hidden, 2)
+	gammas := randMat(hidden, 1)
+	betas := randMat(hidden, 0.1)
+	wqs := randMat(hidden*hidden, 0.2)
+	wks := randMat(hidden*hidden, 0.2)
+	wvs := randMat(hidden*hidden, 0.2)
+
+	upload := func(data []float32) hostapi.DevicePtr {
+		p := dev.Malloc(kir.F32, len(data))
+		if err := dev.MemcpyH2DF32(p, data); err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	x := upload(xs)
+	gamma := upload(gammas)
+	beta := upload(betas)
+	wq, wk, wv := upload(wqs), upload(wks), upload(wvs)
+	normed := dev.Malloc(kir.F32, seq*hidden)
+	q := dev.Malloc(kir.F32, seq*hidden)
+	k := dev.Malloc(kir.F32, seq*hidden)
+	v := dev.Malloc(kir.F32, seq*hidden)
+	att := dev.Malloc(kir.F32, seq*seq)
+	probs := dev.Malloc(kir.F32, seq*seq)
+	ctx := dev.Malloc(kir.F32, seq*hidden)
+	out := dev.Malloc(kir.F32, seq*hidden)
+
+	scale := float32(1.0 / math.Sqrt(hidden))
+	launch := func(kernel string, grid, blk int, args ...any) {
+		if _, err := dev.LaunchKernel(kernel, grid, blk, args...); err != nil {
+			log.Fatalf("%s: %v", kernel, err)
+		}
+	}
+	launch("layernorm", (seq+block-1)/block, block, x, gamma, beta, normed, seq, hidden)
+	launch("matmul", seq, block, normed, wq, q, tiles, hidden)
+	launch("matmul", seq, block, normed, wk, k, tiles, hidden)
+	launch("matmul", seq, block, normed, wv, v, tiles, hidden)
+	launch("scores", seq, block, q, k, att, seq/block, hidden, scale)
+	launch("softmax", (seq+block-1)/block, block, att, probs, seq, seq)
+	launch("matmul", seq, block, probs, v, ctx, tiles, seq)
+	launch("residual_add", (seq*hidden+255)/256, 256, ctx, x, out, seq*hidden)
+
+	got := dev.MemcpyD2HF32(out)
+	want := reference(xs, gammas, betas, wqs, wks, wvs, scale)
+	var maxErr float64
+	for i := range want {
+		if e := math.Abs(float64(got[i] - want[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-3 {
+		log.Fatalf("output mismatch: max error %g", maxErr)
+	}
+	fmt.Printf("8 kernel launches, all distributed; output matches Go reference (max err %.2g)\n", maxErr)
+	fmt.Printf("accumulated simulated kernel time: %.3f ms\n", dev.ElapsedSec()*1e3)
+}
+
+// reference computes the same layer in float64 Go.
+func reference(xs, gammas, betas, wqs, wks, wvs []float32, scale float32) []float32 {
+	normed := make([]float64, seq*hidden)
+	for r := 0; r < seq; r++ {
+		var mean float64
+		for c := 0; c < hidden; c++ {
+			mean += float64(xs[r*hidden+c])
+		}
+		mean /= hidden
+		var variance float64
+		for c := 0; c < hidden; c++ {
+			d := float64(xs[r*hidden+c]) - mean
+			variance += d * d
+		}
+		variance /= hidden
+		inv := 1 / math.Sqrt(variance+1e-5)
+		for c := 0; c < hidden; c++ {
+			normed[r*hidden+c] = (float64(xs[r*hidden+c])-mean)*inv*float64(gammas[c]) + float64(betas[c])
+		}
+	}
+	matmul := func(a []float64, w []float32, rows, k, cols int) []float64 {
+		out := make([]float64, rows*cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				var acc float64
+				for j := 0; j < k; j++ {
+					acc += a[r*k+j] * float64(w[j*cols+c])
+				}
+				out[r*cols+c] = acc
+			}
+		}
+		return out
+	}
+	q := matmul(normed, wqs, seq, hidden, hidden)
+	k := matmul(normed, wks, seq, hidden, hidden)
+	v := matmul(normed, wvs, seq, hidden, hidden)
+	probs := make([]float64, seq*seq)
+	for r := 0; r < seq; r++ {
+		maxv := math.Inf(-1)
+		row := make([]float64, seq)
+		for c := 0; c < seq; c++ {
+			var acc float64
+			for j := 0; j < hidden; j++ {
+				acc += q[r*hidden+j] * k[c*hidden+j]
+			}
+			row[c] = acc * float64(scale)
+			if row[c] > maxv {
+				maxv = row[c]
+			}
+		}
+		var sum float64
+		for c := 0; c < seq; c++ {
+			row[c] = math.Exp(row[c] - maxv)
+			sum += row[c]
+		}
+		for c := 0; c < seq; c++ {
+			probs[r*seq+c] = row[c] / sum
+		}
+	}
+	ctxF := make([]float64, seq*hidden)
+	for r := 0; r < seq; r++ {
+		for c := 0; c < hidden; c++ {
+			var acc float64
+			for j := 0; j < seq; j++ {
+				acc += probs[r*seq+j] * v[j*hidden+c]
+			}
+			ctxF[r*hidden+c] = acc
+		}
+	}
+	out := make([]float32, seq*hidden)
+	for i := range out {
+		out[i] = float32(ctxF[i] + float64(xs[i]))
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// Quickstart: the paper's running example (Listing 1 / Figure 5).
+//
+// Compiles the vec_copy CUDA kernel, runs the Allgather-distributable
+// analysis, and executes it on a simulated 2-node CPU cluster with the
+// three-phase workflow: blocks 0-1 on node 0, blocks 2-3 on node 1, one
+// balanced-in-place Allgather, then block 4 (the tail-divergent callback
+// block) on both nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/simnet"
+)
+
+const source = `
+__global__ void vec_copy(char *src, char *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n)
+        dest[id] = src[id];
+}
+`
+
+func main() {
+	// 1. Compile: mini-CUDA -> IR -> Allgather-distributable analysis.
+	prog, err := core.Compile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	md := prog.Meta["vec_copy"]
+	fmt.Println("compiler analysis:", md.Summary())
+
+	// 2. Build a 2-node cluster (SIMD-Focused nodes, 100 Gb/s IB).
+	c, err := cluster.New(cluster.Config{
+		Nodes:   2,
+		Machine: machine.Intel6226(),
+		Net:     simnet.IB100(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// 3. Allocate device buffers (identical on every node) and upload.
+	const n = 1200
+	src := c.Alloc(kir.U8, n)
+	dest := c.Alloc(kir.U8, n)
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := c.WriteAll(src, data); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Launch with the paper's configuration: ceil(1200/256) = 5 blocks.
+	sess := core.NewSession(c, prog)
+	sess.Verify = true // re-check cross-node consistency after the launch
+	stats, err := sess.Launch(core.LaunchSpec{
+		Kernel: "vec_copy",
+		Grid:   interp.Dim1(5),
+		Block:  interp.Dim1(256),
+		Args:   []core.Arg{core.BufArg(src), core.BufArg(dest), core.IntArg(n)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("three-phase execution (Figure 5):\n")
+	fmt.Printf("  phase 1: %d blocks per node (blocks 0-1 on node 0, 2-3 on node 1)\n", stats.BlocksPerNode)
+	fmt.Printf("  phase 2: balanced-in-place Allgather, %d bytes per node\n", stats.CommBytesPerNode)
+	fmt.Printf("  phase 3: %d callback block (the tail block) on every node\n", stats.CallbackBlocks)
+	fmt.Printf("simulated time: %.1f us (compute %.1f + comm %.1f + callback %.1f)\n",
+		stats.TotalSec*1e6, stats.Phase1Sec*1e6, stats.CommSec*1e6, stats.CallbackSec*1e6)
+
+	// 5. Verify the result on both nodes.
+	for r := 0; r < c.N(); r++ {
+		out := c.Region(r, dest)
+		for i := range data {
+			if out[i] != data[i] {
+				log.Fatalf("node %d: dest[%d] = %d, want %d", r, i, out[i], data[i])
+			}
+		}
+	}
+	fmt.Println("dest verified on every node: the cluster state matches single-GPU semantics")
+}

@@ -1,0 +1,64 @@
+// Real-socket cluster: runs the full CuCC three-phase workflow with node
+// messages carried over loopback TCP (stdlib net) instead of in-process
+// mailboxes — every Allgather chunk really crosses a socket, exercising
+// the wire framing, lazy dials, and per-connection serialization of the
+// transport layer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/machine"
+	"cucc/internal/simnet"
+	"cucc/internal/suites"
+)
+
+func main() {
+	prog := suites.FIR()
+	const nodes = 4
+
+	c, err := cluster.New(cluster.Config{
+		Nodes:     nodes,
+		Machine:   machine.Intel6226(),
+		Net:       simnet.IB100(),
+		Transport: cluster.TCP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Printf("%d-node cluster over loopback TCP sockets\n", nodes)
+
+	inst, err := prog.Build(c, prog.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := core.NewSession(c, prog.Compiled)
+	sess.Verify = true
+
+	start := time.Now()
+	stats, err := sess.Launch(inst.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	if err := inst.Check(); err != nil {
+		log.Fatalf("output check failed: %v", err)
+	}
+	fmt.Printf("FIR executed and verified: %d blocks/node + %d callbacks\n",
+		stats.BlocksPerNode, stats.CallbackBlocks)
+	fmt.Printf("allgather over TCP: %d bytes per node, %d messages total\n",
+		stats.CommBytesPerNode, stats.CommMsgs)
+	fmt.Printf("wall-clock %v; simulated cluster time %.3f ms\n", wall.Round(time.Microsecond), stats.TotalSec*1e3)
+
+	// Per-node transport counters prove traffic actually flowed.
+	for r := 0; r < nodes; r++ {
+		n := c.Node(r)
+		fmt.Printf("  node %d sent %d messages, %d bytes\n", r, n.Comm.Msgs, n.Comm.BytesSent)
+	}
+}

@@ -1,0 +1,75 @@
+// Transpose scaling study: reproduces the paper's analysis of a
+// communication-limited kernel (§7.2, Figures 8-10).
+//
+// Runs the matrix transpose at paper scale through the cost models across
+// cluster sizes on both cluster types, showing the scaling knee where the
+// Allgather volume overtakes the shrinking per-node compute, and compares
+// against the fine-grained PGAS baseline.  A reduced-scale run with real
+// distributed execution validates correctness first.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/experiments"
+	"cucc/internal/machine"
+	"cucc/internal/simnet"
+	"cucc/internal/suites"
+)
+
+func main() {
+	prog := suites.Transpose()
+
+	// Correctness first: really execute at reduced scale on 4 nodes.
+	c, err := cluster.New(cluster.Config{Nodes: 4, Machine: machine.Intel6226(), Net: simnet.IB100()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := prog.Build(c, prog.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := core.NewSession(c, prog.Compiled)
+	sess.Verify = true
+	if _, err := sess.Launch(inst.Spec); err != nil {
+		log.Fatal(err)
+	}
+	if err := inst.Check(); err != nil {
+		log.Fatal(err)
+	}
+	c.Close()
+	n := prog.Small.Get("tiles") * 256
+	fmt.Printf("correctness: %dx%d transpose executed on 4 real distributed memories and verified\n\n", n, n)
+
+	// Paper-scale scaling study.
+	nDefault := prog.Default.Get("tiles") * 256
+	fmt.Printf("paper scale: %dx%d matrix (%d MB)\n\n", nDefault, nDefault, nDefault*nDefault*4>>20)
+	for _, cfg := range []struct {
+		name  string
+		m     machine.CPU
+		nodes []int
+	}{
+		{"SIMD-Focused", machine.Intel6226(), experiments.SIMDNodes},
+		{"Thread-Focused", machine.AMD7713(), experiments.ThreadNodes},
+	} {
+		fmt.Printf("%s cluster:\n", cfg.name)
+		fmt.Printf("  %5s  %10s  %8s  %9s  %10s\n", "nodes", "CuCC", "speedup", "comm", "PGAS")
+		var t1 float64
+		for _, nn := range cfg.nodes {
+			st := experiments.CuCCStats(prog, cfg.m, simnet.IB100(), nn, machine.DefaultConfig())
+			pg := experiments.PGASStats(prog, cfg.m, simnet.IB100(), nn)
+			if nn == 1 {
+				t1 = st.TotalSec
+			}
+			fmt.Printf("  %5d  %8.2fms  %7.2fx  %7.1f%%  %8.2fms\n",
+				nn, st.TotalSec*1e3, t1/st.TotalSec, 100*st.CommSec/st.TotalSec, pg.TotalSec*1e3)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the Allgather moves the whole output matrix regardless of cluster size,")
+	fmt.Println("so per-node compute shrinks while communication stays constant: the")
+	fmt.Println("scaling knee of Figure 8 and the dominant network fraction of Figure 9.")
+}

@@ -1,0 +1,3 @@
+module cucc
+
+go 1.24

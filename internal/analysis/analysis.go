@@ -1,0 +1,878 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cucc/internal/kir"
+)
+
+// Reason classifies why a kernel is not (non-trivially) Allgather
+// distributable.  The categories mirror the paper's coverage discussion
+// (§7.1): overlapping write intervals, indirect memory access, and the
+// static-analysis conditions of §6.2.
+type Reason uint8
+
+const (
+	ReasonOK Reason = iota
+	// ReasonOverlap covers atomics and block write sets that overlap.
+	ReasonOverlap
+	// ReasonIndirect covers write indices derived from loaded data.
+	ReasonIndirect
+	// ReasonNonAffine covers indices that are not affine in thread/block
+	// indices (condition 1/3 violations).
+	ReasonNonAffine
+	// ReasonGuard covers writes under thread/block-variant or
+	// data-dependent conditions that are not tail divergent (condition 2).
+	ReasonGuard
+	// ReasonLoop covers writes inside loops whose trip counts the
+	// analysis cannot bound uniformly.
+	ReasonLoop
+	// ReasonGapped covers block write intervals that leave gaps, so an
+	// in-place Allgather cannot reassemble them contiguously.
+	ReasonGapped
+	// ReasonStride covers non-positive block-index coefficients
+	// (condition 3) and mismatched 2D linearization.
+	ReasonStride
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonOK:
+		return "distributable"
+	case ReasonOverlap:
+		return "overlapping writes"
+	case ReasonIndirect:
+		return "indirect access"
+	case ReasonNonAffine:
+		return "non-affine write index"
+	case ReasonGuard:
+		return "divergent guard"
+	case ReasonLoop:
+		return "unanalyzable loop"
+	case ReasonGapped:
+		return "gapped write interval"
+	case ReasonStride:
+		return "non-monotone block stride"
+	}
+	return "unknown"
+}
+
+// BufferMeta describes one global buffer a distributable kernel writes.
+type BufferMeta struct {
+	// Param is the pointer-parameter index of the buffer (mem_ptr in the
+	// paper's metadata).
+	Param     int
+	ParamName string
+	Elem      kir.ScalarType
+	// Base is the element offset of block 0's write interval.
+	Base Poly
+	// UnitElems is the number of elements each block writes (unit_size in
+	// the paper's metadata is UnitElems * Elem.Size()).
+	UnitElems Poly
+}
+
+// Metadata is the analysis result for one kernel: the compile-time
+// information the CuCC host-module template consumes (paper Figure 6).
+type Metadata struct {
+	KernelName string
+	// Distributable reports non-trivial Allgather distributability.
+	// Non-distributable kernels fall back to trivial execution (every
+	// node runs every block), which is always correct.
+	Distributable bool
+	// TailDivergent marks kernels whose trailing block(s) must be
+	// deferred to the callback phase.
+	TailDivergent bool
+	// Linear2D marks kernels whose 2D grid linearizes row-major
+	// (block id = by*gridDim.x + bx) with contiguous write intervals.
+	Linear2D bool
+	// GIDOnly marks kernels that use launch geometry only through the
+	// flattened global thread index; their blocks can be split or merged
+	// at launch time (workload redistribution, paper §8.3).
+	GIDOnly bool
+	// Buffers lists the written buffers to synchronize with Allgather.
+	Buffers []BufferMeta
+	// Reason explains non-distributability (ReasonOK otherwise).
+	Reason Reason
+	// Detail is a human-readable explanation for diagnostics.
+	Detail string
+	// AllRejections lists every violation the analysis found (the first
+	// one populates Reason/Detail); useful when porting a kernel.
+	AllRejections []string
+}
+
+// dimRec is one iteration dimension of a block's write set: the written
+// element indices advance by stride for count steps.
+type dimRec struct {
+	stride Poly
+	count  Poly
+}
+
+// writeRec is the symbolic summary of one store instruction.
+type writeRec struct {
+	param   int
+	elem    kir.ScalarType
+	base    Poly
+	unit    Poly // coefficient of blockIdx.x
+	coeffBy Poly // coefficient of blockIdx.y
+	dims    []dimRec
+	tail    bool
+}
+
+type rejection struct {
+	reason Reason
+	detail string
+}
+
+// analyzer walks one kernel.
+type analyzer struct {
+	kernel      *kir.Kernel
+	env         []absVal
+	guards      []condInfo
+	loops       []loopInfo
+	loopCounter int
+	records     []writeRec
+	rejects     []rejection
+	// txEq / txLt hold active thread-guard refinements (threadIdx.x == c
+	// or threadIdx.x < c); -1 when inactive.
+	txEq int64
+	txLt int64
+}
+
+// Analyze runs the Allgather distributable analysis on a kernel.
+func Analyze(k *kir.Kernel) *Metadata {
+	a := &analyzer{
+		kernel: k,
+		env:    make([]absVal, k.NumSlots),
+		txEq:   -1,
+		txLt:   -1,
+	}
+	for i, p := range k.Params {
+		if !p.Pointer && p.Elem.IsInteger() {
+			a.env[i] = polyVal(Var(ParamSym(p.Name)))
+		} else {
+			a.env[i] = unknownVal(false, false, false)
+		}
+	}
+	a.walkBlock(k.Body)
+	return a.finalize()
+}
+
+// AnalyzeModule analyzes every kernel of a module.
+func AnalyzeModule(m *kir.Module) map[string]*Metadata {
+	out := make(map[string]*Metadata, len(m.Kernels))
+	for _, k := range m.Kernels {
+		out[k.Name] = Analyze(k)
+	}
+	return out
+}
+
+func (a *analyzer) reject(r Reason, format string, args ...any) {
+	a.rejects = append(a.rejects, rejection{reason: r, detail: fmt.Sprintf(format, args...)})
+}
+
+// --- statement walking ---
+
+func (a *analyzer) walkBlock(b kir.Block) {
+	for i, s := range b {
+		// An `if (cond) return;` guard means the remainder of the block
+		// executes under !cond (the common `if (id >= n) return;` bound
+		// check).
+		if ifs, ok := s.(*kir.If); ok && len(ifs.Else) == 0 && endsInReturn(ifs.Then) {
+			a.walkGuarded(ifs.Then, a.classifyCond(ifs.Cond, false))
+			rest := b[i+1:]
+			a.walkGuarded(rest, a.classifyCond(ifs.Cond, true))
+			return
+		}
+		a.walkStmt(s)
+	}
+}
+
+func endsInReturn(b kir.Block) bool {
+	for _, s := range b {
+		if _, ok := s.(*kir.Return); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *analyzer) walkStmt(s kir.Stmt) {
+	switch s := s.(type) {
+	case *kir.Decl:
+		if s.Init != nil {
+			a.env[s.Slot] = a.evalExpr(s.Init)
+		} else {
+			a.env[s.Slot] = polyVal(Const(0))
+		}
+	case *kir.Assign:
+		a.env[s.Slot] = a.evalExpr(s.Value)
+	case *kir.Store:
+		if s.Mem.Space == kir.Global {
+			a.visitStore(s.Mem, s.Index)
+		}
+	case *kir.AtomicRMW:
+		if s.Mem.Space == kir.Global {
+			a.reject(ReasonOverlap, "atomic %s to %s: block write sets overlap", s.Op, s.Mem.Name)
+		}
+	case *kir.If:
+		a.walkIf(s)
+	case *kir.For:
+		a.walkFor(s)
+	case *kir.While:
+		a.walkWhile(s)
+	case *kir.Sync, *kir.Return, *kir.BreakStmt, *kir.ContinueStmt:
+	}
+}
+
+func (a *analyzer) walkIf(s *kir.If) {
+	// Constant-true wrappers (scoped blocks) need no guard.
+	if c, ok := s.Cond.(*kir.IntLit); ok {
+		if c.Val != 0 {
+			a.walkBlock(s.Then)
+		} else {
+			a.walkBlock(s.Else)
+		}
+		return
+	}
+	thenInfo := a.classifyCond(s.Cond, false)
+	elseInfo := a.classifyCond(s.Cond, true)
+
+	saved := make([]absVal, len(a.env))
+	copy(saved, a.env)
+	a.walkGuarded(s.Then, thenInfo)
+	thenEnv := make([]absVal, len(a.env))
+	copy(thenEnv, a.env)
+
+	copy(a.env, saved)
+	if len(s.Else) > 0 {
+		a.walkGuarded(s.Else, elseInfo)
+	}
+	for i := range a.env {
+		a.env[i] = a.env[i].merge(thenEnv[i], thenInfo.thread, thenInfo.block, thenInfo.loadDep)
+	}
+}
+
+// walkGuarded walks a block with an extra guard pushed, maintaining the
+// threadIdx.x refinements for equality/upper-bound guards.
+func (a *analyzer) walkGuarded(b kir.Block, info condInfo) {
+	savedEq, savedLt := a.txEq, a.txLt
+	a.applyTxRefinement(info)
+	a.guards = append(a.guards, info)
+	a.walkBlock(b)
+	a.guards = a.guards[:len(a.guards)-1]
+	a.txEq, a.txLt = savedEq, savedLt
+}
+
+// applyTxRefinement records threadIdx.x == c / threadIdx.x < c guard facts.
+func (a *analyzer) applyTxRefinement(info condInfo) {
+	if info.kind != guardThreadOnly {
+		return
+	}
+	if info.hasTxEq {
+		a.txEq = info.txEq
+	}
+	if info.hasTxLt && (a.txLt < 0 || info.txLt < a.txLt) {
+		a.txLt = info.txLt
+	}
+}
+
+func (a *analyzer) walkWhile(s *kir.While) {
+	a.invalidateAssigned(s.Body)
+	info := a.classifyCond(s.Cond, false)
+	li := loopInfo{analyzable: false, detail: "while loop"}
+	a.loops = append(a.loops, li)
+	a.walkGuarded(s.Body, info)
+	a.loops = a.loops[:len(a.loops)-1]
+	a.invalidateAssigned(s.Body)
+}
+
+// invalidateAssigned conservatively clears the abstract values of all slots
+// assigned anywhere within the block (loop-carried values).
+func (a *analyzer) invalidateAssigned(b kir.Block) {
+	kir.WalkStmts(b, func(s kir.Stmt) {
+		switch s := s.(type) {
+		case *kir.Decl:
+			a.env[s.Slot] = unknownVal(true, true, true)
+		case *kir.Assign:
+			a.env[s.Slot] = unknownVal(true, true, true)
+		}
+	})
+}
+
+// walkFor analyzes a for loop, recognizing the canonical form
+// for (v = init; v < bound; v += step) with uniform bounds, plus the
+// block-stride idiom for (v = threadIdx.x; v < bound; v += blockDim.x).
+func (a *analyzer) walkFor(s *kir.For) {
+	slot, initVal, ok := a.loopInit(s.Init)
+	if ok && a.walkBlockStrideFor(s, slot, initVal) {
+		return
+	}
+	var step int64
+	var hasStep bool
+	if ok {
+		step, hasStep = loopStep(s.Post, slot)
+	}
+	var bound Poly
+	var inclusive, boundOK bool
+	if ok && hasStep && step > 0 {
+		bound, inclusive, boundOK = a.loopBound(s.Cond, slot)
+	}
+
+	if !ok || !hasStep || step <= 0 || !boundOK || !initVal.ok {
+		// Non-canonical: invalidate and walk with an unanalyzable loop
+		// context.
+		a.invalidateAssigned(s.Body)
+		if s.Init != nil {
+			a.walkStmt(s.Init)
+		}
+		a.invalidateAssigned(kir.Block{s})
+		li := loopInfo{analyzable: false, detail: "non-canonical for loop"}
+		a.loops = append(a.loops, li)
+		info := condInfo{kind: guardUniform}
+		if s.Cond != nil {
+			info = a.classifyCond(s.Cond, false)
+		}
+		a.walkGuarded(s.Body, info)
+		a.loops = a.loops[:len(a.loops)-1]
+		a.invalidateAssigned(s.Body)
+		if slot >= 0 {
+			a.env[slot] = unknownVal(false, true, true)
+		}
+		return
+	}
+
+	// Trip count: ceil((bound' - init)/step), with bound' = bound(+1 if <=).
+	diff := bound.Sub(initVal.p)
+	if inclusive {
+		diff = diff.Add(Const(1))
+	}
+	var count Poly
+	countOK := true
+	if step == 1 {
+		count = diff
+	} else if c, isConst := diff.IsConst(); isConst {
+		count = Const((c + step - 1) / step)
+	} else {
+		countOK = false
+	}
+
+	boundUniform := !diff.HasThread() && !diff.HasBlock() && !diff.HasLoopVar()
+	sym := a.freshLoopSym()
+	li := loopInfo{sym: sym, count: count, analyzable: countOK && boundUniform}
+	if !boundUniform {
+		li.detail = "loop bound varies across threads or blocks"
+	} else if !countOK {
+		li.detail = "trip count not statically divisible by step"
+	}
+
+	// Within the body the induction variable is init + step*L.
+	a.invalidateAssigned(s.Body)
+	a.env[slot] = polyVal(initVal.p.Add(Var(sym).Scale(step)))
+	a.loops = append(a.loops, li)
+	a.walkBlock(s.Body)
+	a.loops = a.loops[:len(a.loops)-1]
+	a.invalidateAssigned(s.Body)
+	if li.analyzable {
+		// Final value of the induction variable.
+		a.env[slot] = polyVal(initVal.p.Add(count.Scale(step)))
+	} else {
+		a.env[slot] = unknownVal(false, true, true)
+	}
+}
+
+// walkBlockStrideFor recognizes the block-stride loop idiom
+//
+//	for (v = threadIdx.x + u0; v < bound; v += blockDim.x)
+//
+// with uniform u0 and bound.  Across the block's threads the induction
+// values cover exactly [u0, bound) once each, so v becomes a single
+// uniform range symbol: writes indexed by v stay balanced and contiguous
+// even though each thread's trip count differs.  Returns false when the
+// loop does not match (the caller then tries the canonical form).
+func (a *analyzer) walkBlockStrideFor(s *kir.For, slot int, initVal absVal) bool {
+	if !initVal.ok {
+		return false
+	}
+	// init = threadIdx.x + uniform offset.
+	ct, u0, ok := initVal.p.CoeffOf(SymTx)
+	if !ok || u0.HasThread() || u0.HasBlock() || u0.HasLoopVar() {
+		return false
+	}
+	if c, isConst := ct.IsConst(); !isConst || c != 1 {
+		return false
+	}
+	// post: v = v + blockDim.x.
+	as, ok2 := s.Post.(*kir.Assign)
+	if !ok2 || as.Slot != slot {
+		return false
+	}
+	bin, ok2 := as.Value.(*kir.Binary)
+	if !ok2 || bin.Op != kir.Add {
+		return false
+	}
+	var stepExpr kir.Expr
+	if v, isRef := bin.L.(*kir.VarRef); isRef && v.Slot == slot {
+		stepExpr = bin.R
+	} else if v, isRef := bin.R.(*kir.VarRef); isRef && v.Slot == slot {
+		stepExpr = bin.L
+	} else {
+		return false
+	}
+	stepVal := a.evalExpr(stepExpr)
+	if !stepVal.ok || !stepVal.p.Equal(Var(SymBdx)) {
+		return false
+	}
+	// cond: v < bound with uniform bound.
+	bound, inclusive, ok2 := a.loopBound(s.Cond, slot)
+	if !ok2 || inclusive || bound.HasThread() || bound.HasBlock() || bound.HasLoopVar() {
+		return false
+	}
+
+	sym := a.freshLoopSym()
+	li := loopInfo{sym: sym, count: bound.Sub(u0), analyzable: true, lo: u0}
+	a.invalidateAssigned(s.Body)
+	a.env[slot] = polyVal(Var(sym))
+	a.loops = append(a.loops, li)
+	a.walkBlock(s.Body)
+	a.loops = a.loops[:len(a.loops)-1]
+	a.invalidateAssigned(s.Body)
+	a.env[slot] = unknownVal(false, true, false)
+	return true
+}
+
+// loopInit extracts (slot, init value) from the loop init statement.
+func (a *analyzer) loopInit(s kir.Stmt) (int, absVal, bool) {
+	switch s := s.(type) {
+	case *kir.Decl:
+		if s.Init == nil {
+			return s.Slot, polyVal(Const(0)), true
+		}
+		return s.Slot, a.evalExpr(s.Init), true
+	case *kir.Assign:
+		return s.Slot, a.evalExpr(s.Value), true
+	}
+	return -1, absVal{}, false
+}
+
+// loopStep recognizes v = v + c in the post statement.
+func loopStep(s kir.Stmt, slot int) (int64, bool) {
+	as, ok := s.(*kir.Assign)
+	if !ok || as.Slot != slot {
+		return 0, false
+	}
+	bin, ok := as.Value.(*kir.Binary)
+	if !ok || bin.Op != kir.Add {
+		return 0, false
+	}
+	if v, ok := bin.L.(*kir.VarRef); ok && v.Slot == slot {
+		if c, ok := bin.R.(*kir.IntLit); ok {
+			return c.Val, true
+		}
+	}
+	if v, ok := bin.R.(*kir.VarRef); ok && v.Slot == slot {
+		if c, ok := bin.L.(*kir.IntLit); ok {
+			return c.Val, true
+		}
+	}
+	return 0, false
+}
+
+// loopBound recognizes v < bound / v <= bound conditions.
+func (a *analyzer) loopBound(cond kir.Expr, slot int) (Poly, bool, bool) {
+	bin, ok := cond.(*kir.Binary)
+	if !ok {
+		return Poly{}, false, false
+	}
+	v, lok := bin.L.(*kir.VarRef)
+	if lok && v.Slot == slot && (bin.Op == kir.Lt || bin.Op == kir.Le) {
+		b := a.evalExpr(bin.R)
+		if b.ok {
+			return b.p, bin.Op == kir.Le, true
+		}
+	}
+	// bound > v form.
+	v2, rok := bin.R.(*kir.VarRef)
+	if rok && v2.Slot == slot && (bin.Op == kir.Gt || bin.Op == kir.Ge) {
+		b := a.evalExpr(bin.L)
+		if b.ok {
+			return b.p, bin.Op == kir.Ge, true
+		}
+	}
+	return Poly{}, false, false
+}
+
+// --- store analysis ---
+
+func (a *analyzer) visitStore(mem kir.MemRef, idxExpr kir.Expr) {
+	name := mem.Name
+	idx := a.evalExpr(idxExpr)
+	if !idx.ok {
+		if idx.fromLoad {
+			a.reject(ReasonIndirect, "write index of %s derives from loaded data", name)
+		} else {
+			a.reject(ReasonNonAffine, "write index of %s is not affine in thread/block indices", name)
+		}
+		return
+	}
+
+	// Guard conditions (paper condition 2, with the tail-divergence
+	// relaxation and the block-invariant refinement).
+	tail := false
+	for _, g := range a.guards {
+		switch g.kind {
+		case guardUniform:
+		case guardTail:
+			tail = true
+		case guardThreadOnly:
+			// Balanced across blocks.  If the index still depends on the
+			// thread index the per-block write set is data-shaped unless a
+			// recognized refinement (tx == c / tx < c) bounds it; the
+			// refinements were applied in walkGuarded and are consumed
+			// below when building dims.
+			if idx.p.HasThread() && a.txEq < 0 && a.txLt < 0 {
+				a.reject(ReasonGuard, "write to %s under thread-variant condition that is not tail divergent", name)
+				return
+			}
+		case guardBlockVariant:
+			a.reject(ReasonGuard, "write to %s under block-variant condition: %s", name, g.detail)
+			return
+		case guardData:
+			a.reject(ReasonGuard, "write to %s under data-dependent condition", name)
+			return
+		}
+	}
+
+	p := idx.p
+	// threadIdx.x == c refinement: substitute the constant.
+	if a.txEq >= 0 {
+		p = p.Subst(SymTx, Const(a.txEq))
+	}
+
+	// Enclosing loops must have uniform, statically bounded trip counts;
+	// otherwise the per-block write multiplicity cannot be proven equal
+	// (conservative sufficient condition — false negatives fall back to
+	// trivial execution, preserving correctness).
+	for _, li := range a.loops {
+		if !li.analyzable {
+			a.reject(ReasonLoop, "write to %s inside loop: %s", name, li.detail)
+			return
+		}
+	}
+
+	// Condition 1: affine in threadIdx with uniform coefficient.
+	ct, rest, ok := p.CoeffOf(SymTx)
+	if !ok || ct.HasThread() || ct.HasBlock() {
+		a.reject(ReasonNonAffine, "write index of %s is not affine in threadIdx.x", name)
+		return
+	}
+	cty, rest, ok2 := rest.CoeffOf(SymTy)
+	if !ok2 || cty.HasThread() || cty.HasBlock() {
+		a.reject(ReasonNonAffine, "write index of %s is not affine in threadIdx.y", name)
+		return
+	}
+
+	// Condition 3: affine in blockIdx with uniform coefficient.
+	cbx, rest, ok3 := rest.CoeffOf(SymBx)
+	if !ok3 || cbx.HasThread() || cbx.HasBlock() || cbx.HasLoopVar() {
+		a.reject(ReasonNonAffine, "write index of %s is not affine in blockIdx.x", name)
+		return
+	}
+	cby, rest, ok4 := rest.CoeffOf(SymBy)
+	if !ok4 || cby.HasThread() || cby.HasBlock() || cby.HasLoopVar() {
+		a.reject(ReasonNonAffine, "write index of %s is not affine in blockIdx.y", name)
+		return
+	}
+
+	rec := writeRec{
+		param:   mem.Param,
+		elem:    a.kernel.Params[mem.Param].Elem,
+		unit:    cbx,
+		coeffBy: cby,
+		tail:    tail,
+	}
+
+	// Iteration dimensions: threadIdx.x, threadIdx.y, then loop variables.
+	if !ct.IsZero() {
+		count := Var(SymBdx)
+		if a.txLt >= 0 {
+			count = Const(a.txLt)
+		}
+		rec.dims = append(rec.dims, dimRec{stride: ct, count: count})
+	}
+	if !cty.IsZero() {
+		rec.dims = append(rec.dims, dimRec{stride: cty, count: Var(SymBdy)})
+	}
+	base := rest
+	for _, li := range a.loops {
+		if !li.analyzable {
+			continue
+		}
+		cl, r, ok := base.CoeffOf(li.sym)
+		if !ok {
+			a.reject(ReasonNonAffine, "write index of %s is not affine in loop variable", name)
+			return
+		}
+		base = r
+		if !cl.IsZero() {
+			if cl.HasThread() || cl.HasBlock() || cl.HasLoopVar() {
+				a.reject(ReasonNonAffine, "write index of %s has non-uniform loop stride", name)
+				return
+			}
+			if !li.lo.IsZero() {
+				// Range symbols start at lo; shift the base accordingly.
+				base = base.Add(cl.Mul(li.lo))
+			}
+			rec.dims = append(rec.dims, dimRec{stride: cl, count: li.count})
+		}
+	}
+	if base.HasLoopVar() || base.HasThread() || base.HasBlock() {
+		a.reject(ReasonNonAffine, "write index of %s has residual variant terms", name)
+		return
+	}
+	rec.base = base
+	a.records = append(a.records, rec)
+}
+
+// --- finalization ---
+
+func (a *analyzer) finalize() *Metadata {
+	md := &Metadata{KernelName: a.kernel.Name, GIDOnly: detectGIDOnly(a.kernel)}
+	if len(a.rejects) > 0 {
+		rej := a.rejects[0]
+		md.Reason = rej.reason
+		md.Detail = rej.detail
+		for _, r := range a.rejects {
+			md.AllRejections = append(md.AllRejections, fmt.Sprintf("%s: %s", r.reason, r.detail))
+		}
+		return md
+	}
+	// Group records by buffer.
+	byParam := map[int][]writeRec{}
+	var params []int
+	for _, r := range a.records {
+		if _, seen := byParam[r.param]; !seen {
+			params = append(params, r.param)
+		}
+		byParam[r.param] = append(byParam[r.param], r)
+	}
+	sort.Ints(params)
+
+	linear2D := false
+	for _, param := range params {
+		recs := mergeRecords(byParam[param])
+		if len(recs) != 1 {
+			// Incompatible write shapes to the same buffer: block write
+			// sets cannot be proven disjoint, the overlapping-interval
+			// pattern of the paper's coverage taxonomy.
+			md.Reason = ReasonOverlap
+			md.Detail = fmt.Sprintf("multiple incompatible writes to %s: block write intervals may overlap", a.kernel.Params[param].Name)
+			return md
+		}
+		rec := recs[0]
+		// 2D grids must linearize: coeff(by) == coeff(bx) * gridDim.x.
+		if !rec.coeffBy.IsZero() {
+			if !rec.coeffBy.Equal(rec.unit.Mul(Var(SymGdx))) {
+				md.Reason = ReasonStride
+				md.Detail = fmt.Sprintf("write interval of %s does not advance contiguously across the 2D grid", a.kernel.Params[param].Name)
+				return md
+			}
+			linear2D = true
+		}
+		span, ok := telescope(rec.dims)
+		if !ok {
+			md.Reason = ReasonGapped
+			md.Detail = fmt.Sprintf("write set of %s is not a contiguous interval", a.kernel.Params[param].Name)
+			return md
+		}
+		if rec.unit.IsZero() || !rec.unit.KnownPositive() {
+			md.Reason = ReasonStride
+			md.Detail = fmt.Sprintf("block-index coefficient of %s is not positive (%s)", a.kernel.Params[param].Name, rec.unit)
+			return md
+		}
+		if !span.Equal(rec.unit) {
+			// Distinguish overlap from gap when provable.
+			d := span.Sub(rec.unit)
+			if d.KnownPositive() {
+				md.Reason = ReasonOverlap
+				md.Detail = fmt.Sprintf("blocks write %s elements of %s but advance by %s: write intervals overlap", span, a.kernel.Params[param].Name, rec.unit)
+			} else {
+				md.Reason = ReasonGapped
+				md.Detail = fmt.Sprintf("blocks write %s elements of %s but advance by %s: write intervals leave gaps", span, a.kernel.Params[param].Name, rec.unit)
+			}
+			return md
+		}
+		if rec.tail {
+			md.TailDivergent = true
+		}
+		md.Buffers = append(md.Buffers, BufferMeta{
+			Param:     param,
+			ParamName: a.kernel.Params[param].Name,
+			Elem:      rec.elem,
+			Base:      rec.base,
+			UnitElems: rec.unit,
+		})
+	}
+	// Any record guarded by a tail condition marks the kernel.
+	for _, r := range a.records {
+		if r.tail {
+			md.TailDivergent = true
+		}
+	}
+	md.Linear2D = linear2D
+	md.Distributable = len(md.Buffers) > 0
+	if len(a.records) == 0 {
+		// No global writes at all: nothing to synchronize; execution can
+		// be distributed with an empty Allgather.
+		md.Distributable = true
+	}
+	return md
+}
+
+// mergeRecords deduplicates identical write records and merges records that
+// differ only by constant base offsets forming an arithmetic run (e.g.,
+// out[2*id] and out[2*id+1]).
+func mergeRecords(recs []writeRec) []writeRec {
+	var uniq []writeRec
+	for _, r := range recs {
+		dup := false
+		for _, u := range uniq {
+			if sameShape(r, u) && r.base.Equal(u.base) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, r)
+		}
+	}
+	if len(uniq) <= 1 {
+		return uniq
+	}
+	// All must share dims/unit; bases must differ by constants.
+	first := uniq[0]
+	offsets := make([]int64, 0, len(uniq))
+	for _, u := range uniq {
+		if !sameShape(u, first) {
+			return uniq
+		}
+		d := u.base.Sub(first.base)
+		c, ok := d.IsConst()
+		if !ok {
+			return uniq
+		}
+		offsets = append(offsets, c)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	stride := int64(1)
+	if len(offsets) > 1 {
+		stride = offsets[1] - offsets[0]
+	}
+	if stride <= 0 {
+		return uniq
+	}
+	for i, o := range offsets {
+		if o != offsets[0]+int64(i)*stride {
+			return uniq
+		}
+	}
+	merged := first
+	merged.base = first.base.Add(Const(offsets[0]))
+	merged.dims = append(append([]dimRec{}, first.dims...),
+		dimRec{stride: Const(stride), count: Const(int64(len(offsets)))})
+	for _, u := range uniq {
+		merged.tail = merged.tail || u.tail
+	}
+	return []writeRec{merged}
+}
+
+func sameShape(a, b writeRec) bool {
+	if a.param != b.param || !a.unit.Equal(b.unit) || !a.coeffBy.Equal(b.coeffBy) || len(a.dims) != len(b.dims) {
+		return false
+	}
+	for i := range a.dims {
+		if !a.dims[i].stride.Equal(b.dims[i].stride) || !a.dims[i].count.Equal(b.dims[i].count) {
+			return false
+		}
+	}
+	return true
+}
+
+// telescope checks that the iteration dimensions tile a contiguous interval:
+// there is an ordering with stride[0] == 1 and stride[i+1] == stride[i] *
+// count[i]; the covered span (last stride * count) is returned.
+func telescope(dims []dimRec) (Poly, bool) {
+	// Drop degenerate dimensions.
+	var ds []dimRec
+	for _, d := range dims {
+		if c, ok := d.count.IsConst(); ok && c == 1 {
+			continue
+		}
+		if d.stride.IsZero() {
+			continue
+		}
+		// Negative constant strides flip direction; normalize via |stride|
+		// is unsound symbolically, so reject them here (the block
+		// coefficient check rejects descending intervals anyway).
+		if c, ok := d.stride.IsConst(); ok && c < 0 {
+			return Poly{}, false
+		}
+		ds = append(ds, d)
+	}
+	if len(ds) == 0 {
+		return Const(1), true
+	}
+	order := make([]int, len(ds))
+	for i := range order {
+		order[i] = i
+	}
+	var try func(depth int, used []bool, prevSpan Poly) (Poly, bool)
+	try = func(depth int, used []bool, prevSpan Poly) (Poly, bool) {
+		if depth == len(ds) {
+			return prevSpan, true
+		}
+		for i := range ds {
+			if used[i] {
+				continue
+			}
+			var need Poly
+			if depth == 0 {
+				need = Const(1)
+			} else {
+				need = prevSpan
+			}
+			if !ds[i].stride.Equal(need) {
+				continue
+			}
+			used[i] = true
+			if span, ok := try(depth+1, used, ds[i].stride.Mul(ds[i].count)); ok {
+				return span, true
+			}
+			used[i] = false
+		}
+		return Poly{}, false
+	}
+	return try(0, make([]bool, len(ds)), Const(1))
+}
+
+// Summary renders the metadata for diagnostics and the coverage report.
+func (m *Metadata) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: ", m.KernelName)
+	if !m.Distributable {
+		fmt.Fprintf(&b, "NOT distributable (%s: %s)", m.Reason, m.Detail)
+		return b.String()
+	}
+	b.WriteString("distributable")
+	if m.TailDivergent {
+		b.WriteString(", tail-divergent")
+	}
+	if m.Linear2D {
+		b.WriteString(", 2D-linearized")
+	}
+	for _, buf := range m.Buffers {
+		fmt.Fprintf(&b, "; %s: unit=%s elems, base=%s", buf.ParamName, buf.UnitElems, buf.Base)
+	}
+	return b.String()
+}

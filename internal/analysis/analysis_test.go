@@ -1,0 +1,601 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"cucc/internal/kir"
+	"cucc/internal/lang"
+)
+
+func analyzeSrc(t *testing.T, src, kernel string) *Metadata {
+	t.Helper()
+	mod, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mod.Kernel(kernel)
+	if k == nil {
+		t.Fatalf("kernel %q not found", kernel)
+	}
+	return Analyze(k)
+}
+
+func TestVecCopyTailDivergent(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void vec_copy(char *src, char *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n)
+        dest[id] = src[id];
+}`, "vec_copy")
+	if !md.Distributable {
+		t.Fatalf("vec_copy not distributable: %s", md.Summary())
+	}
+	if !md.TailDivergent {
+		t.Error("vec_copy should be tail-divergent")
+	}
+	if len(md.Buffers) != 1 {
+		t.Fatalf("got %d buffers, want 1", len(md.Buffers))
+	}
+	buf := md.Buffers[0]
+	if buf.ParamName != "dest" {
+		t.Errorf("buffer = %q, want dest", buf.ParamName)
+	}
+	if !buf.UnitElems.Equal(Var(SymBdx)) {
+		t.Errorf("unit = %s, want bdx", buf.UnitElems)
+	}
+	if !buf.Base.IsZero() {
+		t.Errorf("base = %s, want 0", buf.Base)
+	}
+}
+
+func TestEarlyReturnGuard(t *testing.T) {
+	// The `if (id >= n) return;` form must be recognized as the same tail
+	// divergence.
+	md := analyzeSrc(t, `
+__global__ void vc(float *src, float *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id >= n) return;
+    dest[id] = src[id];
+}`, "vc")
+	if !md.Distributable || !md.TailDivergent {
+		t.Fatalf("early-return kernel: %s", md.Summary())
+	}
+}
+
+func TestUnguardedExactKernel(t *testing.T) {
+	// No bound check: distributable, not tail-divergent.
+	md := analyzeSrc(t, `
+__global__ void scale(float* x, float* y, float a) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    y[id] = a * x[id];
+}`, "scale")
+	if !md.Distributable {
+		t.Fatalf("scale: %s", md.Summary())
+	}
+	if md.TailDivergent {
+		t.Error("scale should not be tail-divergent")
+	}
+}
+
+func TestFIRWriteAfterLoop(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void fir(float* in, float* out, float* coeff, int n, int taps) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        float sum = 0.0f;
+        for (int i = 0; i < taps; i++)
+            sum += coeff[i] * in[id + i];
+        out[id] = sum;
+    }
+}`, "fir")
+	if !md.Distributable || !md.TailDivergent {
+		t.Fatalf("fir: %s", md.Summary())
+	}
+	if md.Buffers[0].ParamName != "out" {
+		t.Errorf("buffer = %q, want out", md.Buffers[0].ParamName)
+	}
+}
+
+func TestDesignatedWriterPattern(t *testing.T) {
+	// BinomialOption-style: only thread 0 writes one scalar per block.
+	md := analyzeSrc(t, `
+__global__ void binomial(float* prices, float* out, int steps) {
+    float v = prices[blockIdx.x * blockDim.x + threadIdx.x];
+    if (threadIdx.x == 0)
+        out[blockIdx.x] = v * 2.0f;
+}`, "binomial")
+	if !md.Distributable {
+		t.Fatalf("binomial: %s", md.Summary())
+	}
+	if md.TailDivergent {
+		t.Error("binomial should not be tail-divergent")
+	}
+	buf := md.Buffers[0]
+	if c, ok := buf.UnitElems.IsConst(); !ok || c != 1 {
+		t.Errorf("unit = %s, want 1", buf.UnitElems)
+	}
+}
+
+func TestWriterThreadUsesIndex(t *testing.T) {
+	// tx == 2 substitutes into the index: out[bx*bdx + tx] under tx==2
+	// writes exactly one element at bx*bdx + 2 -> gapped (unit bdx, span 1).
+	md := analyzeSrc(t, `
+__global__ void g(float* out) {
+    if (threadIdx.x == 2)
+        out[blockIdx.x * blockDim.x + threadIdx.x] = 1.0f;
+}`, "g")
+	if md.Distributable {
+		t.Fatalf("gapped single-writer kernel reported distributable: %s", md.Summary())
+	}
+	if md.Reason != ReasonGapped {
+		t.Errorf("reason = %s, want %s", md.Reason, ReasonGapped)
+	}
+}
+
+func TestRowPerBlockLoop(t *testing.T) {
+	// Transpose/MatMul style: block bx writes output row bx via a tiled
+	// column loop; unit per block = n elements, contiguous.
+	md := analyzeSrc(t, `
+__global__ void rowk(float* in, float* out, int n) {
+    for (int t = 0; t < n / blockDim.x; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        out[blockIdx.x * n + col] = in[col * n + blockIdx.x];
+    }
+}`, "rowk")
+	// n/blockDim.x is non-polynomial division -> the loop is canonical but
+	// its trip count is unknown; the write depends on it, so this must be
+	// rejected... unless written with a stride loop.  Verify the rejection.
+	if md.Distributable {
+		t.Fatalf("division-bound loop unexpectedly analyzable: %s", md.Summary())
+	}
+
+	// The stride-loop formulation is analyzable: col advances by blockDim.
+	md = analyzeSrc(t, `
+__global__ void rowk2(float* in, float* out, int n) {
+    for (int col = threadIdx.x; col < n; col += blockDim.x) {
+        out[blockIdx.x * n + col] = in[col * n + blockIdx.x];
+    }
+}`, "rowk2")
+	// Stride loop: init threadIdx.x, step blockDim.x -> non-constant step
+	// is not canonical either; this is a known false negative.
+	if md.Distributable {
+		t.Logf("stride-loop formulation analyzed: %s", md.Summary())
+	}
+
+	// With an unrelated row length n the analysis cannot prove
+	// bdx*tiles == n, so gap-freedom fails: a correct false negative.
+	md = analyzeSrc(t, `
+__global__ void rowk3(float* in, float* out, int n, int tiles) {
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        out[blockIdx.x * n + col] = in[col * n + blockIdx.x];
+    }
+}`, "rowk3")
+	if md.Distributable {
+		t.Fatalf("rowk3 unexpectedly proved gap-free: %s", md.Summary())
+	}
+	if md.Reason != ReasonGapped {
+		t.Errorf("rowk3 reason = %s, want %s", md.Reason, ReasonGapped)
+	}
+
+	// Expressing the row length as tiles*blockDim.x closes the proof; this
+	// is how the suites' transpose/matmul kernels are written.
+	md = analyzeSrc(t, `
+__global__ void rowk4(float* in, float* out, int tiles) {
+    int n = tiles * blockDim.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        out[blockIdx.x * n + col] = in[col * n + blockIdx.x];
+    }
+}`, "rowk4")
+	if !md.Distributable {
+		t.Fatalf("rowk4: %s", md.Summary())
+	}
+	if !md.Buffers[0].UnitElems.Equal(Var(SymBdx).Mul(Var(ParamSym("tiles")))) {
+		t.Errorf("unit = %s, want bdx*p:tiles", md.Buffers[0].UnitElems)
+	}
+}
+
+func TestAtomicOverlap(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void hist(char* data, int* bins, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        atomicAdd(&bins[data[id]], 1);
+}`, "hist")
+	if md.Distributable {
+		t.Fatal("histogram with atomics reported distributable")
+	}
+	if md.Reason != ReasonOverlap {
+		t.Errorf("reason = %s, want %s", md.Reason, ReasonOverlap)
+	}
+}
+
+func TestIndirectWrite(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void scatter(int* idx, float* out, float* in, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        out[idx[id]] = in[id];
+}`, "scatter")
+	if md.Distributable {
+		t.Fatal("scatter reported distributable")
+	}
+	if md.Reason != ReasonIndirect {
+		t.Errorf("reason = %s, want %s", md.Reason, ReasonIndirect)
+	}
+}
+
+func TestOverlappingStencil(t *testing.T) {
+	// Each block writes bdx+1 elements but advances by bdx: overlap.
+	md := analyzeSrc(t, `
+__global__ void stencil(float* out) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    out[id] = 1.0f;
+    if (threadIdx.x == 0)
+        out[blockIdx.x * blockDim.x + blockDim.x] = 2.0f;
+}`, "stencil")
+	if md.Distributable {
+		t.Fatalf("overlapping stencil reported distributable: %s", md.Summary())
+	}
+}
+
+func TestGappedStride2(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void evens(float* out) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    out[2 * id] = 1.0f;
+}`, "evens")
+	if md.Distributable {
+		t.Fatal("stride-2 write reported distributable")
+	}
+	if md.Reason != ReasonGapped {
+		t.Errorf("reason = %s, want %s", md.Reason, ReasonGapped)
+	}
+}
+
+func TestInterleavedPairMerges(t *testing.T) {
+	// out[2*id] and out[2*id+1] together cover a contiguous interval.
+	md := analyzeSrc(t, `
+__global__ void vec2(float* out) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    out[2 * id] = 1.0f;
+    out[2 * id + 1] = 2.0f;
+}`, "vec2")
+	if !md.Distributable {
+		t.Fatalf("vec2: %s", md.Summary())
+	}
+	if !md.Buffers[0].UnitElems.Equal(Var(SymBdx).Scale(2)) {
+		t.Errorf("unit = %s, want 2*bdx", md.Buffers[0].UnitElems)
+	}
+}
+
+func TestBlockVariantGuard(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void oddblocks(float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (blockIdx.x > 5)
+        out[id] = 1.0f;
+}`, "oddblocks")
+	if md.Distributable {
+		t.Fatal("block-variant guard reported distributable")
+	}
+	if md.Reason != ReasonGuard {
+		t.Errorf("reason = %s, want %s", md.Reason, ReasonGuard)
+	}
+}
+
+func TestDataDependentGuard(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void ga(char* query, char* target, int* found, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        if (query[id] == target[0])
+            found[id] = 1;
+    }
+}`, "ga")
+	if md.Distributable {
+		t.Fatal("data-dependent guard reported distributable")
+	}
+	if md.Reason != ReasonGuard {
+		t.Errorf("reason = %s, want %s", md.Reason, ReasonGuard)
+	}
+}
+
+func TestWhileLoopWrite(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void wloop(float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = 0;
+    while (i < n) {
+        out[id * n + i] = 1.0f;
+        i++;
+    }
+}`, "wloop")
+	if md.Distributable {
+		t.Fatal("while-loop write reported distributable")
+	}
+	if md.Reason != ReasonLoop && md.Reason != ReasonNonAffine && md.Reason != ReasonIndirect {
+		t.Errorf("reason = %s", md.Reason)
+	}
+}
+
+func TestDescendingIndexRejected(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void rev(float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    out[n - id] = 1.0f;
+}`, "rev")
+	if md.Distributable {
+		t.Fatal("descending write reported distributable")
+	}
+	if md.Reason != ReasonStride && md.Reason != ReasonGapped {
+		t.Errorf("reason = %s, want stride/gapped", md.Reason)
+	}
+}
+
+func Test2DLinearizedGrid(t *testing.T) {
+	// 2D grid where the write interval advances row-major across blocks.
+	md := analyzeSrc(t, `
+__global__ void grid2d(float* out) {
+    int bid = blockIdx.y * gridDim.x + blockIdx.x;
+    int id = bid * blockDim.x + threadIdx.x;
+    out[id] = 1.0f;
+}`, "grid2d")
+	if !md.Distributable {
+		t.Fatalf("grid2d: %s", md.Summary())
+	}
+	if !md.Linear2D {
+		t.Error("grid2d should be marked Linear2D")
+	}
+}
+
+func Test2DNonLinearizedRejected(t *testing.T) {
+	// Column-major 2D write: blocks along y do not advance contiguously.
+	md := analyzeSrc(t, `
+__global__ void colmajor(float* out, int h) {
+    int id = (blockIdx.x * gridDim.y + blockIdx.y) * blockDim.x + threadIdx.x;
+    out[id] = 1.0f;
+}`, "colmajor")
+	if md.Distributable {
+		t.Fatalf("column-major 2D write reported distributable: %s", md.Summary())
+	}
+}
+
+func TestNoGlobalWrites(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void readonly(float* in, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    float v = in[id % n];
+    v = v * 2.0f;
+}`, "readonly")
+	if !md.Distributable {
+		t.Errorf("kernel with no global writes should be distributable: %s", md.Summary())
+	}
+	if len(md.Buffers) != 0 {
+		t.Errorf("got %d buffers, want 0", len(md.Buffers))
+	}
+}
+
+func TestMultiBufferWrites(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void twofer(float* a, float* b, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        a[id] = 1.0f;
+        b[id] = 2.0f;
+    }
+}`, "twofer")
+	if !md.Distributable {
+		t.Fatalf("twofer: %s", md.Summary())
+	}
+	if len(md.Buffers) != 2 {
+		t.Fatalf("got %d buffers, want 2", len(md.Buffers))
+	}
+}
+
+func TestScaledGlobalIDGuard(t *testing.T) {
+	// Guard on a scaled global id is still tail divergent.
+	md := analyzeSrc(t, `
+__global__ void scaled(float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (4 * id < n)
+        out[id] = 1.0f;
+}`, "scaled")
+	if !md.Distributable || !md.TailDivergent {
+		t.Fatalf("scaled: %s", md.Summary())
+	}
+}
+
+func TestConjunctionGuard(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void conj(float* out, int n, int flag) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n && flag > 0)
+        out[id] = 1.0f;
+}`, "conj")
+	if !md.Distributable || !md.TailDivergent {
+		t.Fatalf("conj: %s", md.Summary())
+	}
+}
+
+func TestMetadataEval(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void vc(float *src, float *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n) dest[id] = src[id];
+}`, "vc")
+	env := Env{Bdx: 256, Bdy: 1, Gdx: 5, Gdy: 1, Params: map[string]int64{"n": 1200}}
+	unit, err := md.Buffers[0].UnitElems.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit != 256 {
+		t.Errorf("unit = %d, want 256", unit)
+	}
+}
+
+func TestSummaryStrings(t *testing.T) {
+	md := analyzeSrc(t, `
+__global__ void vc(float *src, float *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n) dest[id] = src[id];
+}`, "vc")
+	s := md.Summary()
+	for _, want := range []string{"distributable", "tail-divergent", "dest"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	for r := ReasonOK; r <= ReasonStride; r++ {
+		if r.String() == "unknown" {
+			t.Errorf("reason %d has no name", r)
+		}
+	}
+}
+
+func TestAnalyzeModule(t *testing.T) {
+	mod, err := lang.Parse(`
+__global__ void a(float* x) { x[blockIdx.x * blockDim.x + threadIdx.x] = 1.0f; }
+__global__ void b(int* idx, float* x) { x[idx[threadIdx.x]] = 1.0f; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mds := AnalyzeModule(mod)
+	if len(mds) != 2 {
+		t.Fatalf("got %d results", len(mds))
+	}
+	if !mds["a"].Distributable || mds["b"].Distributable {
+		t.Errorf("a=%v b=%v, want true/false", mds["a"].Distributable, mds["b"].Distributable)
+	}
+}
+
+func TestSharedMemoryIgnored(t *testing.T) {
+	// Shared-memory stores need no communication and must not affect the
+	// result (paper footnote 1).
+	md := analyzeSrc(t, `
+__global__ void sh(float* in, float* out, int n) {
+    __shared__ float buf[256];
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    buf[threadIdx.x] = in[id];
+    __syncthreads();
+    if (id < n)
+        out[id] = buf[threadIdx.x];
+}`, "sh")
+	if !md.Distributable {
+		t.Fatalf("sh: %s", md.Summary())
+	}
+	if len(md.Buffers) != 1 || md.Buffers[0].ParamName != "out" {
+		t.Errorf("buffers = %+v, want only out", md.Buffers)
+	}
+}
+
+func mustKernelIR(t *testing.T, name string) *kir.Kernel {
+	t.Helper()
+	mod := lang.MustParse(`__global__ void k(float* out) { out[threadIdx.x] = 1.0f; }`)
+	return mod.Kernels[0]
+}
+
+func TestSingleBlockOnlyWriteRejected(t *testing.T) {
+	// Writes independent of blockIdx have zero block coefficient: every
+	// block writes the same interval -> overlap, not distributable.
+	k := mustKernelIR(t, "k")
+	md := Analyze(k)
+	if md.Distributable {
+		t.Fatalf("block-invariant write reported distributable: %s", md.Summary())
+	}
+	if md.Reason != ReasonStride {
+		t.Errorf("reason = %s, want %s", md.Reason, ReasonStride)
+	}
+}
+
+func TestBlockStrideLoop(t *testing.T) {
+	// The grid-stride idiom: each thread handles columns tx, tx+bdx, ...
+	// Across the block the writes cover [0, n) exactly once, so the
+	// analysis accepts it via the range-symbol extension.
+	md := analyzeSrc(t, `
+__global__ void rowstride(float* in, float* out, int n) {
+    for (int col = threadIdx.x; col < n; col = col + blockDim.x) {
+        out[blockIdx.x * n + col] = in[col * n + blockIdx.x];
+    }
+}`, "rowstride")
+	if !md.Distributable {
+		t.Fatalf("rowstride: %s", md.Summary())
+	}
+	if !md.Buffers[0].UnitElems.Equal(Var(ParamSym("n"))) {
+		t.Errorf("unit = %s, want p:n", md.Buffers[0].UnitElems)
+	}
+
+	// With a uniform offset start.
+	md = analyzeSrc(t, `
+__global__ void offsetstride(float* out, int n, int off) {
+    for (int col = threadIdx.x + off; col < n; col = col + blockDim.x) {
+        out[blockIdx.x * n + col] = 1.0f;
+    }
+}`, "offsetstride")
+	// Per-block writes cover [off, n): count n-off but block stride n ->
+	// gapped unless off == 0; the analysis must reject, not mis-accept.
+	if md.Distributable {
+		t.Fatalf("offsetstride unexpectedly accepted: %s", md.Summary())
+	}
+
+	// Base shifting: stride loop feeding a scaled index.
+	md = analyzeSrc(t, `
+__global__ void scaledstride(float* out, int n) {
+    for (int col = threadIdx.x; col < n; col = col + blockDim.x) {
+        out[2 * (blockIdx.x * n + col)] = 1.0f;
+    }
+}`, "scaledstride")
+	if md.Distributable {
+		t.Fatalf("stride-2 write accepted: %s", md.Summary())
+	}
+	if md.Reason != ReasonGapped {
+		t.Errorf("reason = %s, want %s", md.Reason, ReasonGapped)
+	}
+
+	// A non-blockDim step must fall back to the unanalyzable path.
+	md = analyzeSrc(t, `
+__global__ void oddstride(float* out, int n) {
+    for (int col = threadIdx.x; col < n; col = col + 3) {
+        out[blockIdx.x * n + col] = 1.0f;
+    }
+}`, "oddstride")
+	if md.Distributable {
+		t.Fatalf("odd stride accepted: %s", md.Summary())
+	}
+}
+
+func TestAllRejectionsCollected(t *testing.T) {
+	// Two independent violations: an atomic and an indirect write.
+	md := analyzeSrc(t, `
+__global__ void messy(int* idx, int* bins, float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        atomicAdd(&bins[id % 7], 1);
+        out[idx[id]] = 1.0f;
+    }
+}`, "messy")
+	if md.Distributable {
+		t.Fatal("messy kernel accepted")
+	}
+	if len(md.AllRejections) < 2 {
+		t.Fatalf("AllRejections = %v, want both violations listed", md.AllRejections)
+	}
+	joined := strings.Join(md.AllRejections, "\n")
+	for _, want := range []string{"overlap", "indirect"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("rejections %q missing %q", joined, want)
+		}
+	}
+}
+
+func mustModule(t *testing.T, src string) *kir.Module {
+	t.Helper()
+	mod, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}

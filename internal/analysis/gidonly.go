@@ -1,0 +1,62 @@
+package analysis
+
+import "cucc/internal/kir"
+
+// detectGIDOnly reports whether the kernel touches the launch geometry
+// exclusively through the flattened global thread index
+// blockIdx.x*blockDim.x + threadIdx.x.
+//
+// For such kernels the (grid, block) factorization is semantically
+// irrelevant: CuCC may relaunch them with a different block size to
+// rebalance work across CPU cores — the "workload redistribution" the
+// paper proposes as future work (§8.3).  The check is syntactic and
+// conservative: every builtin reference must be covered by a gid pattern.
+func detectGIDOnly(k *kir.Kernel) bool {
+	covered := map[kir.Expr]bool{}
+	ok := true
+
+	isBuiltin := func(e kir.Expr, b kir.Builtin) bool {
+		r, is := e.(*kir.BuiltinRef)
+		return is && r.B == b && r.Axis == kir.X
+	}
+	// matchProduct recognizes blockIdx.x*blockDim.x in either order.
+	matchProduct := func(e kir.Expr) bool {
+		bin, is := e.(*kir.Binary)
+		if !is || bin.Op != kir.Mul {
+			return false
+		}
+		if isBuiltin(bin.L, kir.BlockIdx) && isBuiltin(bin.R, kir.BlockDim) ||
+			isBuiltin(bin.L, kir.BlockDim) && isBuiltin(bin.R, kir.BlockIdx) {
+			covered[bin.L] = true
+			covered[bin.R] = true
+			return true
+		}
+		return false
+	}
+	// matchGID recognizes product + threadIdx.x in either order.
+	matchGID := func(e kir.Expr) {
+		bin, is := e.(*kir.Binary)
+		if !is || bin.Op != kir.Add {
+			return
+		}
+		if matchProduct(bin.L) && isBuiltin(bin.R, kir.ThreadIdx) {
+			covered[bin.R] = true
+		} else if matchProduct(bin.R) && isBuiltin(bin.L, kir.ThreadIdx) {
+			covered[bin.L] = true
+		}
+	}
+	kir.WalkExprs(k.Body, func(e kir.Expr) {
+		matchGID(e)
+	})
+	kir.WalkExprs(k.Body, func(e kir.Expr) {
+		if r, is := e.(*kir.BuiltinRef); is && !covered[e] {
+			_ = r
+			ok = false
+		}
+	})
+	// Shared memory is sized per block; resizing blocks would break it.
+	if len(k.Shared) > 0 {
+		return false
+	}
+	return ok
+}

@@ -1,0 +1,356 @@
+// Package analysis implements the paper's Allgather distributable analysis
+// (Section 6): a static analysis over kernel IR that decides whether a GPU
+// kernel's blocks can be partitioned across CPU nodes such that one
+// balanced-in-place Allgather restores memory consistency.
+//
+// The analysis is symbolic: write indices are represented as polynomials
+// over the symbols threadIdx/blockIdx/blockDim/gridDim, integer kernel
+// parameters, and canonical loop induction variables, so kernels with
+// runtime-dependent grid/block sizes still analyze (paper §5).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sym is a symbolic variable appearing in index polynomials.
+type Sym string
+
+// Well-known symbols.  Loop induction variables get fresh "L<n>" symbols and
+// integer parameters appear as "p:<name>".
+const (
+	SymTx  Sym = "tx"
+	SymTy  Sym = "ty"
+	SymBx  Sym = "bx"
+	SymBy  Sym = "by"
+	SymBdx Sym = "bdx"
+	SymBdy Sym = "bdy"
+	SymGdx Sym = "gdx"
+	SymGdy Sym = "gdy"
+)
+
+// ParamSym returns the symbol for an integer kernel parameter.
+func ParamSym(name string) Sym { return Sym("p:" + name) }
+
+// IsParam reports whether the symbol is a kernel parameter.
+func (s Sym) IsParam() bool { return strings.HasPrefix(string(s), "p:") }
+
+// IsLoopVar reports whether the symbol is a loop induction variable.
+func (s Sym) IsLoopVar() bool { return strings.HasPrefix(string(s), "L") && !s.IsParam() }
+
+// IsThread reports whether the symbol depends on the thread index.
+func (s Sym) IsThread() bool { return s == SymTx || s == SymTy }
+
+// IsBlock reports whether the symbol depends on the block index.
+func (s Sym) IsBlock() bool { return s == SymBx || s == SymBy }
+
+// monomial is a product of symbols (sorted) used as a map key.
+type monomial string
+
+func monoKey(syms []Sym) monomial {
+	ss := make([]string, len(syms))
+	for i, s := range syms {
+		ss[i] = string(s)
+	}
+	sort.Strings(ss)
+	return monomial(strings.Join(ss, "*"))
+}
+
+func (m monomial) syms() []Sym {
+	if m == "" {
+		return nil
+	}
+	parts := strings.Split(string(m), "*")
+	out := make([]Sym, len(parts))
+	for i, p := range parts {
+		out[i] = Sym(p)
+	}
+	return out
+}
+
+// Poly is a multivariate polynomial with int64 coefficients, the symbolic
+// value domain of the analysis.  The zero value is the polynomial 0.
+type Poly struct {
+	terms map[monomial]int64
+}
+
+// Const returns a constant polynomial.
+func Const(c int64) Poly {
+	p := Poly{terms: map[monomial]int64{}}
+	if c != 0 {
+		p.terms[""] = c
+	}
+	return p
+}
+
+// Var returns the polynomial consisting of a single symbol.
+func Var(s Sym) Poly {
+	return Poly{terms: map[monomial]int64{monoKey([]Sym{s}): 1}}
+}
+
+func (p Poly) clone() Poly {
+	q := Poly{terms: make(map[monomial]int64, len(p.terms))}
+	for k, v := range p.terms {
+		q.terms[k] = v
+	}
+	return q
+}
+
+func (p Poly) ensure() Poly {
+	if p.terms == nil {
+		return Poly{terms: map[monomial]int64{}}
+	}
+	return p
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	r := p.ensure().clone()
+	for k, v := range q.terms {
+		r.terms[k] += v
+		if r.terms[k] == 0 {
+			delete(r.terms, k)
+		}
+	}
+	return r
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly { return p.Add(q.Neg()) }
+
+// Neg returns -p.
+func (p Poly) Neg() Poly {
+	r := Poly{terms: make(map[monomial]int64, len(p.terms))}
+	for k, v := range p.terms {
+		r.terms[k] = -v
+	}
+	return r
+}
+
+// Mul returns p * q.
+func (p Poly) Mul(q Poly) Poly {
+	r := Poly{terms: map[monomial]int64{}}
+	for mk, mv := range p.terms {
+		for nk, nv := range q.terms {
+			key := monoKey(append(mk.syms(), nk.syms()...))
+			r.terms[key] += mv * nv
+			if r.terms[key] == 0 {
+				delete(r.terms, key)
+			}
+		}
+	}
+	return r
+}
+
+// Scale returns p * c.
+func (p Poly) Scale(c int64) Poly { return p.Mul(Const(c)) }
+
+// IsZero reports whether p == 0.
+func (p Poly) IsZero() bool { return len(p.terms) == 0 }
+
+// IsConst returns the constant value of p if p is constant.
+func (p Poly) IsConst() (int64, bool) {
+	switch len(p.terms) {
+	case 0:
+		return 0, true
+	case 1:
+		if v, ok := p.terms[""]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Equal reports structural equality (canonical form makes this semantic
+// equality for polynomials).
+func (p Poly) Equal(q Poly) bool {
+	if len(p.terms) != len(q.terms) {
+		return false
+	}
+	for k, v := range p.terms {
+		if q.terms[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// HasSym reports whether the symbol appears anywhere in p.
+func (p Poly) HasSym(pred func(Sym) bool) bool {
+	for k := range p.terms {
+		for _, s := range k.syms() {
+			if pred(s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasThread reports dependence on threadIdx.
+func (p Poly) HasThread() bool { return p.HasSym(Sym.IsThread) }
+
+// HasBlock reports dependence on blockIdx.
+func (p Poly) HasBlock() bool { return p.HasSym(Sym.IsBlock) }
+
+// HasLoopVar reports dependence on any loop induction variable.
+func (p Poly) HasLoopVar() bool { return p.HasSym(Sym.IsLoopVar) }
+
+// CoeffOf splits p as coeff*s + rest, requiring p to be affine in s (degree
+// at most one).  ok is false if s appears with degree >= 2.
+func (p Poly) CoeffOf(s Sym) (coeff, rest Poly, ok bool) {
+	coeff = Const(0)
+	rest = Const(0)
+	for k, v := range p.terms {
+		syms := k.syms()
+		cnt := 0
+		for _, m := range syms {
+			if m == s {
+				cnt++
+			}
+		}
+		switch cnt {
+		case 0:
+			rest.terms[k] += v
+		case 1:
+			others := make([]Sym, 0, len(syms)-1)
+			removed := false
+			for _, m := range syms {
+				if m == s && !removed {
+					removed = true
+					continue
+				}
+				others = append(others, m)
+			}
+			coeff.terms[monoKey(others)] += v
+		default:
+			return Poly{}, Poly{}, false
+		}
+	}
+	for k, v := range coeff.terms {
+		if v == 0 {
+			delete(coeff.terms, k)
+		}
+	}
+	for k, v := range rest.terms {
+		if v == 0 {
+			delete(rest.terms, k)
+		}
+	}
+	return coeff, rest, true
+}
+
+// KnownPositive reports whether p is provably positive under the analysis
+// assumptions: blockDim/gridDim symbols are >= 1 and integer size parameters
+// are >= 1 (the paper makes the same implicit assumption when requiring "a
+// positive coefficient" of symbolic block strides).  A polynomial is known
+// positive when all coefficients are positive and it is non-zero.
+func (p Poly) KnownPositive() bool {
+	if p.IsZero() {
+		return false
+	}
+	for k, v := range p.terms {
+		if v <= 0 {
+			return false
+		}
+		for _, s := range k.syms() {
+			if s.IsThread() || s.IsBlock() || s.IsLoopVar() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Subst returns p with symbol s replaced by polynomial q.
+func (p Poly) Subst(s Sym, q Poly) Poly {
+	r := Const(0)
+	for k, v := range p.terms {
+		term := Const(v)
+		for _, m := range k.syms() {
+			if m == s {
+				term = term.Mul(q)
+			} else {
+				term = term.Mul(Var(m))
+			}
+		}
+		r = r.Add(term)
+	}
+	return r
+}
+
+// Env supplies runtime values for symbols when evaluating metadata at kernel
+// launch time.
+type Env struct {
+	Bdx, Bdy, Gdx, Gdy int64
+	// Params maps integer parameter names to launch-time values.
+	Params map[string]int64
+}
+
+// Eval evaluates the polynomial in env; loop/thread/block symbols are not
+// valid at evaluation time and produce an error.
+func (p Poly) Eval(env Env) (int64, error) {
+	total := int64(0)
+	for k, v := range p.terms {
+		term := v
+		for _, s := range k.syms() {
+			switch {
+			case s == SymBdx:
+				term *= env.Bdx
+			case s == SymBdy:
+				term *= env.Bdy
+			case s == SymGdx:
+				term *= env.Gdx
+			case s == SymGdy:
+				term *= env.Gdy
+			case s.IsParam():
+				val, ok := env.Params[string(s)[2:]]
+				if !ok {
+					return 0, fmt.Errorf("analysis: no value for parameter %q", string(s)[2:])
+				}
+				term *= val
+			default:
+				return 0, fmt.Errorf("analysis: symbol %q not evaluable at launch time", s)
+			}
+		}
+		total += term
+	}
+	return total, nil
+}
+
+// String renders the polynomial deterministically.
+func (p Poly) String() string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		v := p.terms[monomial(k)]
+		if i > 0 {
+			if v >= 0 {
+				b.WriteString(" + ")
+			} else {
+				b.WriteString(" - ")
+				v = -v
+			}
+		} else if v < 0 {
+			b.WriteString("-")
+			v = -v
+		}
+		if k == "" {
+			fmt.Fprintf(&b, "%d", v)
+		} else if v == 1 {
+			b.WriteString(k)
+		} else {
+			fmt.Fprintf(&b, "%d*%s", v, k)
+		}
+	}
+	return b.String()
+}

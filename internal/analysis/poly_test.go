@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyArithmetic(t *testing.T) {
+	tx := Var(SymTx)
+	bdx := Var(SymBdx)
+	bx := Var(SymBx)
+
+	// bx*bdx + tx
+	gid := bx.Mul(bdx).Add(tx)
+	if gid.String() != "bdx*bx + tx" {
+		t.Errorf("gid = %q", gid.String())
+	}
+	// (bx*bdx + tx) - (bx*bdx + tx) == 0
+	if !gid.Sub(gid).IsZero() {
+		t.Error("p - p != 0")
+	}
+	// 2*(bx*bdx) == bx*bdx + bx*bdx
+	if !bx.Mul(bdx).Scale(2).Equal(bx.Mul(bdx).Add(bx.Mul(bdx))) {
+		t.Error("scale mismatch")
+	}
+	if c, ok := Const(7).Add(Const(-3)).IsConst(); !ok || c != 4 {
+		t.Error("constant folding failed")
+	}
+}
+
+func TestPolyCoeffOf(t *testing.T) {
+	// p = 3*tx*bdx + 5*bx + 7
+	p := Var(SymTx).Mul(Var(SymBdx)).Scale(3).Add(Var(SymBx).Scale(5)).Add(Const(7))
+	coeff, rest, ok := p.CoeffOf(SymTx)
+	if !ok {
+		t.Fatal("CoeffOf failed")
+	}
+	if !coeff.Equal(Var(SymBdx).Scale(3)) {
+		t.Errorf("coeff = %s, want 3*bdx", coeff)
+	}
+	if !rest.Equal(Var(SymBx).Scale(5).Add(Const(7))) {
+		t.Errorf("rest = %s", rest)
+	}
+	// Quadratic in tx is not affine.
+	q := Var(SymTx).Mul(Var(SymTx))
+	if _, _, ok := q.CoeffOf(SymTx); ok {
+		t.Error("tx^2 reported affine in tx")
+	}
+}
+
+func TestPolyVariance(t *testing.T) {
+	p := Var(SymBx).Mul(Var(SymBdx))
+	if p.HasThread() {
+		t.Error("bx*bdx reported thread-variant")
+	}
+	if !p.HasBlock() {
+		t.Error("bx*bdx not block-variant")
+	}
+	if !Var(SymTy).HasThread() {
+		t.Error("ty not thread-variant")
+	}
+	if !Var(Sym("L1")).HasLoopVar() {
+		t.Error("L1 not a loop var")
+	}
+	if !ParamSym("n").IsParam() {
+		t.Error("p:n not a param")
+	}
+}
+
+func TestPolyKnownPositive(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want bool
+	}{
+		{Const(1), true},
+		{Const(0), false},
+		{Const(-2), false},
+		{Var(SymBdx), true},
+		{Var(ParamSym("n")), true},
+		{Var(SymBdx).Sub(Const(1)), false}, // mixed signs
+		{Var(SymTx), false},                // thread-variant
+		{Var(SymBdx).Mul(Var(ParamSym("n"))), true},
+	}
+	for i, c := range cases {
+		if got := c.p.KnownPositive(); got != c.want {
+			t.Errorf("case %d (%s): KnownPositive = %v, want %v", i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPolySubst(t *testing.T) {
+	// (tx + 2)*bdx with tx := 3 -> 5*bdx
+	p := Var(SymTx).Add(Const(2)).Mul(Var(SymBdx))
+	got := p.Subst(SymTx, Const(3))
+	if !got.Equal(Var(SymBdx).Scale(5)) {
+		t.Errorf("subst = %s, want 5*bdx", got)
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	p := Var(SymBdx).Mul(Var(SymGdx)).Add(Var(ParamSym("n")).Scale(2)).Add(Const(1))
+	env := Env{Bdx: 256, Gdx: 10, Params: map[string]int64{"n": 5}}
+	got, err := p.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 256*10+10+1 {
+		t.Errorf("Eval = %d, want %d", got, 256*10+11)
+	}
+	// Thread symbols cannot be evaluated at launch time.
+	if _, err := Var(SymTx).Eval(env); err == nil {
+		t.Error("Eval(tx) succeeded, want error")
+	}
+	// Missing parameter.
+	if _, err := Var(ParamSym("m")).Eval(env); err == nil {
+		t.Error("Eval with missing param succeeded, want error")
+	}
+}
+
+// Property: polynomial arithmetic is a commutative ring homomorphism onto
+// evaluation: Eval(p op q) == Eval(p) op Eval(q).
+func TestPolyEvalHomomorphism(t *testing.T) {
+	mk := func(a, b, c int8) Poly {
+		return Var(SymBdx).Scale(int64(a)).Add(Var(ParamSym("n")).Scale(int64(b))).Add(Const(int64(c)))
+	}
+	env := Env{Bdx: 17, Bdy: 1, Gdx: 3, Gdy: 1, Params: map[string]int64{"n": 23}}
+	f := func(a1, b1, c1, a2, b2, c2 int8) bool {
+		p, q := mk(a1, b1, c1), mk(a2, b2, c2)
+		pv, err1 := p.Eval(env)
+		qv, err2 := q.Eval(env)
+		s, err3 := p.Add(q).Eval(env)
+		m, err4 := p.Mul(q).Eval(env)
+		d, err5 := p.Sub(q).Eval(env)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			return false
+		}
+		return s == pv+qv && m == pv*qv && d == pv-qv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is consistent with evaluation across several environments.
+func TestPolyEqualConsistency(t *testing.T) {
+	f := func(a, b, c int8) bool {
+		p := Var(SymBdx).Scale(int64(a)).Add(Const(int64(b))).Add(Var(SymGdx).Scale(int64(c)))
+		q := Var(SymGdx).Scale(int64(c)).Add(Var(SymBdx).Scale(int64(a))).Add(Const(int64(b)))
+		return p.Equal(q) && q.Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTelescope(t *testing.T) {
+	bdx := Var(SymBdx)
+	n := Var(ParamSym("n"))
+	cases := []struct {
+		name string
+		dims []dimRec
+		span Poly
+		ok   bool
+	}{
+		{"empty", nil, Const(1), true},
+		{"single thread dim", []dimRec{{Const(1), bdx}}, bdx, true},
+		{"thread+loop", []dimRec{{Const(1), bdx}, {bdx, n}}, bdx.Mul(n), true},
+		{"loop first order", []dimRec{{bdx, n}, {Const(1), bdx}}, bdx.Mul(n), true},
+		{"gap stride 2", []dimRec{{Const(2), bdx}}, Poly{}, false},
+		{"interleaved pair", []dimRec{{Const(2), bdx}, {Const(1), Const(2)}}, bdx.Scale(2), true},
+		{"count 1 dropped", []dimRec{{n, Const(1)}}, Const(1), true},
+		{"negative stride", []dimRec{{Const(-1), bdx}}, Poly{}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			span, ok := telescope(c.dims)
+			if ok != c.ok {
+				t.Fatalf("ok = %v, want %v", ok, c.ok)
+			}
+			if ok && !span.Equal(c.span) {
+				t.Errorf("span = %s, want %s", span, c.span)
+			}
+		})
+	}
+}

@@ -1,0 +1,383 @@
+package analysis
+
+import (
+	"fmt"
+
+	"cucc/internal/kir"
+)
+
+// absVal is the abstract value of a kernel variable: either a polynomial
+// over the analysis symbols, or unknown with variance flags.
+type absVal struct {
+	ok       bool
+	p        Poly
+	fromLoad bool // value derives from a memory load
+	thread   bool // when !ok: may vary with threadIdx
+	block    bool // when !ok: may vary with blockIdx
+}
+
+func polyVal(p Poly) absVal { return absVal{ok: true, p: p} }
+
+func unknownVal(fromLoad, thread, block bool) absVal {
+	return absVal{fromLoad: fromLoad, thread: thread, block: block}
+}
+
+// variance summarizes what an abstract value can depend on.
+func (v absVal) threadVariant() bool {
+	if v.ok {
+		return v.p.HasThread()
+	}
+	return v.thread
+}
+
+func (v absVal) blockVariant() bool {
+	if v.ok {
+		return v.p.HasBlock()
+	}
+	return v.block
+}
+
+func (v absVal) equal(o absVal) bool {
+	if v.ok != o.ok {
+		return false
+	}
+	if v.ok {
+		return v.p.Equal(o.p)
+	}
+	return v.fromLoad == o.fromLoad && v.thread == o.thread && v.block == o.block
+}
+
+// merge joins the values of a slot after an if/else.
+func (v absVal) merge(o absVal, guardThread, guardBlock, guardLoad bool) absVal {
+	if v.equal(o) {
+		return v
+	}
+	return unknownVal(
+		v.fromLoad || o.fromLoad || guardLoad,
+		v.threadVariant() || o.threadVariant() || guardThread,
+		v.blockVariant() || o.blockVariant() || guardBlock,
+	)
+}
+
+// evalExpr abstracts a kernel expression into the polynomial domain.
+func (a *analyzer) evalExpr(e kir.Expr) absVal {
+	switch e := e.(type) {
+	case *kir.IntLit:
+		return polyVal(Const(e.Val))
+	case *kir.FloatLit:
+		// Floats never form indices; keep them unknown-invariant.
+		return unknownVal(false, false, false)
+	case *kir.VarRef:
+		return a.env[e.Slot]
+	case *kir.BuiltinRef:
+		switch e.B {
+		case kir.ThreadIdx:
+			if e.Axis == kir.X {
+				return polyVal(Var(SymTx))
+			}
+			return polyVal(Var(SymTy))
+		case kir.BlockIdx:
+			if e.Axis == kir.X {
+				return polyVal(Var(SymBx))
+			}
+			return polyVal(Var(SymBy))
+		case kir.BlockDim:
+			if e.Axis == kir.X {
+				return polyVal(Var(SymBdx))
+			}
+			return polyVal(Var(SymBdy))
+		default:
+			if e.Axis == kir.X {
+				return polyVal(Var(SymGdx))
+			}
+			return polyVal(Var(SymGdy))
+		}
+	case *kir.Binary:
+		l := a.evalExpr(e.L)
+		r := a.evalExpr(e.R)
+		if l.ok && r.ok {
+			switch e.Op {
+			case kir.Add:
+				return polyVal(l.p.Add(r.p))
+			case kir.Sub:
+				return polyVal(l.p.Sub(r.p))
+			case kir.Mul:
+				return polyVal(l.p.Mul(r.p))
+			case kir.Div, kir.Rem:
+				// Exact constant folding only; otherwise the result is not a
+				// polynomial (e.g., id/width 2D decompositions).
+				lc, lok := l.p.IsConst()
+				rc, rok := r.p.IsConst()
+				if lok && rok && rc != 0 {
+					if e.Op == kir.Div && lc%rc == 0 {
+						return polyVal(Const(lc / rc))
+					}
+					if e.Op == kir.Rem {
+						return polyVal(Const(lc % rc))
+					}
+				}
+				return unknownVal(false, l.threadVariant() || r.threadVariant(), l.blockVariant() || r.blockVariant())
+			case kir.Shl:
+				if rc, rok := r.p.IsConst(); rok && rc >= 0 && rc < 31 {
+					return polyVal(l.p.Scale(1 << uint(rc)))
+				}
+			}
+		}
+		return unknownVal(l.fromLoad || r.fromLoad,
+			l.threadVariant() || r.threadVariant(),
+			l.blockVariant() || r.blockVariant())
+	case *kir.Unary:
+		x := a.evalExpr(e.X)
+		if x.ok && e.Op == kir.Neg {
+			return polyVal(x.p.Neg())
+		}
+		return unknownVal(x.fromLoad, x.threadVariant(), x.blockVariant())
+	case *kir.Load:
+		idx := a.evalExpr(e.Index)
+		return unknownVal(true,
+			idx.threadVariant() || idx.fromLoad,
+			idx.blockVariant() || idx.fromLoad)
+	case *kir.Call:
+		fromLoad, th, bl := false, false, false
+		for _, arg := range e.Args {
+			v := a.evalExpr(arg)
+			fromLoad = fromLoad || v.fromLoad
+			th = th || v.threadVariant()
+			bl = bl || v.blockVariant()
+		}
+		return unknownVal(fromLoad, th, bl)
+	case *kir.Cast:
+		x := a.evalExpr(e.X)
+		if x.ok && e.To.IsInteger() && e.X.Type().IsInteger() {
+			return x
+		}
+		if x.ok && e.To.IsInteger() && e.X.Type() == kir.Bool {
+			return unknownVal(false, x.threadVariant(), x.blockVariant())
+		}
+		if x.ok {
+			return x
+		}
+		return unknownVal(x.fromLoad, x.threadVariant(), x.blockVariant())
+	case *kir.Select:
+		c := a.evalExpr(e.Cond)
+		va := a.evalExpr(e.A)
+		vb := a.evalExpr(e.B)
+		if va.equal(vb) && va.ok {
+			return va
+		}
+		return unknownVal(c.fromLoad || va.fromLoad || vb.fromLoad,
+			c.threadVariant() || va.threadVariant() || vb.threadVariant(),
+			c.blockVariant() || va.blockVariant() || vb.blockVariant())
+	}
+	return unknownVal(true, true, true)
+}
+
+// condInfo is the classification of a branch condition.
+type condInfo struct {
+	kind    guardKind
+	loadDep bool
+	thread  bool
+	block   bool
+	detail  string
+	// Thread-guard refinements: "threadIdx.x == c" and "threadIdx.x < c"
+	// patterns let writes under block-invariant guards stay analyzable
+	// (e.g., one designated writer thread per block).
+	hasTxEq bool
+	txEq    int64
+	hasTxLt bool
+	txLt    int64
+}
+
+type guardKind uint8
+
+const (
+	// guardUniform conditions are identical for every thread of every
+	// block; writes under them stay balanced.
+	guardUniform guardKind = iota
+	// guardThreadOnly conditions depend on threadIdx but not blockIdx
+	// (e.g., threadIdx.x == 0): every block evaluates them identically,
+	// so per-block write volumes still match (paper §6.2 condition 2,
+	// block-invariant reading).
+	guardThreadOnly
+	// guardTail is the paper's tail-divergence pattern: a global-id bound
+	// check that can only fail in the last block(s).
+	guardTail
+	// guardBlockVariant conditions can make different blocks write
+	// different amounts; writes under them are not distributable.
+	guardBlockVariant
+	// guardData conditions depend on loaded data.
+	guardData
+)
+
+// classifyCond analyzes a branch condition.  negated reports the branch
+// reached when the condition is false.
+func (a *analyzer) classifyCond(e kir.Expr, negated bool) condInfo {
+	if b, ok := e.(*kir.Binary); ok {
+		if b.Op == kir.LAnd && !negated {
+			l := a.classifyCond(b.L, false)
+			r := a.classifyCond(b.R, false)
+			return combineConj(l, r)
+		}
+		if b.Op == kir.LOr && negated {
+			// !(a || b) == !a && !b
+			l := a.classifyCond(b.L, true)
+			r := a.classifyCond(b.R, true)
+			return combineConj(l, r)
+		}
+		if b.Op.IsComparison() {
+			return a.classifyCompare(b, negated)
+		}
+	}
+	if u, ok := e.(*kir.Unary); ok && u.Op == kir.Not {
+		return a.classifyCond(u.X, !negated)
+	}
+	v := a.evalExpr(e)
+	return condFromVariance(v)
+}
+
+func combineConj(l, r condInfo) condInfo {
+	out := condInfo{kind: guardUniform}
+	for _, c := range []condInfo{l, r} {
+		out.loadDep = out.loadDep || c.loadDep
+		out.thread = out.thread || c.thread
+		out.block = out.block || c.block
+		if c.kind > out.kind {
+			out.kind = c.kind
+			out.detail = c.detail
+		}
+	}
+	return out
+}
+
+func condFromVariance(v absVal) condInfo {
+	switch {
+	case v.fromLoad:
+		return condInfo{kind: guardData, loadDep: true, detail: "condition depends on loaded data"}
+	case v.blockVariant():
+		return condInfo{kind: guardBlockVariant, block: true, detail: "condition varies across blocks"}
+	case v.threadVariant():
+		return condInfo{kind: guardThreadOnly, thread: true}
+	default:
+		return condInfo{kind: guardUniform}
+	}
+}
+
+// classifyCompare recognizes the tail-divergence pattern gid < bound where
+// gid = c*(blockIdx.x*blockDim.x + threadIdx.x) + const and bound is
+// uniform.
+func (a *analyzer) classifyCompare(b *kir.Binary, negated bool) condInfo {
+	l := a.evalExpr(b.L)
+	r := a.evalExpr(b.R)
+	if !l.ok || !r.ok {
+		v := unknownVal(l.fromLoad || r.fromLoad,
+			l.threadVariant() || r.threadVariant(),
+			l.blockVariant() || r.blockVariant())
+		return condFromVariance(v)
+	}
+	op := b.Op
+	if negated {
+		op = negateCmp(op)
+	}
+	// Normalize to lhs < rhs or lhs <= rhs.
+	lhs, rhs := l.p, r.p
+	switch op {
+	case kir.Gt:
+		lhs, rhs, op = rhs, lhs, kir.Lt
+	case kir.Ge:
+		lhs, rhs, op = rhs, lhs, kir.Le
+	}
+	if op == kir.Lt || op == kir.Le {
+		if isGlobalID(lhs) && !rhs.HasThread() && !rhs.HasBlock() && !rhs.HasLoopVar() {
+			return condInfo{kind: guardTail, thread: true, block: true}
+		}
+		// threadIdx.x < c refinement.
+		if lhs.Equal(Var(SymTx)) {
+			if c, ok := rhs.IsConst(); ok && c > 0 {
+				bound := c
+				if op == kir.Le {
+					bound++
+				}
+				return condInfo{kind: guardThreadOnly, thread: true, hasTxLt: true, txLt: bound}
+			}
+		}
+	}
+	// threadIdx.x == c refinement (the designated-writer pattern, e.g.,
+	// BinomialOption's single writer thread).
+	if op == kir.Eq {
+		if lhs.Equal(Var(SymTx)) {
+			if c, ok := rhs.IsConst(); ok && c >= 0 {
+				return condInfo{kind: guardThreadOnly, thread: true, hasTxEq: true, txEq: c}
+			}
+		}
+		if rhs.Equal(Var(SymTx)) {
+			if c, ok := lhs.IsConst(); ok && c >= 0 {
+				return condInfo{kind: guardThreadOnly, thread: true, hasTxEq: true, txEq: c}
+			}
+		}
+	}
+	v := unknownVal(false,
+		lhs.HasThread() || rhs.HasThread(),
+		lhs.HasBlock() || rhs.HasBlock())
+	return condFromVariance(v)
+}
+
+func negateCmp(op kir.BinOp) kir.BinOp {
+	switch op {
+	case kir.Lt:
+		return kir.Ge
+	case kir.Le:
+		return kir.Gt
+	case kir.Gt:
+		return kir.Le
+	case kir.Ge:
+		return kir.Lt
+	case kir.Eq:
+		return kir.Ne
+	default:
+		return kir.Eq
+	}
+}
+
+// isGlobalID reports whether p has the shape c*(bx*bdx + tx) + uniform with
+// c > 0: the flattened global thread index, increasing contiguously across
+// blocks.  Such an expression is < bound for every thread of blocks
+// 0..K-1 and can diverge only in trailing blocks.
+func isGlobalID(p Poly) bool {
+	ct, rest1, ok := p.CoeffOf(SymTx)
+	if !ok {
+		return false
+	}
+	c, isConst := ct.IsConst()
+	if !isConst || c <= 0 {
+		return false
+	}
+	cb, rest2, ok := rest1.CoeffOf(SymBx)
+	if !ok {
+		return false
+	}
+	// coeff(bx) must equal coeff(tx) * blockDim.x.
+	if !cb.Equal(Const(c).Mul(Var(SymBdx))) {
+		return false
+	}
+	// Remaining terms must be uniform.
+	if rest2.HasThread() || rest2.HasBlock() || rest2.HasLoopVar() {
+		return false
+	}
+	return true
+}
+
+// loopInfo describes one enclosing loop at a write site.
+type loopInfo struct {
+	sym        Sym
+	count      Poly // trip count (iterations), uniform
+	analyzable bool
+	detail     string
+	// lo is the range start of the loop symbol (non-zero for block-stride
+	// loops, whose symbol ranges over [lo, lo+count) directly).
+	lo Poly
+}
+
+func (a *analyzer) freshLoopSym() Sym {
+	a.loopCounter++
+	return Sym(fmt.Sprintf("L%d", a.loopCounter))
+}

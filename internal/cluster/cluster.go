@@ -1,0 +1,339 @@
+// Package cluster implements the simulated distributed-memory CPU cluster
+// CuCC executes on: N nodes, each with a private linear byte-addressed
+// memory, a hardware model (internal/machine), a simulated clock, and a
+// message transport to its peers.
+//
+// Memory really is private per node — nothing is shared — so any
+// consistency bug in the runtime shows up as wrong data, exactly as on the
+// paper's physical clusters.  Buffers are allocated at identical offsets on
+// every node, mirroring the symmetric heaps of MPI/PGAS runtimes.
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"cucc/internal/comm"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/simnet"
+	"cucc/internal/transport"
+)
+
+// Transport selects how node messages travel.
+type Transport uint8
+
+const (
+	// Inproc uses in-memory mailboxes (default; deterministic and fast).
+	Inproc Transport = iota
+	// TCP uses loopback sockets (stdlib net): the realcluster mode that
+	// exercises actual framing, dials, and kernel-buffer copies.
+	TCP
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the node count.
+	Nodes int
+	// Machine is the per-node hardware model.
+	Machine machine.CPU
+	// Net is the interconnect cost model.
+	Net simnet.Model
+	// Transport selects the message transport (Inproc default).
+	Transport Transport
+	// MaxBytesPerNode caps each node's memory (0 = unlimited); Alloc
+	// panics past the cap, catching accidental paper-scale allocations
+	// that should have used virtual buffers and Estimate.
+	MaxBytesPerNode int
+}
+
+// network abstracts the two transport constructors.
+type network interface {
+	Conn(r int) transport.Conn
+	Close()
+}
+
+// Cluster is a set of nodes plus their interconnect.
+type Cluster struct {
+	cfg     Config
+	nodes   []*Node
+	network network
+	heapEnd int
+}
+
+// Node is one cluster node.
+type Node struct {
+	Rank int
+	mem  []byte
+	// Clock is the node's simulated time in seconds.
+	Clock float64
+	// Comm accumulates the node's sent traffic.
+	Comm comm.Stats
+}
+
+// Buffer names a region allocated at the same offset on every node.
+type Buffer struct {
+	Off   int
+	Elem  kir.ScalarType
+	Count int
+}
+
+// Bytes returns the byte length of the buffer.
+func (b Buffer) Bytes() int { return b.Count * b.Elem.Size() }
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.Nodes)
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		nodes: make([]*Node, cfg.Nodes),
+	}
+	switch cfg.Transport {
+	case TCP:
+		tn, err := transport.NewTCP(cfg.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.network = tn
+	default:
+		c.network = transport.NewInproc(cfg.Nodes)
+	}
+	for r := 0; r < cfg.Nodes; r++ {
+		c.nodes[r] = &Node{Rank: r}
+	}
+	return c, nil
+}
+
+// N returns the node count.
+func (c *Cluster) N() int { return c.cfg.Nodes }
+
+// Machine returns the per-node hardware model.
+func (c *Cluster) Machine() machine.CPU { return c.cfg.Machine }
+
+// Net returns the interconnect model.
+func (c *Cluster) Net() simnet.Model { return c.cfg.Net }
+
+// Node returns node r.
+func (c *Cluster) Node(r int) *Node { return c.nodes[r] }
+
+// Conn returns node r's transport endpoint.
+func (c *Cluster) Conn(r int) transport.Conn { return c.network.Conn(r) }
+
+// Close releases the cluster's transport.
+func (c *Cluster) Close() { c.network.Close() }
+
+// Alloc reserves a buffer of count elements at the same offset on every
+// node (zero-initialized), the analogue of cudaMalloc in the CuCC host API.
+func (c *Cluster) Alloc(elem kir.ScalarType, count int) Buffer {
+	b := Buffer{Off: c.heapEnd, Elem: elem, Count: count}
+	c.heapEnd += b.Bytes()
+	if c.cfg.MaxBytesPerNode > 0 && c.heapEnd > c.cfg.MaxBytesPerNode {
+		panic(fmt.Sprintf("cluster: allocation exceeds %d bytes per node (%d requested); use virtual buffers with Session.Estimate for paper-scale sweeps",
+			c.cfg.MaxBytesPerNode, c.heapEnd))
+	}
+	for _, n := range c.nodes {
+		if len(n.mem) < c.heapEnd {
+			grown := make([]byte, c.heapEnd)
+			copy(grown, n.mem)
+			n.mem = grown
+		}
+	}
+	return b
+}
+
+// Region returns node r's bytes for the buffer (aliasing the node memory).
+func (c *Cluster) Region(r int, b Buffer) []byte {
+	return c.nodes[r].mem[b.Off : b.Off+b.Bytes()]
+}
+
+// WriteAll copies identical bytes into the buffer on every node (the H2D
+// broadcast before kernel launch; all nodes start with identical copies).
+func (c *Cluster) WriteAll(b Buffer, data []byte) error {
+	if len(data) > b.Bytes() {
+		return fmt.Errorf("cluster: writing %d bytes into %d-byte buffer", len(data), b.Bytes())
+	}
+	for r := range c.nodes {
+		copy(c.Region(r, b), data)
+	}
+	return nil
+}
+
+// WriteAllF32 broadcasts float32 data into the buffer on every node.
+func (c *Cluster) WriteAllF32(b Buffer, data []float32) error {
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	return c.WriteAll(b, raw)
+}
+
+// WriteAllI32 broadcasts int32 data into the buffer on every node.
+func (c *Cluster) WriteAllI32(b Buffer, data []int32) error {
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], uint32(v))
+	}
+	return c.WriteAll(b, raw)
+}
+
+// ReadF32 decodes the buffer from node r (the D2H copy).
+func (c *Cluster) ReadF32(r int, b Buffer) []float32 {
+	raw := c.Region(r, b)
+	out := make([]float32, b.Count)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+// ReadI32 decodes the buffer from node r.
+func (c *Cluster) ReadI32(r int, b Buffer) []int32 {
+	raw := c.Region(r, b)
+	out := make([]int32, b.Count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+// VerifyIdentical checks that the buffer holds identical bytes on every
+// node: the consistency invariant the three-phase workflow must restore
+// after every kernel.
+func (c *Cluster) VerifyIdentical(b Buffer) error {
+	ref := c.Region(0, b)
+	for r := 1; r < c.N(); r++ {
+		if !bytes.Equal(ref, c.Region(r, b)) {
+			for i := range ref {
+				if ref[i] != c.Region(r, b)[i] {
+					return fmt.Errorf("cluster: buffer@%d diverges between node 0 and node %d at byte %d", b.Off, r, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunParallel executes fn concurrently on every node (one goroutine per
+// rank, each with its transport endpoint) and joins the errors.
+func (c *Cluster) RunParallel(fn func(rank int, conn transport.Conn) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, c.N())
+	for r := 0; r < c.N(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r, c.network.Conn(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("node %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// SyncClocksMax sets every node clock to the cluster-wide maximum plus dt
+// (the semantics of a synchronizing collective costing dt).
+func (c *Cluster) SyncClocksMax(dt float64) {
+	maxClock := 0.0
+	for _, n := range c.nodes {
+		if n.Clock > maxClock {
+			maxClock = n.Clock
+		}
+	}
+	for _, n := range c.nodes {
+		n.Clock = maxClock + dt
+	}
+}
+
+// BytesPerNode reports each node's allocated heap size.
+func (c *Cluster) BytesPerNode() int { return c.heapEnd }
+
+// MaxClock returns the largest node clock (the cluster makespan).
+func (c *Cluster) MaxClock() float64 {
+	m := 0.0
+	for _, n := range c.nodes {
+		if n.Clock > m {
+			m = n.Clock
+		}
+	}
+	return m
+}
+
+// ResetClocks zeroes all node clocks and communication counters.
+func (c *Cluster) ResetClocks() {
+	for _, n := range c.nodes {
+		n.Clock = 0
+		n.Comm = comm.Stats{}
+	}
+}
+
+// Mem builds an interp.Memory view of node r with the given buffers bound
+// to the kernel's pointer parameters (index = parameter position).
+func (c *Cluster) Mem(r int, binds map[int]Buffer) *NodeMem {
+	return &NodeMem{node: c.nodes[r], binds: binds}
+}
+
+// NodeMem adapts one node's private memory to the interpreter's Memory
+// interface.
+type NodeMem struct {
+	node  *Node
+	binds map[int]Buffer
+}
+
+var _ interp.Memory = (*NodeMem)(nil)
+
+func (m *NodeMem) buf(param int) Buffer {
+	b, ok := m.binds[param]
+	if !ok {
+		panic(fmt.Sprintf("cluster: no buffer bound to param %d", param))
+	}
+	return b
+}
+
+// Len implements interp.Memory.
+func (m *NodeMem) Len(param int) int { return m.buf(param).Count }
+
+// LoadF32 implements interp.Memory.
+func (m *NodeMem) LoadF32(param, idx int) float32 {
+	b := m.buf(param)
+	return math.Float32frombits(binary.LittleEndian.Uint32(m.node.mem[b.Off+4*idx:]))
+}
+
+// StoreF32 implements interp.Memory.
+func (m *NodeMem) StoreF32(param, idx int, v float32) {
+	b := m.buf(param)
+	binary.LittleEndian.PutUint32(m.node.mem[b.Off+4*idx:], math.Float32bits(v))
+}
+
+// LoadI32 implements interp.Memory.
+func (m *NodeMem) LoadI32(param, idx int) int32 {
+	b := m.buf(param)
+	return int32(binary.LittleEndian.Uint32(m.node.mem[b.Off+4*idx:]))
+}
+
+// StoreI32 implements interp.Memory.
+func (m *NodeMem) StoreI32(param, idx int, v int32) {
+	b := m.buf(param)
+	binary.LittleEndian.PutUint32(m.node.mem[b.Off+4*idx:], uint32(v))
+}
+
+// LoadU8 implements interp.Memory.
+func (m *NodeMem) LoadU8(param, idx int) byte {
+	b := m.buf(param)
+	return m.node.mem[b.Off+idx]
+}
+
+// StoreU8 implements interp.Memory.
+func (m *NodeMem) StoreU8(param, idx int, v byte) {
+	b := m.buf(param)
+	m.node.mem[b.Off+idx] = v
+}

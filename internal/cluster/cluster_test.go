@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"testing"
+
+	"cucc/internal/comm"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/simnet"
+	"cucc/internal/transport"
+)
+
+func newTestCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Nodes: n, Machine: machine.Intel6226(), Net: simnet.IB100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestAllocSameOffsets(t *testing.T) {
+	c := newTestCluster(t, 4)
+	a := c.Alloc(kir.F32, 100)
+	b := c.Alloc(kir.U8, 13)
+	d := c.Alloc(kir.I32, 7)
+	if a.Off != 0 || b.Off != 400 || d.Off != 413 {
+		t.Errorf("offsets = %d/%d/%d, want 0/400/413", a.Off, b.Off, d.Off)
+	}
+	if d.Bytes() != 28 {
+		t.Errorf("d.Bytes() = %d, want 28", d.Bytes())
+	}
+	for r := 0; r < 4; r++ {
+		if got := len(c.Region(r, d)); got != 28 {
+			t.Errorf("node %d region length = %d", r, got)
+		}
+	}
+}
+
+func TestWriteAllReadBack(t *testing.T) {
+	c := newTestCluster(t, 3)
+	b := c.Alloc(kir.F32, 8)
+	data := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := c.WriteAllF32(b, data); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		got := c.ReadF32(r, b)
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("node %d: [%d] = %g, want %g", r, i, got[i], data[i])
+			}
+		}
+	}
+	if err := c.VerifyIdentical(b); err != nil {
+		t.Errorf("VerifyIdentical: %v", err)
+	}
+}
+
+func TestVerifyIdenticalDetectsDivergence(t *testing.T) {
+	c := newTestCluster(t, 2)
+	b := c.Alloc(kir.I32, 4)
+	if err := c.WriteAllI32(b, []int32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt node 1 privately.
+	c.Region(1, b)[5] = 0xFF
+	if err := c.VerifyIdentical(b); err == nil {
+		t.Error("divergent memory not detected")
+	}
+}
+
+func TestMemoryIsolation(t *testing.T) {
+	c := newTestCluster(t, 2)
+	b := c.Alloc(kir.F32, 4)
+	m0 := c.Mem(0, map[int]Buffer{0: b})
+	m1 := c.Mem(1, map[int]Buffer{0: b})
+	m0.StoreF32(0, 2, 42)
+	if m1.LoadF32(0, 2) == 42 {
+		t.Fatal("node memories are shared; they must be private")
+	}
+	if m0.LoadF32(0, 2) != 42 {
+		t.Fatal("node 0 lost its own write")
+	}
+}
+
+func TestNodeMemTypes(t *testing.T) {
+	c := newTestCluster(t, 1)
+	f := c.Alloc(kir.F32, 2)
+	i := c.Alloc(kir.I32, 2)
+	u := c.Alloc(kir.U8, 2)
+	m := c.Mem(0, map[int]Buffer{0: f, 1: i, 2: u})
+	m.StoreF32(0, 1, 2.5)
+	m.StoreI32(1, 0, -7)
+	m.StoreU8(2, 1, 200)
+	if m.LoadF32(0, 1) != 2.5 || m.LoadI32(1, 0) != -7 || m.LoadU8(2, 1) != 200 {
+		t.Error("typed load/store round-trip failed")
+	}
+	if m.Len(0) != 2 || m.Len(2) != 2 {
+		t.Error("Len mismatch")
+	}
+}
+
+func TestRunParallelAndAllgather(t *testing.T) {
+	const n = 4
+	c := newTestCluster(t, n)
+	b := c.Alloc(kir.U8, 4*16)
+	// Each node fills its own quarter, then an in-place Allgather makes
+	// the buffer identical everywhere.
+	err := c.RunParallel(func(rank int, conn transport.Conn) error {
+		region := c.Region(rank, b)
+		for i := 0; i < 16; i++ {
+			region[rank*16+i] = byte(rank + 1)
+		}
+		_, err := comm.AllgatherRing(conn, region, 16)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyIdentical(b); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Region(0, b)
+	for r := 0; r < n; r++ {
+		for i := 0; i < 16; i++ {
+			if got[r*16+i] != byte(r+1) {
+				t.Fatalf("byte %d = %d, want %d", r*16+i, got[r*16+i], r+1)
+			}
+		}
+	}
+}
+
+func TestClocks(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.Node(0).Clock = 1.0
+	c.Node(1).Clock = 3.0
+	c.Node(2).Clock = 2.0
+	if c.MaxClock() != 3.0 {
+		t.Errorf("MaxClock = %g", c.MaxClock())
+	}
+	c.SyncClocksMax(0.5)
+	for r := 0; r < 3; r++ {
+		if c.Node(r).Clock != 3.5 {
+			t.Errorf("node %d clock = %g, want 3.5", r, c.Node(r).Clock)
+		}
+	}
+	c.ResetClocks()
+	if c.MaxClock() != 0 {
+		t.Error("ResetClocks did not zero clocks")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); err == nil {
+		t.Error("zero-node cluster accepted")
+	}
+}
+
+func TestMemoryCapEnforced(t *testing.T) {
+	c, err := New(Config{Nodes: 2, Machine: machine.Intel6226(), Net: simnet.IB100(), MaxBytesPerNode: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Alloc(kir.F32, 128) // 512 bytes, fine
+	if got := c.BytesPerNode(); got != 512 {
+		t.Errorf("BytesPerNode = %d, want 512", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("over-cap allocation did not panic")
+		}
+	}()
+	c.Alloc(kir.F32, 1024) // 4 KiB, over the 1 KiB cap
+}

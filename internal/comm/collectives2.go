@@ -1,0 +1,209 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cucc/internal/transport"
+)
+
+// Additional collectives rounding out the runtime's mini-MPI.  CuCC's
+// three-phase workflow needs only Allgather, but the runtime library keeps
+// the standard family available for host-side reductions (e.g. the k-means
+// centroid update) and for alternative distribution strategies.
+
+const (
+	tagScatter = 10
+	tagAll2All = 11
+	tagRedScat = 12
+)
+
+// Scatter splits root's data into Size() equal chunks and delivers chunk r
+// to rank r; returns this rank's chunk.
+func Scatter(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
+	n := c.Size()
+	var st Stats
+	if c.Rank() == root {
+		if len(data)%n != 0 {
+			return nil, st, fmt.Errorf("comm: scatter payload %d not divisible by %d ranks", len(data), n)
+		}
+		chunk := len(data) / n
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			out := make([]byte, chunk)
+			copy(out, data[r*chunk:])
+			if err := c.Send(r, tagScatter, out); err != nil {
+				return nil, st, err
+			}
+			st.Msgs++
+			st.BytesSent += int64(chunk)
+		}
+		own := make([]byte, chunk)
+		copy(own, data[root*chunk:])
+		return own, st, nil
+	}
+	got, err := c.Recv(root, tagScatter)
+	return got, st, err
+}
+
+// Alltoall sends chunk r of this rank's buffer to rank r and returns the
+// received buffer (chunk r from rank r): the personalized exchange used by
+// redistribution strategies (e.g. distributed transpose).
+func Alltoall(c transport.Conn, data []byte) ([]byte, Stats, error) {
+	n := c.Size()
+	var st Stats
+	if len(data)%n != 0 {
+		return nil, st, fmt.Errorf("comm: alltoall payload %d not divisible by %d ranks", len(data), n)
+	}
+	chunk := len(data) / n
+	out := make([]byte, len(data))
+	copy(out[c.Rank()*chunk:], data[c.Rank()*chunk:(c.Rank()+1)*chunk])
+	// Pairwise exchange schedule: at step s exchange with rank^s when the
+	// size is a power of two, otherwise a simple (rank+s) ring schedule.
+	for s := 1; s < n; s++ {
+		peer := (c.Rank() + s) % n
+		from := (c.Rank() - s + n) % n
+		msg := make([]byte, chunk)
+		copy(msg, data[peer*chunk:(peer+1)*chunk])
+		if err := c.Send(peer, tagAll2All, msg); err != nil {
+			return nil, st, err
+		}
+		st.Msgs++
+		st.BytesSent += int64(chunk)
+		in, err := c.Recv(from, tagAll2All)
+		if err != nil {
+			return nil, st, err
+		}
+		if len(in) != chunk {
+			return nil, st, fmt.Errorf("comm: alltoall chunk mismatch: got %d, want %d", len(in), chunk)
+		}
+		copy(out[from*chunk:], in)
+	}
+	return out, st, nil
+}
+
+// GatherBytes collects every rank's (equal-length) buffer at root, in rank
+// order; nil on non-roots.
+func GatherBytes(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
+	n := c.Size()
+	var st Stats
+	if c.Rank() != root {
+		out := make([]byte, len(data))
+		copy(out, data)
+		err := c.Send(root, tagGather, out)
+		st.Msgs++
+		st.BytesSent += int64(len(data))
+		return nil, st, err
+	}
+	out := make([]byte, n*len(data))
+	copy(out[root*len(data):], data)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		in, err := c.Recv(r, tagGather)
+		if err != nil {
+			return nil, st, err
+		}
+		if len(in) != len(data) {
+			return nil, st, fmt.Errorf("comm: gather length mismatch from rank %d", r)
+		}
+		copy(out[r*len(in):], in)
+	}
+	return out, st, nil
+}
+
+// ReduceScatterSumF32 element-wise sums every rank's float32 vector and
+// scatters the result: rank r receives elements [r*len/n, (r+1)*len/n).
+// Implemented with the ring algorithm (n-1 steps, each reducing one chunk).
+func ReduceScatterSumF32(c transport.Conn, data []float32) ([]float32, Stats, error) {
+	n := c.Size()
+	var st Stats
+	if len(data)%n != 0 {
+		return nil, st, fmt.Errorf("comm: reduce-scatter length %d not divisible by %d ranks", len(data), n)
+	}
+	chunk := len(data) / n
+	if n == 1 {
+		out := make([]float32, chunk)
+		copy(out, data)
+		return out, st, nil
+	}
+	acc := make([]float32, len(data))
+	copy(acc, data)
+	r := c.Rank()
+	right := (r + 1) % n
+	left := (r - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendChunk := (r - step - 1 + n) % n
+		recvChunk := (r - step - 2 + n) % n
+		out := encodeF32(acc[sendChunk*chunk : (sendChunk+1)*chunk])
+		if err := c.Send(right, tagRedScat, out); err != nil {
+			return nil, st, err
+		}
+		st.Msgs++
+		st.BytesSent += int64(len(out))
+		in, err := c.Recv(left, tagRedScat)
+		if err != nil {
+			return nil, st, err
+		}
+		vals, err := decodeF32(in, chunk)
+		if err != nil {
+			return nil, st, err
+		}
+		for i, v := range vals {
+			acc[recvChunk*chunk+i] += v
+		}
+	}
+	// After n-1 steps this rank holds the fully reduced chunk r.
+	out := make([]float32, chunk)
+	copy(out, acc[r*chunk:(r+1)*chunk])
+	return out, st, nil
+}
+
+// AllReduceSumF32 sums float32 vectors across all ranks (reduce-scatter +
+// allgather), returning the full reduced vector on every rank.
+func AllReduceSumF32(c transport.Conn, data []float32) ([]float32, Stats, error) {
+	n := c.Size()
+	var st Stats
+	if n == 1 {
+		out := make([]float32, len(data))
+		copy(out, data)
+		return out, st, nil
+	}
+	mine, s1, err := ReduceScatterSumF32(c, data)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Add(s1)
+	buf := make([]byte, len(data)*4)
+	copy(buf[c.Rank()*len(mine)*4:], encodeF32(mine))
+	s2, err := AllgatherRing(c, buf, len(mine)*4)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Add(s2)
+	out, err := decodeF32(buf, len(data))
+	return out, st, err
+}
+
+func encodeF32(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+func decodeF32(b []byte, want int) ([]float32, error) {
+	if len(b) != 4*want {
+		return nil, fmt.Errorf("comm: float payload is %d bytes, want %d", len(b), 4*want)
+	}
+	out := make([]float32, want)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cucc/internal/transport"
+)
+
+func TestScatter(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			const chunk = 16
+			payload := make([]byte, n*chunk)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			runAll(t, n, func(c transport.Conn) error {
+				var data []byte
+				if c.Rank() == 1%n {
+					data = payload
+				}
+				got, _, err := Scatter(c, 1%n, data)
+				if err != nil {
+					return err
+				}
+				want := payload[c.Rank()*chunk : (c.Rank()+1)*chunk]
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("rank %d got %v, want %v", c.Rank(), got[:4], want[:4])
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestScatterIndivisible(t *testing.T) {
+	runAll(t, 2, func(c transport.Conn) error {
+		if c.Rank() == 0 {
+			if _, _, err := Scatter(c, 0, make([]byte, 7)); err == nil {
+				return fmt.Errorf("indivisible scatter accepted")
+			}
+			// Unblock rank 1 which is waiting for its chunk.
+			return c.Send(1, tagScatter, []byte{0})
+		}
+		_, _, err := Scatter(c, 0, nil)
+		return err
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			const chunk = 8
+			runAll(t, n, func(c transport.Conn) error {
+				data := make([]byte, n*chunk)
+				for peer := 0; peer < n; peer++ {
+					for i := 0; i < chunk; i++ {
+						data[peer*chunk+i] = byte(c.Rank()*16 + peer)
+					}
+				}
+				got, _, err := Alltoall(c, data)
+				if err != nil {
+					return err
+				}
+				for from := 0; from < n; from++ {
+					for i := 0; i < chunk; i++ {
+						want := byte(from*16 + c.Rank())
+						if got[from*chunk+i] != want {
+							return fmt.Errorf("rank %d chunk %d byte %d = %d, want %d",
+								c.Rank(), from, i, got[from*chunk+i], want)
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGatherBytes(t *testing.T) {
+	const n, chunk = 4, 8
+	runAll(t, n, func(c transport.Conn) error {
+		data := make([]byte, chunk)
+		for i := range data {
+			data[i] = byte(c.Rank()*10 + i)
+		}
+		got, _, err := GatherBytes(c, 2, data)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			if got != nil {
+				return fmt.Errorf("non-root received data")
+			}
+			return nil
+		}
+		for r := 0; r < n; r++ {
+			for i := 0; i < chunk; i++ {
+				if got[r*chunk+i] != byte(r*10+i) {
+					return fmt.Errorf("gathered[%d][%d] = %d", r, i, got[r*chunk+i])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestReduceScatterSumF32(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			const perChunk = 4
+			total := n * perChunk
+			runAll(t, n, func(c transport.Conn) error {
+				data := make([]float32, total)
+				for i := range data {
+					data[i] = float32(c.Rank() + i)
+				}
+				got, _, err := ReduceScatterSumF32(c, data)
+				if err != nil {
+					return err
+				}
+				// Sum over ranks of (rank + i) = n*i + n(n-1)/2.
+				for j, v := range got {
+					i := c.Rank()*perChunk + j
+					want := float32(n*i + n*(n-1)/2)
+					if v != want {
+						return fmt.Errorf("rank %d out[%d] = %g, want %g", c.Rank(), j, v, want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAllReduceSumF32(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			total := n * 8
+			runAll(t, n, func(c transport.Conn) error {
+				data := make([]float32, total)
+				for i := range data {
+					data[i] = float32(i) * 0.5
+				}
+				got, _, err := AllReduceSumF32(c, data)
+				if err != nil {
+					return err
+				}
+				for i, v := range got {
+					want := float32(i) * 0.5 * float32(n)
+					if math.Abs(float64(v-want)) > 1e-4 {
+						return fmt.Errorf("out[%d] = %g, want %g", i, v, want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestEncodeDecodeF32(t *testing.T) {
+	in := []float32{1.5, -2.25, 0, 3e7}
+	out, err := decodeF32(encodeF32(in), len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("round trip [%d]: %g != %g", i, out[i], in[i])
+		}
+	}
+	if _, err := decodeF32(make([]byte, 7), 2); err == nil {
+		t.Error("bad payload length accepted")
+	}
+}
+
+// Property: AllgatherVRing reassembles arbitrary chunk layouts correctly.
+func TestAllgatherVRingProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		rng := rand.New(rand.NewSource(seed))
+		offs := make([]int, n+1)
+		for r := 0; r < n; r++ {
+			offs[r+1] = offs[r] + rng.Intn(50)
+		}
+		total := offs[n]
+		ok := true
+		runAll(t, n, func(c transport.Conn) error {
+			buf := make([]byte, total)
+			r := c.Rank()
+			for i := offs[r]; i < offs[r+1]; i++ {
+				buf[i] = byte(r + 1)
+			}
+			if _, err := AllgatherVRing(c, buf, offs); err != nil {
+				return err
+			}
+			for rr := 0; rr < n; rr++ {
+				for i := offs[rr]; i < offs[rr+1]; i++ {
+					if buf[i] != byte(rr+1) {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Alltoall is an involution-like exchange — applying it twice
+// with the output restores each rank's view of its own chunks.
+func TestAlltoallRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		const chunk = 8
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]byte, n)
+		for r := range inputs {
+			inputs[r] = make([]byte, n*chunk)
+			rng.Read(inputs[r])
+		}
+		ok := true
+		runAll(t, n, func(c transport.Conn) error {
+			once, _, err := Alltoall(c, inputs[c.Rank()])
+			if err != nil {
+				return err
+			}
+			twice, _, err := Alltoall(c, once)
+			if err != nil {
+				return err
+			}
+			// Chunk p of twice = chunk rank of rank p's once = chunk rank
+			// of (chunk p of rank rank's input)... round trip: twice must
+			// equal the original input.
+			if !bytes.Equal(twice, inputs[c.Rank()]) {
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

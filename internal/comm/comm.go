@@ -1,0 +1,331 @@
+// Package comm implements the collective communication operations of the
+// CuCC runtime library over a point-to-point transport: the mini-MPI of
+// this repository.
+//
+// The central operation is the balanced-in-place ring Allgather the paper's
+// three-phase workflow relies on (§2.3, §4); the package also provides the
+// out-of-place and imbalanced (vector) variants evaluated in the Figure 3
+// ablation, recursive doubling, broadcast, barrier, and reductions.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cucc/internal/transport"
+)
+
+// Tags separate the message streams of different collective operations.
+const (
+	tagBarrier = 1
+	tagBcast   = 2
+	tagGather  = 3
+	tagRing    = 4
+	tagReduce  = 5
+	tagP2P     = 6
+)
+
+// Stats counts the traffic one rank sent during a collective.
+type Stats struct {
+	Msgs      int64
+	BytesSent int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Msgs += o.Msgs
+	s.BytesSent += o.BytesSent
+}
+
+// Send is a tracked point-to-point send.
+func Send(c transport.Conn, to int, data []byte) (Stats, error) {
+	err := c.Send(to, tagP2P, data)
+	return Stats{Msgs: 1, BytesSent: int64(len(data))}, err
+}
+
+// Recv is the matching point-to-point receive.
+func Recv(c transport.Conn, from int) ([]byte, error) {
+	return c.Recv(from, tagP2P)
+}
+
+// Barrier is a dissemination barrier: ceil(log2 N) rounds, each rank
+// signaling rank (r + 2^k) mod N.
+func Barrier(c transport.Conn) (Stats, error) {
+	n := c.Size()
+	var st Stats
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.Rank() + dist) % n
+		from := (c.Rank() - dist + n) % n
+		if err := c.Send(to, tagBarrier, nil); err != nil {
+			return st, err
+		}
+		st.Msgs++
+		if _, err := c.Recv(from, tagBarrier); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns the received copy.
+func Bcast(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
+	n := c.Size()
+	var st Stats
+	if n == 1 {
+		return data, st, nil
+	}
+	// Relative rank with root at 0.  Non-roots receive from the rank that
+	// differs in their lowest set bit; everyone then forwards to the ranks
+	// below that bit.
+	rel := (c.Rank() - root + n) % n
+	firstMask := 1
+	for firstMask < n {
+		firstMask *= 2
+	}
+	firstMask /= 2
+	if rel != 0 {
+		lowest := rel & -rel
+		from := ((rel - lowest) + root) % n
+		got, err := c.Recv(from, tagBcast)
+		if err != nil {
+			return nil, st, err
+		}
+		data = got
+		firstMask = lowest / 2
+	}
+	for mask := firstMask; mask > 0; mask /= 2 {
+		if rel+mask < n {
+			to := ((rel + mask) + root) % n
+			if err := c.Send(to, tagBcast, data); err != nil {
+				return nil, st, err
+			}
+			st.Msgs++
+			st.BytesSent += int64(len(data))
+		}
+	}
+	return data, st, nil
+}
+
+// AllgatherRing performs the balanced in-place ring Allgather: buf holds
+// Size() equal chunks of chunkBytes; on entry each rank's own chunk
+// (index Rank()) is valid; on exit all chunks are valid on every rank.
+func AllgatherRing(c transport.Conn, buf []byte, chunkBytes int) (Stats, error) {
+	n := c.Size()
+	var st Stats
+	if chunkBytes == 0 || n == 1 {
+		return st, nil
+	}
+	if len(buf) != n*chunkBytes {
+		return st, fmt.Errorf("comm: allgather buffer is %d bytes, want %d chunks of %d", len(buf), n, chunkBytes)
+	}
+	r := c.Rank()
+	right := (r + 1) % n
+	left := (r - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendChunk := (r - step + n) % n
+		recvChunk := (r - step - 1 + n) % n
+		out := make([]byte, chunkBytes)
+		copy(out, buf[sendChunk*chunkBytes:(sendChunk+1)*chunkBytes])
+		if err := c.Send(right, tagRing, out); err != nil {
+			return st, err
+		}
+		st.Msgs++
+		st.BytesSent += int64(chunkBytes)
+		in, err := c.Recv(left, tagRing)
+		if err != nil {
+			return st, err
+		}
+		if len(in) != chunkBytes {
+			return st, fmt.Errorf("comm: allgather chunk size mismatch: got %d, want %d", len(in), chunkBytes)
+		}
+		copy(buf[recvChunk*chunkBytes:], in)
+	}
+	return st, nil
+}
+
+// AllgatherVRing is the imbalanced (vector) ring Allgather: offs has
+// Size()+1 entries; rank i's chunk is buf[offs[i]:offs[i+1]].
+func AllgatherVRing(c transport.Conn, buf []byte, offs []int) (Stats, error) {
+	n := c.Size()
+	var st Stats
+	if n == 1 {
+		return st, nil
+	}
+	if len(offs) != n+1 {
+		return st, fmt.Errorf("comm: allgatherv needs %d offsets, got %d", n+1, len(offs))
+	}
+	if offs[n] > len(buf) {
+		return st, fmt.Errorf("comm: allgatherv offsets exceed buffer (%d > %d)", offs[n], len(buf))
+	}
+	r := c.Rank()
+	right := (r + 1) % n
+	left := (r - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendChunk := (r - step + n) % n
+		recvChunk := (r - step - 1 + n) % n
+		chunk := buf[offs[sendChunk]:offs[sendChunk+1]]
+		out := make([]byte, len(chunk))
+		copy(out, chunk)
+		if err := c.Send(right, tagRing, out); err != nil {
+			return st, err
+		}
+		st.Msgs++
+		st.BytesSent += int64(len(out))
+		in, err := c.Recv(left, tagRing)
+		if err != nil {
+			return st, err
+		}
+		want := offs[recvChunk+1] - offs[recvChunk]
+		if len(in) != want {
+			return st, fmt.Errorf("comm: allgatherv chunk %d size mismatch: got %d, want %d", recvChunk, len(in), want)
+		}
+		copy(buf[offs[recvChunk]:], in)
+	}
+	return st, nil
+}
+
+// AllgatherOutOfPlace gathers each rank's `in` into `out` (len(in) *
+// Size() bytes): the out-of-place variant of Figure 3, which additionally
+// pays a local copy of the rank's own contribution.
+func AllgatherOutOfPlace(c transport.Conn, in, out []byte) (Stats, error) {
+	n := c.Size()
+	chunk := len(in)
+	if len(out) != n*chunk {
+		return Stats{}, fmt.Errorf("comm: out buffer is %d bytes, want %d", len(out), n*chunk)
+	}
+	copy(out[c.Rank()*chunk:], in)
+	return AllgatherRing(c, out, chunk)
+}
+
+// AllgatherRecDouble is the recursive-doubling Allgather for power-of-two
+// rank counts (ablation partner of the ring algorithm).
+func AllgatherRecDouble(c transport.Conn, buf []byte, chunkBytes int) (Stats, error) {
+	n := c.Size()
+	var st Stats
+	if chunkBytes == 0 || n == 1 {
+		return st, nil
+	}
+	if n&(n-1) != 0 {
+		return AllgatherRing(c, buf, chunkBytes) // fallback
+	}
+	if len(buf) != n*chunkBytes {
+		return st, fmt.Errorf("comm: allgather buffer is %d bytes, want %d chunks of %d", len(buf), n, chunkBytes)
+	}
+	r := c.Rank()
+	// At round k the rank owns the 2^k chunks of its aligned group.
+	for dist := 1; dist < n; dist *= 2 {
+		peer := r ^ dist
+		groupStart := (r / dist) * dist
+		own := buf[groupStart*chunkBytes : (groupStart+dist)*chunkBytes]
+		out := make([]byte, len(own))
+		copy(out, own)
+		if err := c.Send(peer, tagRing, out); err != nil {
+			return st, err
+		}
+		st.Msgs++
+		st.BytesSent += int64(len(out))
+		in, err := c.Recv(peer, tagRing)
+		if err != nil {
+			return st, err
+		}
+		peerStart := (peer / dist) * dist
+		copy(buf[peerStart*chunkBytes:], in)
+	}
+	return st, nil
+}
+
+// AllReduceMaxF64 returns the maximum of v across all ranks (used for
+// simulated-clock synchronization at collective boundaries).
+func AllReduceMaxF64(c transport.Conn, v float64) (float64, Stats, error) {
+	n := c.Size()
+	var st Stats
+	for dist := 1; dist < n; dist *= 2 {
+		peer := c.Rank() ^ dist
+		if peer >= n {
+			continue
+		}
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, math.Float64bits(v))
+		if err := c.Send(peer, tagReduce, out); err != nil {
+			return 0, st, err
+		}
+		st.Msgs++
+		st.BytesSent += 8
+		in, err := c.Recv(peer, tagReduce)
+		if err != nil {
+			return 0, st, err
+		}
+		pv := math.Float64frombits(binary.LittleEndian.Uint64(in))
+		if pv > v {
+			v = pv
+		}
+	}
+	// Non-power-of-two sizes need a final exchange through rank 0.
+	if n&(n-1) != 0 {
+		root := 0
+		if c.Rank() != root {
+			out := make([]byte, 8)
+			binary.LittleEndian.PutUint64(out, math.Float64bits(v))
+			if err := c.Send(root, tagReduce, out); err != nil {
+				return 0, st, err
+			}
+			st.Msgs++
+			st.BytesSent += 8
+			in, err := c.Recv(root, tagReduce)
+			if err != nil {
+				return 0, st, err
+			}
+			v = math.Float64frombits(binary.LittleEndian.Uint64(in))
+		} else {
+			for r := 1; r < n; r++ {
+				in, err := c.Recv(r, tagReduce)
+				if err != nil {
+					return 0, st, err
+				}
+				pv := math.Float64frombits(binary.LittleEndian.Uint64(in))
+				if pv > v {
+					v = pv
+				}
+			}
+			out := make([]byte, 8)
+			binary.LittleEndian.PutUint64(out, math.Float64bits(v))
+			for r := 1; r < n; r++ {
+				if err := c.Send(r, tagReduce, out); err != nil {
+					return 0, st, err
+				}
+				st.Msgs++
+				st.BytesSent += 8
+			}
+		}
+	}
+	return v, st, nil
+}
+
+// GatherF64 collects one float64 from every rank at root (nil elsewhere).
+func GatherF64(c transport.Conn, root int, v float64) ([]float64, Stats, error) {
+	n := c.Size()
+	var st Stats
+	if c.Rank() != root {
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, math.Float64bits(v))
+		err := c.Send(root, tagGather, out)
+		st.Msgs++
+		st.BytesSent += 8
+		return nil, st, err
+	}
+	vals := make([]float64, n)
+	vals[root] = v
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		in, err := c.Recv(r, tagGather)
+		if err != nil {
+			return nil, st, err
+		}
+		vals[r] = math.Float64frombits(binary.LittleEndian.Uint64(in))
+	}
+	return vals, st, nil
+}

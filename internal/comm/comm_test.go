@@ -1,0 +1,292 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cucc/internal/transport"
+)
+
+// runAll runs fn per rank over an in-process network.
+func runAll(t *testing.T, n int, fn func(c transport.Conn) error) {
+	t.Helper()
+	net := transport.NewInproc(n)
+	defer net.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(net.Conn(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func chunkFor(rank, chunk int) []byte {
+	out := make([]byte, chunk)
+	for i := range out {
+		out[i] = byte(rank*17 + i)
+	}
+	return out
+}
+
+func checkGathered(buf []byte, n, chunk int) error {
+	for r := 0; r < n; r++ {
+		want := chunkFor(r, chunk)
+		got := buf[r*chunk : (r+1)*chunk]
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("chunk %d corrupted: got %v, want %v", r, got[:4], want[:4])
+		}
+	}
+	return nil
+}
+
+func TestAllgatherRingSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			const chunk = 64
+			runAll(t, n, func(c transport.Conn) error {
+				buf := make([]byte, n*chunk)
+				copy(buf[c.Rank()*chunk:], chunkFor(c.Rank(), chunk))
+				st, err := AllgatherRing(c, buf, chunk)
+				if err != nil {
+					return err
+				}
+				if n > 1 && st.Msgs != int64(n-1) {
+					return fmt.Errorf("sent %d msgs, want %d", st.Msgs, n-1)
+				}
+				return checkGathered(buf, n, chunk)
+			})
+		})
+	}
+}
+
+func TestAllgatherRecDouble(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			const chunk = 48
+			runAll(t, n, func(c transport.Conn) error {
+				buf := make([]byte, n*chunk)
+				copy(buf[c.Rank()*chunk:], chunkFor(c.Rank(), chunk))
+				if _, err := AllgatherRecDouble(c, buf, chunk); err != nil {
+					return err
+				}
+				return checkGathered(buf, n, chunk)
+			})
+		})
+	}
+}
+
+func TestAllgatherRecDoubleFallback(t *testing.T) {
+	// Non-power-of-two falls back to the ring.
+	const n, chunk = 6, 32
+	runAll(t, n, func(c transport.Conn) error {
+		buf := make([]byte, n*chunk)
+		copy(buf[c.Rank()*chunk:], chunkFor(c.Rank(), chunk))
+		if _, err := AllgatherRecDouble(c, buf, chunk); err != nil {
+			return err
+		}
+		return checkGathered(buf, n, chunk)
+	})
+}
+
+func TestAllgatherVRing(t *testing.T) {
+	// Imbalanced chunks: rank r contributes (r+1)*8 bytes.
+	const n = 5
+	offs := make([]int, n+1)
+	for r := 0; r < n; r++ {
+		offs[r+1] = offs[r] + (r+1)*8
+	}
+	total := offs[n]
+	runAll(t, n, func(c transport.Conn) error {
+		buf := make([]byte, total)
+		r := c.Rank()
+		for i := offs[r]; i < offs[r+1]; i++ {
+			buf[i] = byte(r + 100)
+		}
+		if _, err := AllgatherVRing(c, buf, offs); err != nil {
+			return err
+		}
+		for rr := 0; rr < n; rr++ {
+			for i := offs[rr]; i < offs[rr+1]; i++ {
+				if buf[i] != byte(rr+100) {
+					return fmt.Errorf("byte %d = %d, want %d", i, buf[i], rr+100)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgatherOutOfPlace(t *testing.T) {
+	const n, chunk = 4, 40
+	runAll(t, n, func(c transport.Conn) error {
+		in := chunkFor(c.Rank(), chunk)
+		out := make([]byte, n*chunk)
+		if _, err := AllgatherOutOfPlace(c, in, out); err != nil {
+			return err
+		}
+		return checkGathered(out, n, chunk)
+	})
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		for root := 0; root < n; root += max(1, n/3) {
+			t.Run(fmt.Sprintf("n=%d root=%d", n, root), func(t *testing.T) {
+				payload := []byte("broadcast-payload")
+				runAll(t, n, func(c transport.Conn) error {
+					var data []byte
+					if c.Rank() == root {
+						data = payload
+					}
+					got, _, err := Bcast(c, root, data)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(got, payload) {
+						return fmt.Errorf("got %q", got)
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 13} {
+		runAll(t, n, func(c transport.Conn) error {
+			for i := 0; i < 3; i++ {
+				if _, err := Barrier(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllReduceMaxF64(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runAll(t, n, func(c transport.Conn) error {
+				v := float64(c.Rank() * 10)
+				got, _, err := AllReduceMaxF64(c, v)
+				if err != nil {
+					return err
+				}
+				want := float64((n - 1) * 10)
+				if got != want {
+					return fmt.Errorf("max = %g, want %g", got, want)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGatherF64(t *testing.T) {
+	const n = 6
+	runAll(t, n, func(c transport.Conn) error {
+		vals, _, err := GatherF64(c, 2, float64(c.Rank()+1))
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			if vals != nil {
+				return fmt.Errorf("non-root got values")
+			}
+			return nil
+		}
+		for r, v := range vals {
+			if v != float64(r+1) {
+				return fmt.Errorf("vals[%d] = %g", r, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSendRecvP2P(t *testing.T) {
+	runAll(t, 2, func(c transport.Conn) error {
+		if c.Rank() == 0 {
+			st, err := Send(c, 1, []byte("hello"))
+			if err != nil {
+				return err
+			}
+			if st.Msgs != 1 || st.BytesSent != 5 {
+				return fmt.Errorf("stats = %+v", st)
+			}
+			return nil
+		}
+		got, err := Recv(c, 0)
+		if err != nil {
+			return err
+		}
+		if string(got) != "hello" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	})
+}
+
+func TestAllgatherRingBadBuffer(t *testing.T) {
+	runAll(t, 2, func(c transport.Conn) error {
+		buf := make([]byte, 10) // not 2*chunk
+		if _, err := AllgatherRing(c, buf, 8); err == nil {
+			return fmt.Errorf("mismatched buffer accepted")
+		}
+		return nil
+	})
+}
+
+func TestAllgatherOverTCP(t *testing.T) {
+	// The same collective must work over real sockets.
+	const n, chunk = 4, 128
+	net, err := transport.NewTCP(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := net.Conn(r)
+			buf := make([]byte, n*chunk)
+			copy(buf[r*chunk:], chunkFor(r, chunk))
+			if _, err := AllgatherRing(c, buf, chunk); err != nil {
+				errs[r] = err
+				return
+			}
+			errs[r] = checkGathered(buf, n, chunk)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var s Stats
+	s.Add(Stats{Msgs: 2, BytesSent: 100})
+	s.Add(Stats{Msgs: 3, BytesSent: 50})
+	if s.Msgs != 5 || s.BytesSent != 150 {
+		t.Errorf("stats = %+v", s)
+	}
+}

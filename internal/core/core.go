@@ -1,0 +1,279 @@
+// Package core is the CuCC framework itself: the end-to-end compiler
+// driver (mini-CUDA source -> IR -> Allgather-distributable analysis ->
+// executable program) and the three-phase distributed runtime of the paper:
+//
+//  1. Partial block execution: each node runs a distinct contiguous range
+//     of GPU blocks against its private memory.
+//  2. Balanced-in-place Allgather: one collective per written buffer
+//     restores memory consistency across nodes.
+//  3. Callback block execution: deferred blocks (the tail-divergent block
+//     and the non-divisible remainder) run on every node identically.
+//
+// Kernels the analysis cannot prove distributable fall back to trivial
+// execution (every node runs every block), which is always correct.
+package core
+
+import (
+	"fmt"
+
+	"cucc/internal/analysis"
+	"cucc/internal/cluster"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/lang"
+	"cucc/internal/machine"
+	"cucc/internal/trace"
+)
+
+// KernelLaunchOverheadSec is the fixed host-side cost of one kernel launch
+// on the CPU runtime (thread-pool dispatch).
+const KernelLaunchOverheadSec = 10e-6
+
+// Program is a compiled kernel module plus its analysis metadata.
+type Program struct {
+	Module  *kir.Module
+	Meta    map[string]*analysis.Metadata
+	natives map[string]Native
+}
+
+// Native is a backend-generated (hand-written Go) implementation of a
+// kernel, registered alongside the IR.  RunBlock must be semantically
+// identical to interpreting the IR — the test suites cross-validate.
+type Native struct {
+	// RunBlock executes one GPU block.
+	RunBlock func(mem interp.Memory, args []interp.Value, grid, block interp.Dim3, bx, by int) error
+	// BlockWork returns the analytic per-block work for the cost model.
+	BlockWork func(args []interp.Value, grid, block interp.Dim3) machine.BlockWork
+}
+
+// Compile parses and analyzes kernel source, the analogue of the paper's
+// LLVM pipeline in Figure 6.
+func Compile(src string) (*Program, error) {
+	mod, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Program{
+		Module:  mod,
+		Meta:    analysis.AnalyzeModule(mod),
+		natives: map[string]Native{},
+	}, nil
+}
+
+// MustCompile is Compile that panics on error, for static suite sources.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RegisterNative attaches a native implementation to a kernel.
+func (p *Program) RegisterNative(kernel string, n Native) error {
+	if p.Module.Kernel(kernel) == nil {
+		return fmt.Errorf("core: no kernel %q", kernel)
+	}
+	p.natives[kernel] = n
+	return nil
+}
+
+// Kernel returns the named kernel's IR, or nil.
+func (p *Program) Kernel(name string) *kir.Kernel { return p.Module.Kernel(name) }
+
+// Arg is one kernel launch argument: a device buffer for pointer
+// parameters or a scalar value.
+type Arg struct {
+	Buf   *cluster.Buffer
+	Val   interp.Value
+	IsBuf bool
+}
+
+// BufArg wraps a buffer argument.
+func BufArg(b cluster.Buffer) Arg { return Arg{Buf: &b, IsBuf: true} }
+
+// IntArg wraps an integer scalar argument.
+func IntArg(v int64) Arg { return Arg{Val: interp.IntV(v)} }
+
+// FloatArg wraps a float scalar argument.
+func FloatArg(v float64) Arg { return Arg{Val: interp.FloatV(v)} }
+
+// LaunchSpec describes one kernel launch.
+type LaunchSpec struct {
+	Kernel string
+	Grid   interp.Dim3
+	Block  interp.Dim3
+	Args   []Arg
+	// SIMDFraction is the fraction of the kernel's flops the CPU backend
+	// vectorizes (1 = fully vectorizable).  Used only by the cost model
+	// when executing interpreted kernels; natives report their own split.
+	SIMDFraction float64
+	// ForceTrivial disables distribution (ablation/fallback testing).
+	ForceTrivial bool
+	// UseInterp forces the interpreter even when a native is registered.
+	UseInterp bool
+	// BlockSplit relaunches the kernel with each GPU block split into
+	// this many CPU-sized blocks (grid x split, block / split).  Valid
+	// only for kernels the analysis marks GIDOnly — the workload
+	// redistribution of paper §8.3, which lets programs with few blocks
+	// (e.g. EP's 512) fill large CPU clusters.
+	BlockSplit int
+	// Remainder selects how blocks that do not divide evenly across
+	// nodes are handled (RemainderCallback default).
+	Remainder RemainderStrategy
+}
+
+// RemainderStrategy selects the handling of the non-divisible block
+// remainder in the distributable path.
+type RemainderStrategy uint8
+
+const (
+	// RemainderCallback is the paper's design: the remainder (plus the
+	// tail-divergent block) is deferred to phase 3 and executed by every
+	// node after a balanced Allgather.  Simple and always balanced, but
+	// the callback blocks cost an extra scheduling wave on every node —
+	// the §7.2 Kmeans 16->32-node anomaly.
+	RemainderCallback RemainderStrategy = iota
+	// RemainderImbalanced distributes the remainder across the first
+	// nodes (some execute p+1 blocks) and synchronizes with an
+	// imbalanced Allgatherv instead.  Avoids the callback wave at the
+	// price of a slower collective (§2.3: balanced beats imbalanced).
+	// Only the tail-divergent block, if any, remains a callback.
+	RemainderImbalanced
+)
+
+// Stats reports one launch's execution.
+type Stats struct {
+	// Distributed reports whether the three-phase workflow was used.
+	Distributed bool
+	// TailDivergent mirrors the kernel metadata.
+	TailDivergent bool
+	// BlocksPerNode is the phase-1 block count per node (p_size).
+	BlocksPerNode int
+	// CallbackBlocks is the phase-3 block count (executed by all nodes).
+	CallbackBlocks int
+	// Phase1Sec, CommSec, CallbackSec are simulated phase times.
+	Phase1Sec   float64
+	CommSec     float64
+	CallbackSec float64
+	// TotalSec is the simulated makespan of the launch.
+	TotalSec float64
+	// CommBytesPerNode is the bytes each node contributed to Allgather.
+	CommBytesPerNode int64
+	// CommMsgs is the total messages sent cluster-wide.
+	CommMsgs int64
+	// Work is the measured/estimated per-block work.
+	Work machine.BlockWork
+}
+
+// Session executes programs on a cluster.
+type Session struct {
+	Cluster *cluster.Cluster
+	Prog    *Program
+	// Exec tunes node execution (SIMD, core caps).
+	Exec machine.ExecConfig
+	// Verify re-checks cross-node memory consistency after every launch.
+	Verify bool
+	// Trace, when non-nil, records a simulated-time timeline of every
+	// launch (see internal/trace).
+	Trace *trace.Recorder
+}
+
+// NewSession builds a session with default execution config.
+func NewSession(c *cluster.Cluster, p *Program) *Session {
+	return &Session{Cluster: c, Prog: p, Exec: machine.DefaultConfig()}
+}
+
+// launchState carries the resolved launch context.
+type launchState struct {
+	kernel  *kir.Kernel
+	md      *analysis.Metadata
+	spec    LaunchSpec
+	binds   map[int]cluster.Buffer
+	argVals []interp.Value
+	env     analysis.Env
+	native  *Native
+}
+
+func (s *Session) resolve(spec LaunchSpec) (*launchState, error) {
+	k := s.Prog.Kernel(spec.Kernel)
+	if k == nil {
+		return nil, fmt.Errorf("core: no kernel %q", spec.Kernel)
+	}
+	if len(spec.Args) != len(k.Params) {
+		return nil, fmt.Errorf("core: kernel %s takes %d args, got %d", k.Name, len(k.Params), len(spec.Args))
+	}
+	if spec.Grid.Count() <= 0 || spec.Block.Count() <= 0 {
+		return nil, fmt.Errorf("core: kernel %s: empty grid or block", k.Name)
+	}
+	md := s.Prog.Meta[spec.Kernel]
+	if spec.BlockSplit > 1 {
+		if md == nil || !md.GIDOnly {
+			return nil, fmt.Errorf("core: kernel %s is not GID-only; block splitting is unsafe", k.Name)
+		}
+		if spec.Grid.Y > 1 || spec.Block.Y > 1 {
+			return nil, fmt.Errorf("core: kernel %s: block splitting requires a 1D launch", k.Name)
+		}
+		if spec.Block.X%spec.BlockSplit != 0 {
+			return nil, fmt.Errorf("core: kernel %s: block size %d not divisible by split %d", k.Name, spec.Block.X, spec.BlockSplit)
+		}
+		spec.Grid.X *= spec.BlockSplit
+		spec.Block.X /= spec.BlockSplit
+	}
+	st := &launchState{
+		kernel:  k,
+		md:      md,
+		spec:    spec,
+		binds:   map[int]cluster.Buffer{},
+		argVals: make([]interp.Value, len(spec.Args)),
+	}
+	params := map[string]int64{}
+	for i, a := range spec.Args {
+		if a.IsBuf != k.Params[i].Pointer {
+			return nil, fmt.Errorf("core: kernel %s arg %d (%s): buffer/scalar mismatch", k.Name, i, k.Params[i].Name)
+		}
+		if a.IsBuf {
+			if a.Buf.Elem != k.Params[i].Elem {
+				return nil, fmt.Errorf("core: kernel %s arg %d (%s): buffer elem %s, param wants %s",
+					k.Name, i, k.Params[i].Name, a.Buf.Elem, k.Params[i].Elem)
+			}
+			st.binds[i] = *a.Buf
+		} else {
+			st.argVals[i] = a.Val
+			if k.Params[i].Elem.IsInteger() {
+				params[k.Params[i].Name] = a.Val.I
+			}
+		}
+	}
+	st.env = analysis.Env{
+		Bdx:    int64(spec.Block.X),
+		Bdy:    int64(max(spec.Block.Y, 1)),
+		Gdx:    int64(spec.Grid.X),
+		Gdy:    int64(max(spec.Grid.Y, 1)),
+		Params: params,
+	}
+	if n, ok := s.Prog.natives[spec.Kernel]; ok && !spec.UseInterp {
+		st.native = &n
+	}
+	return st, nil
+}
+
+// bufferRegion resolves a BufferMeta to (buffer, baseElem, unitElems).
+func (st *launchState) bufferRegion(bm analysis.BufferMeta) (cluster.Buffer, int64, int64, error) {
+	buf, ok := st.binds[bm.Param]
+	if !ok {
+		return cluster.Buffer{}, 0, 0, fmt.Errorf("core: kernel %s: no buffer bound to written param %s", st.kernel.Name, bm.ParamName)
+	}
+	base, err := bm.Base.Eval(st.env)
+	if err != nil {
+		return cluster.Buffer{}, 0, 0, err
+	}
+	unit, err := bm.UnitElems.Eval(st.env)
+	if err != nil {
+		return cluster.Buffer{}, 0, 0, err
+	}
+	if unit <= 0 {
+		return cluster.Buffer{}, 0, 0, fmt.Errorf("core: kernel %s: non-positive unit size %d for %s", st.kernel.Name, unit, bm.ParamName)
+	}
+	return buf, base, unit, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"cucc/internal/machine"
+)
+
+// Estimate computes the launch statistics of a kernel without executing it
+// or touching node memory.  It follows exactly the same path as Launch —
+// same block partitioning, same metadata-derived Allgather sizes, same
+// machine and network models — but takes the per-block work from the
+// registered native's analytic BlockWork instead of measuring it.
+//
+// Launch and Estimate return identical Stats whenever a native is
+// registered (tested); Estimate exists so the figure benchmarks can sweep
+// paper-scale problem sizes whose real data would not fit in this process.
+// Pointer arguments may therefore be "virtual" buffers: descriptors with
+// the right element type and count but no backing allocation.
+func (s *Session) Estimate(spec LaunchSpec) (*Stats, error) {
+	st, err := s.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	if st.native == nil {
+		return nil, fmt.Errorf("core: Estimate needs a registered native for kernel %q", spec.Kernel)
+	}
+	spec = st.spec // resolve may rewrite the launch geometry (BlockSplit)
+	c := s.Cluster
+	n := c.N()
+	totalBlocks := spec.Grid.Count()
+	md := st.md
+	perBlock := st.native.BlockWork(st.argVals, spec.Grid, spec.Block)
+
+	distributable := md != nil && md.Distributable && !spec.ForceTrivial && n > 1
+	if md != nil && md.TailDivergent && spec.Grid.Y > 1 {
+		distributable = false
+	}
+
+	stats := &Stats{Work: perBlock}
+	if !distributable {
+		stats.CallbackBlocks = totalBlocks
+		stats.CallbackSec = c.Machine().PhaseTime(totalBlocks, perBlock, s.execConfig(st))
+		stats.TotalSec = stats.CallbackSec + KernelLaunchOverheadSec
+		return stats, nil
+	}
+
+	tail := 0
+	if md.TailDivergent {
+		tail = 1
+		stats.TailDivergent = true
+	}
+	part := partitionBlocks(totalBlocks, tail, n, spec.Remainder)
+	callbacks := totalBlocks - part.distEnd
+	stats.Distributed = true
+	stats.BlocksPerNode = part.counts[0]
+	stats.CallbackBlocks = callbacks
+
+	if part.counts[0] > 0 {
+		stats.Phase1Sec = c.Machine().PhaseTime(part.counts[0], perBlock, s.execConfig(st))
+	}
+	commSec := 0.0
+	for _, bm := range md.Buffers {
+		buf, base, unit, err := st.bufferRegion(bm)
+		if err != nil {
+			return nil, err
+		}
+		if part.distEnd == 0 {
+			continue
+		}
+		if int(base)+int(unit)*part.distEnd > buf.Count {
+			return nil, fmt.Errorf("core: kernel %s writes past buffer %s (%d elems > %d)",
+				st.kernel.Name, bm.ParamName, int(base)+int(unit)*part.distEnd, buf.Count)
+		}
+		chunks := make([]int64, n)
+		for r := 0; r < n; r++ {
+			chunks[r] = int64(part.counts[r]) * unit * int64(bm.Elem.Size())
+		}
+		if part.balanced {
+			commSec += c.Net().RingAllgather(n, chunks[0])
+		} else {
+			commSec += c.Net().AllgatherV(chunks)
+		}
+		stats.CommBytesPerNode += chunks[0]
+		stats.CommMsgs += int64(n * (n - 1))
+	}
+	stats.CommSec = commSec
+
+	if callbacks > 0 {
+		stats.CallbackSec = c.Machine().PhaseTime(callbacks, perBlock, s.execConfig(st))
+	}
+	stats.TotalSec = stats.Phase1Sec + KernelLaunchOverheadSec + stats.CommSec + stats.CallbackSec
+	return stats, nil
+}
+
+// EstimateWork exposes the analytic per-block work of a registered native,
+// used by the GPU comparison figures.
+func (s *Session) EstimateWork(spec LaunchSpec) (machine.BlockWork, error) {
+	st, err := s.resolve(spec)
+	if err != nil {
+		return machine.BlockWork{}, err
+	}
+	if st.native == nil {
+		return machine.BlockWork{}, fmt.Errorf("core: no native registered for kernel %q", spec.Kernel)
+	}
+	return st.native.BlockWork(st.argVals, spec.Grid, spec.Block), nil
+}

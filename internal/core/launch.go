@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cucc/internal/trace"
+
+	"cucc/internal/analysis"
+	"cucc/internal/cluster"
+	"cucc/internal/comm"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/transport"
+)
+
+// Launch executes one kernel on the cluster using the three-phase workflow
+// when the kernel is Allgather distributable, and trivial replicated
+// execution otherwise.  It returns simulated-time statistics; the data in
+// the cluster's node memories is really computed and really synchronized.
+func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
+	st, err := s.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	spec = st.spec // resolve may rewrite the launch geometry (BlockSplit)
+	c := s.Cluster
+	n := c.N()
+	totalBlocks := spec.Grid.Count()
+	md := st.md
+
+	distributable := md != nil && md.Distributable && !spec.ForceTrivial && n > 1
+	// Tail divergence is defined over the flattened 1D grid.
+	if md != nil && md.TailDivergent && spec.Grid.Y > 1 {
+		distributable = false
+	}
+
+	stats := &Stats{Work: machine.BlockWork{}}
+	startClock := c.MaxClock()
+
+	if !distributable {
+		if err := s.runTrivial(st, stats); err != nil {
+			return nil, err
+		}
+		stats.TotalSec = c.MaxClock() - startClock
+		if s.Verify {
+			if err := s.verifyConsistency(st); err != nil {
+				return nil, err
+			}
+		}
+		return stats, nil
+	}
+
+	tail := 0
+	if md.TailDivergent {
+		tail = 1
+		stats.TailDivergent = true
+	}
+	part := partitionBlocks(totalBlocks, tail, n, spec.Remainder)
+	callbacks := totalBlocks - part.distEnd
+	stats.Distributed = true
+	stats.BlocksPerNode = part.counts[0]
+	stats.CallbackBlocks = callbacks
+
+	// Host-side launch overhead is paid once per launch on every node.
+	for rank := 0; rank < n; rank++ {
+		s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: KernelLaunchOverheadSec,
+			Node: rank, Phase: trace.PhaseLaunch, Kernel: st.kernel.Name})
+		c.Node(rank).Clock += KernelLaunchOverheadSec
+	}
+
+	// --- Phase 1: partial block execution ---
+	workPerNode := make([]machine.BlockWork, n)
+	if part.distEnd > 0 {
+		err := c.RunParallel(func(rank int, _ transport.Conn) error {
+			lo := part.starts[rank]
+			w, err := s.runBlocks(st, rank, lo, lo+part.counts[rank])
+			if err != nil {
+				return err
+			}
+			workPerNode[rank] = w
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Advance clocks by the modeled phase time.
+		for rank := 0; rank < n; rank++ {
+			cnt := part.counts[rank]
+			if cnt == 0 {
+				continue
+			}
+			per := workPerNode[rank].Scale(1 / float64(cnt))
+			dt := c.Machine().PhaseTime(cnt, per, s.execConfig(st))
+			s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: dt, Node: rank,
+				Phase: trace.PhasePartial, Kernel: st.kernel.Name,
+				Detail: fmt.Sprintf("%d blocks", cnt)})
+			c.Node(rank).Clock += dt
+			if rank == 0 {
+				stats.Phase1Sec = dt
+				stats.Work = per
+			}
+		}
+	}
+
+	// --- Phase 2: in-place Allgather per written buffer (balanced ring,
+	// or Allgatherv under the imbalanced remainder strategy) ---
+	commSec := 0.0
+	var commMsgs int64
+	for _, bm := range md.Buffers {
+		buf, base, unit, err := st.bufferRegion(bm)
+		if err != nil {
+			return nil, err
+		}
+		if part.distEnd == 0 {
+			continue
+		}
+		elem := bm.Elem.Size()
+		if int(base)+int(unit)*part.distEnd > buf.Count {
+			return nil, fmt.Errorf("core: kernel %s writes past buffer %s (%d elems > %d)",
+				st.kernel.Name, bm.ParamName, int(base)+int(unit)*part.distEnd, buf.Count)
+		}
+		regionStart := buf.Off + int(base)*elem
+		regionLen := int(unit) * part.distEnd * elem
+		// Byte offsets of each node's chunk within the region.
+		offs := make([]int, n+1)
+		chunks := make([]int64, n)
+		for r := 0; r < n; r++ {
+			chunks[r] = int64(part.counts[r]) * unit * int64(elem)
+			offs[r+1] = offs[r] + int(chunks[r])
+		}
+		var msgs int64
+		err = c.RunParallel(func(rank int, conn transport.Conn) error {
+			node := c.Node(rank)
+			region := nodeBytes(c, rank, regionStart, regionLen)
+			var cs comm.Stats
+			var err error
+			if part.balanced {
+				cs, err = comm.AllgatherRing(conn, region, int(chunks[0]))
+			} else {
+				cs, err = comm.AllgatherVRing(conn, region, offs)
+			}
+			if err != nil {
+				return err
+			}
+			node.Comm.Add(cs)
+			atomic.AddInt64(&msgs, cs.Msgs)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		commMsgs += msgs
+		if part.balanced {
+			commSec += c.Net().RingAllgather(n, chunks[0])
+		} else {
+			commSec += c.Net().AllgatherV(chunks)
+		}
+		stats.CommBytesPerNode += chunks[0]
+	}
+	// The Allgather synchronizes the nodes: clocks meet at the maximum,
+	// then all pay the collective cost.
+	s.emit(trace.Event{StartSec: c.MaxClock(), DurSec: commSec, Node: -1,
+		Phase: trace.PhaseAllgather, Kernel: st.kernel.Name,
+		Detail: fmt.Sprintf("%d bytes/node, %d msgs", stats.CommBytesPerNode, commMsgs)})
+	c.SyncClocksMax(commSec)
+	stats.CommSec = commSec
+	stats.CommMsgs = commMsgs
+
+	// --- Phase 3: callback block execution on every node ---
+	if callbacks > 0 {
+		cbWork := make([]machine.BlockWork, n)
+		err := c.RunParallel(func(rank int, _ transport.Conn) error {
+			w, err := s.runBlocks(st, rank, part.distEnd, totalBlocks)
+			if err != nil {
+				return err
+			}
+			cbWork[rank] = w
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for rank := 0; rank < n; rank++ {
+			per := cbWork[rank].Scale(1 / float64(callbacks))
+			dt := c.Machine().PhaseTime(callbacks, per, s.execConfig(st))
+			s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: dt, Node: rank,
+				Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
+				Detail: fmt.Sprintf("%d blocks", callbacks)})
+			c.Node(rank).Clock += dt
+			if rank == 0 {
+				stats.CallbackSec = dt
+			}
+		}
+	}
+
+	stats.TotalSec = c.MaxClock() - startClock
+	if s.Verify {
+		if err := s.verifyConsistency(st); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+// nodeBytes returns a slice of node r's raw memory as a byte-granular
+// region.
+func nodeBytes(c *cluster.Cluster, r, off, length int) []byte {
+	return c.Region(r, cluster.Buffer{Off: off, Elem: kir.U8, Count: length})
+}
+
+// partition describes how phase-1 blocks are assigned to nodes: node r
+// executes [starts[r], starts[r]+counts[r]); blocks [distEnd, total) are
+// callbacks.
+type partition struct {
+	starts, counts []int
+	distEnd        int
+	balanced       bool
+}
+
+// partitionBlocks splits the non-tail blocks across nodes under the chosen
+// remainder strategy.
+func partitionBlocks(total, tail, n int, strategy RemainderStrategy) partition {
+	distributable := total - tail
+	p := distributable / n
+	part := partition{starts: make([]int, n), counts: make([]int, n)}
+	switch strategy {
+	case RemainderImbalanced:
+		rem := distributable % n
+		off := 0
+		for r := 0; r < n; r++ {
+			cnt := p
+			if r < rem {
+				cnt++
+			}
+			part.starts[r] = off
+			part.counts[r] = cnt
+			off += cnt
+		}
+		part.distEnd = distributable
+		part.balanced = rem == 0
+	default:
+		for r := 0; r < n; r++ {
+			part.starts[r] = r * p
+			part.counts[r] = p
+		}
+		part.distEnd = n * p
+		part.balanced = true
+	}
+	return part
+}
+
+// runTrivial executes every block on every node (the correct fallback for
+// non-distributable kernels; paper §6.1 "trivial Allgather distributable").
+func (s *Session) runTrivial(st *launchState, stats *Stats) error {
+	c := s.Cluster
+	total := st.spec.Grid.Count()
+	stats.CallbackBlocks = total
+	works := make([]machine.BlockWork, c.N())
+	err := c.RunParallel(func(rank int, _ transport.Conn) error {
+		w, err := s.runBlocks(st, rank, 0, total)
+		if err != nil {
+			return err
+		}
+		works[rank] = w
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for rank := 0; rank < c.N(); rank++ {
+		per := works[rank].Scale(1 / float64(total))
+		dt := c.Machine().PhaseTime(total, per, s.execConfig(st))
+		s.emit(trace.Event{StartSec: c.Node(rank).Clock + KernelLaunchOverheadSec, DurSec: dt,
+			Node: rank, Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
+			Detail: fmt.Sprintf("trivial: all %d blocks", total)})
+		c.Node(rank).Clock += dt + KernelLaunchOverheadSec
+		if rank == 0 {
+			stats.CallbackSec = dt
+			stats.Work = per
+		}
+	}
+	return nil
+}
+
+// runBlocks executes the linearized block range [lo, hi) on one node and
+// returns the summed work.  Linearization is row-major over (by, bx),
+// matching the analysis' Linear2D convention.
+func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWork, error) {
+	c := s.Cluster
+	mem := c.Mem(rank, st.binds)
+	gdx := st.spec.Grid.X
+	var total machine.BlockWork
+	if st.native != nil {
+		perBlock := st.native.BlockWork(st.argVals, st.spec.Grid, st.spec.Block)
+		for l := lo; l < hi; l++ {
+			bx, by := l%gdx, l/gdx
+			if err := st.native.RunBlock(mem, st.argVals, st.spec.Grid, st.spec.Block, bx, by); err != nil {
+				return total, fmt.Errorf("kernel %s block (%d,%d): %w", st.kernel.Name, bx, by, err)
+			}
+			total.Add(perBlock)
+		}
+		return total, nil
+	}
+	l := &interp.Launch{
+		Kernel: st.kernel,
+		Grid:   st.spec.Grid,
+		Block:  st.spec.Block,
+		Args:   st.argVals,
+		Mem:    mem,
+	}
+	for li := lo; li < hi; li++ {
+		bx, by := li%gdx, li/gdx
+		w, err := interp.ExecBlock(l, bx, by)
+		if err != nil {
+			return total, err
+		}
+		total.Add(interpToBlockWork(w, st.spec.SIMDFraction))
+	}
+	return total, nil
+}
+
+// interpToBlockWork converts measured interpreter work into cost-model
+// work, splitting flops by the kernel's declared vectorizable fraction.
+func interpToBlockWork(w interp.Work, simdFraction float64) machine.BlockWork {
+	f := simdFraction
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	flops := float64(w.Flops)
+	return machine.BlockWork{
+		VecFlops:    flops * f,
+		SerialFlops: flops * (1 - f),
+		IntOps:      float64(w.IntOps),
+		Bytes:       float64(w.GlobalLoadBytes + w.GlobalStoreBytes),
+	}
+}
+
+// execConfig derives the machine execution config for a launch, estimating
+// the working set from the bound buffers.
+func (s *Session) execConfig(st *launchState) machine.ExecConfig {
+	cfg := s.Exec
+	if cfg.WorkingSetBytes == 0 {
+		ws := 0.0
+		for _, b := range st.binds {
+			ws += float64(b.Bytes())
+		}
+		cfg.WorkingSetBytes = ws
+	}
+	return cfg
+}
+
+// verifyConsistency checks the cross-node consistency invariant on every
+// buffer the kernel wrote (and, for safety, every bound buffer).
+func (s *Session) verifyConsistency(st *launchState) error {
+	for _, b := range st.binds {
+		if err := s.Cluster.VerifyIdentical(b); err != nil {
+			return fmt.Errorf("core: kernel %s violated consistency: %w", st.kernel.Name, err)
+		}
+	}
+	return nil
+}
+
+// Metadata returns the analysis result for a kernel.
+func (s *Session) Metadata(kernel string) *analysis.Metadata { return s.Prog.Meta[kernel] }
+
+// emit records a trace event when tracing is enabled.
+func (s *Session) emit(ev trace.Event) {
+	if s.Trace != nil {
+		s.Trace.Add(ev)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cucc/internal/cluster"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+)
+
+const gidOnlySrc = `
+__global__ void square(float* x, float* y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        y[id] = x[id] * x[id];
+}
+`
+
+func TestGIDOnlyDetection(t *testing.T) {
+	prog := MustCompile(gidOnlySrc + `
+__global__ void direct(float* y) {
+    y[blockIdx.x] = (float)threadIdx.x;
+}
+__global__ void sharedmem(float* y, int n) {
+    __shared__ float buf[32];
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    buf[threadIdx.x] = 1.0f;
+    __syncthreads();
+    if (id < n) y[id] = buf[0];
+}`)
+	if !prog.Meta["square"].GIDOnly {
+		t.Error("square should be GID-only")
+	}
+	if prog.Meta["direct"].GIDOnly {
+		t.Error("direct uses blockIdx/threadIdx separately; not GID-only")
+	}
+	if prog.Meta["sharedmem"].GIDOnly {
+		t.Error("shared-memory kernel must not be GID-only (block-sized arrays)")
+	}
+}
+
+func TestBlockSplitCorrectness(t *testing.T) {
+	prog := MustCompile(gidOnlySrc)
+	run := func(split int) []byte {
+		c := newCluster(t, 4)
+		const n = 2000
+		xs := make([]float32, 2048)
+		for i := range xs {
+			xs[i] = float32(i) * 0.5
+		}
+		x := c.Alloc(kir.F32, 2048)
+		y := c.Alloc(kir.F32, 2048)
+		c.WriteAllF32(x, xs)
+		sess := NewSession(c, prog)
+		sess.Verify = true
+		stats, err := sess.Launch(LaunchSpec{
+			Kernel:     "square",
+			Grid:       interp.Dim1(8),
+			Block:      interp.Dim1(256),
+			Args:       []Arg{BufArg(x), BufArg(y), IntArg(n)},
+			BlockSplit: split,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if split > 1 && stats.BlocksPerNode == 0 {
+			t.Errorf("split=%d produced no distributed blocks", split)
+		}
+		out := make([]byte, y.Bytes())
+		copy(out, c.Region(0, y))
+		return out
+	}
+	base := run(1)
+	for _, split := range []int{2, 4, 8} {
+		if got := run(split); !bytes.Equal(got, base) {
+			t.Errorf("split=%d output differs from unsplit", split)
+		}
+	}
+}
+
+func TestBlockSplitImprovesUtilization(t *testing.T) {
+	// 8 blocks on a 24-core node underuse it; splitting by 4 fills cores.
+	prog := MustCompile(gidOnlySrc)
+	time := func(split int) float64 {
+		c := newCluster(t, 1)
+		x := c.Alloc(kir.F32, 2048)
+		y := c.Alloc(kir.F32, 2048)
+		sess := NewSession(c, prog)
+		stats, err := sess.Launch(LaunchSpec{
+			Kernel:       "square",
+			Grid:         interp.Dim1(8),
+			Block:        interp.Dim1(256),
+			Args:         []Arg{BufArg(x), BufArg(y), IntArg(2048)},
+			SIMDFraction: 0.05,
+			BlockSplit:   split,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.TotalSec
+	}
+	if t4, t1 := time(4), time(1); t4 >= t1 {
+		t.Errorf("split did not help: %g vs %g", t4, t1)
+	}
+}
+
+func TestBlockSplitValidation(t *testing.T) {
+	prog := MustCompile(gidOnlySrc + `
+__global__ void direct(float* y) {
+    y[blockIdx.x] = (float)threadIdx.x;
+}`)
+	c := newCluster(t, 2)
+	y := c.Alloc(kir.F32, 4096)
+	sess := NewSession(c, prog)
+	// Non-GID-only kernel.
+	if _, err := sess.Launch(LaunchSpec{
+		Kernel: "direct", Grid: interp.Dim1(8), Block: interp.Dim1(256),
+		Args: []Arg{BufArg(y)}, BlockSplit: 2,
+	}); err == nil {
+		t.Error("split accepted on non-GID-only kernel")
+	}
+	// Non-divisible block size.
+	x := c.Alloc(kir.F32, 2048)
+	if _, err := sess.Launch(LaunchSpec{
+		Kernel: "square", Grid: interp.Dim1(8), Block: interp.Dim1(256),
+		Args: []Arg{BufArg(x), BufArg(y), IntArg(100)}, BlockSplit: 7,
+	}); err == nil {
+		t.Error("split accepted with non-divisible block size")
+	}
+}
+
+func TestClusterOverTCPTransport(t *testing.T) {
+	// The full three-phase workflow over real loopback sockets.
+	prog := MustCompile(vecCopySrc)
+	c, err := cluster.New(cluster.Config{
+		Nodes: 3, Machine: clusterMachine(), Net: clusterNet(), Transport: cluster.TCP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const N = 1200
+	src := c.Alloc(kir.U8, N)
+	dest := c.Alloc(kir.U8, N)
+	data := make([]byte, N)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	c.WriteAll(src, data)
+	sess := NewSession(c, prog)
+	sess.Verify = true
+	stats, err := sess.Launch(LaunchSpec{
+		Kernel: "vec_copy",
+		Grid:   interp.Dim1(5),
+		Block:  interp.Dim1(256),
+		Args:   []Arg{BufArg(src), BufArg(dest), IntArg(N)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Distributed {
+		t.Error("TCP-backed launch was not distributed")
+	}
+	got := c.Region(0, dest)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("dest[%d] = %d, want %d", i, got[i], data[i])
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"cucc/internal/gpu"
+	"cucc/internal/machine"
+	"cucc/internal/suites"
+)
+
+// WriteCSVs regenerates every figure's data and writes one CSV per figure
+// into dir (created if missing): the artifact-evaluation format for
+// re-plotting the paper's charts.
+func WriteCSVs(dir string, progs []*suites.Program) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, header []string, rows [][]string) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		if err := w.WriteAll(rows); err != nil {
+			return err
+		}
+		w.Flush()
+		return w.Error()
+	}
+	ftoa := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+	// Figure 1.
+	f1 := Fig1()
+	var rows [][]string
+	for _, s := range f1.Stats {
+		kind := "cpu"
+		if s.IsGPU {
+			kind = "gpu"
+		}
+		rows = append(rows, []string{s.Partition, kind, strconv.Itoa(s.Jobs),
+			ftoa(s.MeanWait), ftoa(s.MedianWait), ftoa(s.P90Wait)})
+	}
+	if err := write("fig1_waiting_times.csv",
+		[]string{"partition", "kind", "jobs", "mean_wait_h", "median_wait_h", "p90_wait_h"}, rows); err != nil {
+		return err
+	}
+
+	// Figure 3.
+	rows = nil
+	for _, r := range Fig3(64 << 20) {
+		rows = append(rows, []string{strconv.Itoa(r.Nodes), ftoa(r.InPlaceSec),
+			ftoa(r.OutOfPlaceSec), ftoa(r.ImbalancedSec), ftoa(r.RecursiveDoublingSec)})
+	}
+	if err := write("fig3_allgather_variants.csv",
+		[]string{"nodes", "inplace_s", "outofplace_s", "imbalanced_s", "recdoubling_s"}, rows); err != nil {
+		return err
+	}
+
+	// Figures 4, 8 (SIMD), 9, 10 share the SIMD scaling sweep.
+	simdRows := Scaling(progs, machine.Intel6226(), SIMDNodes)
+	rows = nil
+	for _, r := range simdRows {
+		for i, n := range r.Nodes {
+			rows = append(rows, []string{r.Program, strconv.Itoa(n),
+				ftoa(r.CuCCSec[i]), ftoa(r.PGASSec[i]), ftoa(r.CommFrac[i])})
+		}
+	}
+	if err := write("fig4_8_9_10_simd_scaling.csv",
+		[]string{"program", "nodes", "cucc_s", "pgas_s", "cucc_comm_frac"}, rows); err != nil {
+		return err
+	}
+
+	// Figure 8 (Thread).
+	threadRows := Scaling(progs, machine.AMD7713(), ThreadNodes)
+	rows = nil
+	for _, r := range threadRows {
+		for i, n := range r.Nodes {
+			rows = append(rows, []string{r.Program, strconv.Itoa(n), ftoa(r.CuCCSec[i])})
+		}
+	}
+	if err := write("fig8_thread_scaling.csv",
+		[]string{"program", "nodes", "cucc_s"}, rows); err != nil {
+		return err
+	}
+
+	// Figure 7.
+	rows = nil
+	for _, c := range suites.CountCoverage() {
+		rows = append(rows, []string{c.Suite, strconv.Itoa(c.Total), strconv.Itoa(c.Distributable),
+			strconv.Itoa(c.Overlap), strconv.Itoa(c.Indirect)})
+	}
+	if err := write("fig7_coverage.csv",
+		[]string{"suite", "total", "distributable", "overlapping_writes", "indirect"}, rows); err != nil {
+		return err
+	}
+
+	// Figure 11.
+	rows = nil
+	for _, r := range Fig11(progs) {
+		rows = append(rows, []string{r.Program,
+			ftoa(r.SIMDBestSec), strconv.Itoa(r.SIMDBestNodes),
+			ftoa(r.ThreadBestSec), strconv.Itoa(r.ThreadBestNodes),
+			ftoa(r.V100Sec), ftoa(r.A100Sec)})
+	}
+	if err := write("fig11_cpu_vs_gpu.csv",
+		[]string{"program", "simd_best_s", "simd_nodes", "thread_best_s", "thread_nodes", "v100_s", "a100_s"}, rows); err != nil {
+		return err
+	}
+
+	// Figure 12.
+	f12, avg := Fig12(progs)
+	rows = nil
+	for _, r := range f12 {
+		rows = append(rows, []string{r.Name, ftoa(r.GPUOnly), ftoa(r.CPUOnly),
+			ftoa(r.Combined), ftoa(r.Ratio), strconv.Itoa(r.BestClusterSize)})
+	}
+	rows = append(rows, []string{"AVERAGE", "", "", "", ftoa(avg), ""})
+	if err := write("fig12_throughput.csv",
+		[]string{"program", "gpu_only_per_s", "cpu_only_per_s", "combined_per_s", "ratio", "best_k"}, rows); err != nil {
+		return err
+	}
+
+	// Figure 13.
+	rows = nil
+	for _, r := range Fig13(progs) {
+		for i, n := range ThreadNodes {
+			rows = append(rows, []string{r.Program, strconv.Itoa(n),
+				ftoa(r.SIMDSec[i]), ftoa(r.ThreadSec[i])})
+		}
+	}
+	if err := write("fig13_arch_comparison.csv",
+		[]string{"program", "nodes", "simd_s", "thread64_s"}, rows); err != nil {
+		return err
+	}
+
+	// §8.4 energy.
+	rows = nil
+	for _, r := range Energy(progs) {
+		rows = append(rows, []string{r.Program, strconv.Itoa(r.CPUNodes),
+			ftoa(r.CPUJoules), ftoa(r.GPUJoules), ftoa(r.CPUDollarsPerK), ftoa(r.GPUDollarsPerK)})
+	}
+	if err := write("sec84_energy.csv",
+		[]string{"program", "cpu_nodes", "cpu_joules", "gpu_joules", "cpu_usd_per_1000", "gpu_usd_per_1000"}, rows); err != nil {
+		return err
+	}
+
+	// Table 1.
+	simd, thread := machine.Intel6226(), machine.AMD7713()
+	rows = [][]string{
+		{"SIMD-Focused", simd.Name, strconv.Itoa(simd.Year), strconv.Itoa(simd.Cores()), ftoa(simd.PeakTFLOPs())},
+		{"Thread-Focused", thread.Name, strconv.Itoa(thread.Year), strconv.Itoa(thread.Cores()), ftoa(thread.PeakTFLOPs())},
+	}
+	for _, g := range []gpu.GPU{gpu.A100(), gpu.V100()} {
+		rows = append(rows, []string{g.Name, g.Name, strconv.Itoa(g.Year), strconv.Itoa(g.SMs), ftoa(g.PeakTFLOPs)})
+	}
+	if err := write("table1_specs.csv",
+		[]string{"cluster", "node", "year", "cores_or_sms", "peak_tflops"}, rows); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CSVFiles lists the files WriteCSVs produces.
+func CSVFiles() []string {
+	return []string{
+		"fig1_waiting_times.csv",
+		"fig3_allgather_variants.csv",
+		"fig4_8_9_10_simd_scaling.csv",
+		"fig7_coverage.csv",
+		"fig8_thread_scaling.csv",
+		"fig11_cpu_vs_gpu.csv",
+		"fig12_throughput.csv",
+		"fig13_arch_comparison.csv",
+		"sec84_energy.csv",
+		"table1_specs.csv",
+	}
+}

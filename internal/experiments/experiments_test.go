@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cucc/internal/machine"
+	"cucc/internal/suites"
+)
+
+// The tests below pin the paper-reported *shapes* of every figure: who
+// wins, in which direction ratios move, and where scaling knees fall.
+// Absolute values are recorded in EXPERIMENTS.md.
+
+func TestFig1Shape(t *testing.T) {
+	r := Fig1()
+	if r.GPUMean < 20*r.CPUMean {
+		t.Errorf("GPU mean wait %.3fh not >> CPU mean wait %.3fh", r.GPUMean, r.CPUMean)
+	}
+	if r.GPUMean < 1 {
+		t.Errorf("GPU partitions should wait hours, got %.3fh", r.GPUMean)
+	}
+	if !strings.Contains(r.String(), "gpu-a100") {
+		t.Error("report missing partitions")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rows := Fig3(64 << 20)
+	for _, r := range rows {
+		if r.InPlaceSec > r.OutOfPlaceSec {
+			t.Errorf("nodes=%d: in-place (%g) slower than out-of-place (%g)", r.Nodes, r.InPlaceSec, r.OutOfPlaceSec)
+		}
+		if r.InPlaceSec > r.ImbalancedSec {
+			t.Errorf("nodes=%d: balanced (%g) slower than imbalanced (%g)", r.Nodes, r.InPlaceSec, r.ImbalancedSec)
+		}
+	}
+}
+
+func scalingFixture(t *testing.T) []ScalingRow {
+	t.Helper()
+	rows := Scaling(suites.All(), machine.Intel6226(), SIMDNodes)
+	if len(rows) != 8 {
+		t.Fatalf("got %d programs, want 8", len(rows))
+	}
+	return rows
+}
+
+func rowByName(t *testing.T, rows []ScalingRow, name string) ScalingRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Program == name {
+			return r
+		}
+	}
+	t.Fatalf("program %s missing", name)
+	return ScalingRow{}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	rows := scalingFixture(t)
+
+	// FIR: near-linear scaling to 32 nodes (paper §7.2).
+	fir := rowByName(t, rows, "FIR")
+	if sp := fir.CuCCSec[0] / fir.CuCCSec[5]; sp < 20 {
+		t.Errorf("FIR speedup@32 = %.1fx, want near-linear (>20x)", sp)
+	}
+
+	// Kmeans: gains up to 16 nodes, slower at 32 (the callback-wave
+	// anomaly; paper §7.2).
+	km := rowByName(t, rows, "Kmeans")
+	sp16 := km.CuCCSec[0] / km.CuCCSec[4]
+	sp32 := km.CuCCSec[0] / km.CuCCSec[5]
+	if !(sp16 > sp32) {
+		t.Errorf("Kmeans speedup@16 (%.2f) should exceed speedup@32 (%.2f)", sp16, sp32)
+	}
+
+	// Transpose: communication-limited, flattens early.
+	tr := rowByName(t, rows, "Transpose")
+	if sp := tr.CuCCSec[0] / tr.CuCCSec[5]; sp > 4 {
+		t.Errorf("Transpose speedup@32 = %.1fx, should flatten below 4x", sp)
+	}
+
+	// Every program gains at 2 and 4 nodes (paper: "most kernels
+	// demonstrate high scalability on 2-node and 4-node clusters").
+	for _, r := range rows {
+		if r.CuCCSec[1] >= r.CuCCSec[0] {
+			t.Errorf("%s: no gain at 2 nodes", r.Program)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows := scalingFixture(t)
+	tr := rowByName(t, rows, "Transpose")
+	fir := rowByName(t, rows, "FIR")
+	if tr.CommFrac[5] < 0.5 {
+		t.Errorf("Transpose comm fraction @32 = %.2f, want dominant (>0.5)", tr.CommFrac[5])
+	}
+	if fir.CommFrac[5] > 0.10 {
+		t.Errorf("FIR comm fraction @32 = %.2f, want negligible (<0.10)", fir.CommFrac[5])
+	}
+	// Overhead grows with cluster size for every program.
+	for _, r := range rows {
+		if r.CommFrac[5] < r.CommFrac[1] {
+			t.Errorf("%s: comm fraction decreasing with cluster size", r.Program)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows := scalingFixture(t)
+	sum := Fig10(rows)
+	// CuCC wins on average and the gap grows with cluster size
+	// (paper: 4.09x @2 -> 12.81x @32).
+	if sum.AvgSpeedup2N < 2 {
+		t.Errorf("avg speedup @2 nodes = %.2fx, want > 2x", sum.AvgSpeedup2N)
+	}
+	if sum.AvgSpeedup32N <= sum.AvgSpeedup2N {
+		t.Errorf("speedup should grow with cluster size: %.2f @2 vs %.2f @32",
+			sum.AvgSpeedup2N, sum.AvgSpeedup32N)
+	}
+	// Transpose is the outlier with the largest gap (paper §7.3).
+	for _, r := range rows {
+		if r.Program == "Transpose" {
+			continue
+		}
+		ratio := r.PGASSec[5] / r.CuCCSec[5]
+		if ratio > sum.TransposeSpeedup32N {
+			t.Errorf("%s ratio %.1fx exceeds the Transpose outlier %.1fx", r.Program, ratio, sum.TransposeSpeedup32N)
+		}
+	}
+	// GA and BinomialOption: similar runtimes (sparse writes; paper §7.3).
+	for _, name := range []string{"GA", "BinomialOption"} {
+		r := rowByName(t, rows, name)
+		ratio := r.PGASSec[5] / r.CuCCSec[5]
+		if ratio < 0.7 || ratio > 1.5 {
+			t.Errorf("%s PGAS/CuCC @32 = %.2fx, want ~1x", name, ratio)
+		}
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	rows := Fig11(suites.All())
+	byName := map[string]Fig11Row{}
+	for _, r := range rows {
+		byName[r.Program] = r
+	}
+
+	// Transpose: CPU runtimes "close to or even better" than the GPUs
+	// thanks to LLC capacity (paper §7.4.1): beat the V100, tie the A100.
+	tr := byName["Transpose"]
+	if tr.ThreadBestSec > tr.V100Sec {
+		t.Errorf("Transpose: Thread-Focused (%.2fms) should beat V100 (%.2fms)", tr.ThreadBestSec*1e3, tr.V100Sec*1e3)
+	}
+	if tr.ThreadBestSec > tr.A100Sec*1.1 {
+		t.Errorf("Transpose: Thread-Focused (%.2fms) should at least tie A100 (%.2fms)", tr.ThreadBestSec*1e3, tr.A100Sec*1e3)
+	}
+	if tr.SIMDBestSec > tr.V100Sec*1.5 {
+		t.Errorf("Transpose: SIMD-Focused (%.2fms) should be close to V100 (%.2fms)", tr.SIMDBestSec*1e3, tr.V100Sec*1e3)
+	}
+
+	// BinomialOption: the 4-node Thread-Focused cluster outperforms both
+	// GPUs (paper §7.4.1).
+	bo := byName["BinomialOption"]
+	if bo.ThreadBestSec > bo.A100Sec || bo.ThreadBestSec > bo.V100Sec {
+		t.Errorf("BinomialOption: Thread-Focused (%.2fms) should beat A100 (%.2fms) and V100 (%.2fms)",
+			bo.ThreadBestSec*1e3, bo.A100Sec*1e3, bo.V100Sec*1e3)
+	}
+
+	// EP and GA: GPUs win by roughly 5-10x (paper §7.4.1).
+	for _, name := range []string{"EP", "GA"} {
+		r := byName[name]
+		best := min(r.SIMDBestSec, r.ThreadBestSec)
+		ratio := best / r.A100Sec
+		if ratio < 3 || ratio > 20 {
+			t.Errorf("%s: best CPU / A100 = %.1fx, want GPU winning ~5-10x", name, ratio)
+		}
+	}
+
+	// Geomean slowdowns in the paper's neighborhood (same order).
+	g := Geomeans(rows)
+	check := func(name string, got float64, lo, hi float64) {
+		if got < lo || got > hi {
+			t.Errorf("%s geomean = %.2fx, want in [%.1f, %.1f]", name, got, lo, hi)
+		}
+	}
+	check("SIMD vs V100", g.SIMDvsV100, 1.0, 6)
+	check("SIMD vs A100", g.SIMDvsA100, 1.2, 8)
+	check("Thread vs V100", g.ThreadvsV100, 1.0, 4)
+	check("Thread vs A100", g.ThreadvsA100, 1.2, 5)
+}
+
+func TestFig12Shape(t *testing.T) {
+	rs, avg := Fig12(suites.All())
+	if len(rs) != 8 {
+		t.Fatalf("got %d programs", len(rs))
+	}
+	for _, r := range rs {
+		if r.Ratio <= 1 {
+			t.Errorf("%s: adding CPUs reduced throughput (%.2fx)", r.Name, r.Ratio)
+		}
+	}
+	// Paper average: 3.59x (abstract headline 2.59x).
+	if avg < 2 || avg > 8 {
+		t.Errorf("average throughput gain = %.2fx, want in the paper's neighborhood [2, 8]", avg)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows := Fig13(suites.All())
+	for _, r := range rows {
+		for i := range r.SIMDSec {
+			if r.ThreadSec[i] > r.SIMDSec[i]*1.05 {
+				t.Errorf("%s @%d nodes: Thread-Focused (%.3fms) slower than SIMD-Focused (%.3fms); paper finds thread parallelism wins at iso-FLOPs",
+					r.Program, ThreadNodes[i], r.ThreadSec[i]*1e3, r.SIMDSec[i]*1e3)
+			}
+		}
+	}
+	// BinomialOption has the largest single-node gap (paper: 55x; our
+	// first-order model reproduces the direction, not the magnitude).
+	var boRatio, maxOther float64
+	for _, r := range rows {
+		ratio := r.SIMDSec[0] / r.ThreadSec[0]
+		if r.Program == "BinomialOption" {
+			boRatio = ratio
+		} else if r.Program != "Transpose" && ratio > maxOther {
+			// Transpose's LLC-residency effect is a different mechanism.
+			maxOther = ratio
+		}
+	}
+	if boRatio < maxOther*0.9 {
+		t.Errorf("BinomialOption ratio %.2fx should be among the largest (max other %.2fx)", boRatio, maxOther)
+	}
+}
+
+func TestTable1String(t *testing.T) {
+	s := Table1String()
+	for _, want := range []string{"SIMD-Focused", "Thread-Focused", "4.15", "8.19", "19.50", "NVIDIA V100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportStringsRender(t *testing.T) {
+	rows := scalingFixture(t)
+	for _, s := range []string{
+		SpeedupString(rows, "test"),
+		Fig9String(rows),
+		Fig10(rows).String(),
+		Fig3String(Fig3(1 << 20)),
+		Fig11String(Fig11(suites.All())),
+		Fig13String(Fig13(suites.All())),
+	} {
+		if len(s) < 100 {
+			t.Errorf("suspiciously short report: %q", s)
+		}
+	}
+}
+
+func TestEnergyShape(t *testing.T) {
+	rows := Energy(suites.All())
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var cpuWins int
+	for _, r := range rows {
+		if r.CPUJoules <= 0 || r.GPUJoules <= 0 || r.CPUNodes < 1 {
+			t.Errorf("%s: degenerate row %+v", r.Program, r)
+		}
+		if r.CPUDollarsPerK <= 0 || r.GPUDollarsPerK <= 0 {
+			t.Errorf("%s: non-positive cost", r.Program)
+		}
+		if r.CPUJoules < r.GPUJoules {
+			cpuWins++
+		}
+	}
+	// GPUs are generally more energy-efficient per instance (§8.4 argues
+	// availability/cost, not energy superiority); the CPU should not win
+	// on energy across the board.
+	if cpuWins > len(rows)/2 {
+		t.Errorf("CPU more energy-efficient on %d/%d programs; expected GPUs to mostly win", cpuWins, len(rows))
+	}
+	if s := EnergyString(rows); !strings.Contains(s, "energy ratio") {
+		t.Errorf("report malformed:\n%s", s)
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCSVs(dir, suites.All()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range CSVFiles() {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		recs, err := csv.NewReader(strings.NewReader(string(raw))).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: bad CSV: %v", name, err)
+		}
+		if len(recs) < 2 {
+			t.Errorf("%s: only %d rows", name, len(recs))
+		}
+		for i, rec := range recs[1:] {
+			if len(rec) != len(recs[0]) {
+				t.Errorf("%s row %d: %d fields, header has %d", name, i, len(rec), len(recs[0]))
+			}
+		}
+	}
+}
+
+func TestSIMDOffAblation(t *testing.T) {
+	rows := SIMDOff(suites.All())
+	byName := map[string]SIMDOffRow{}
+	for _, r := range rows {
+		byName[r.Program] = r
+		if r.Slowdown < 0.999 {
+			t.Errorf("%s: disabling SIMD sped things up (%.2fx)", r.Program, r.Slowdown)
+		}
+	}
+	// Vectorizable compute-bound kernels collapse without SIMD.
+	for _, name := range []string{"FIR", "MatMul", "Conv2D"} {
+		if byName[name].Slowdown < 5 {
+			t.Errorf("%s: slowdown %.1fx, want large (vectorizable kernel)", name, byName[name].Slowdown)
+		}
+	}
+	// Dependence-bound kernels barely move.
+	for _, name := range []string{"BinomialOption", "EP"} {
+		if byName[name].Slowdown > 2 {
+			t.Errorf("%s: slowdown %.1fx, want small (serial kernel)", name, byName[name].Slowdown)
+		}
+	}
+	if s := SIMDOffString(rows); !strings.Contains(s, "slowdown") {
+		t.Error("report malformed")
+	}
+}
+
+func TestWeakScaling(t *testing.T) {
+	rows := WeakScaling(suites.All(), []int{1, 2, 4, 8})
+	if len(rows) < 5 {
+		t.Fatalf("only %d programs participate", len(rows))
+	}
+	byName := map[string]WeakRow{}
+	for _, r := range rows {
+		byName[r.Program] = r
+		for i, e := range r.Efficiency {
+			if e <= 0 || e > 1.2 {
+				t.Errorf("%s @%d nodes: efficiency %.2f out of range", r.Program, r.Nodes[i], e)
+			}
+		}
+	}
+	// Compute-bound FIR holds high weak-scaling efficiency; the
+	// communication-bound programs decay.
+	if e := byName["FIR"].Efficiency[3]; e < 0.8 {
+		t.Errorf("FIR weak efficiency @8 = %.2f, want >= 0.8", e)
+	}
+	if s := WeakScalingString(rows); !strings.Contains(s, "perfect") {
+		t.Error("report malformed")
+	}
+}

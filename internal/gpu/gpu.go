@@ -1,0 +1,83 @@
+// Package gpu provides roofline execution-time models for the NVIDIA GPUs
+// the paper compares against (Table 1: A100, V100).
+//
+// Real GPUs are unavailable in this environment; per the reproduction
+// rules, GPU runtimes for Figures 11 and 12 are estimated with the same
+// first-order roofline the paper uses to reason about them: kernel time is
+// the maximum of compute time at (derated) peak FLOPs and memory time at
+// HBM bandwidth, plus launch overhead.
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"cucc/internal/machine"
+)
+
+// GPU describes one device.
+type GPU struct {
+	Name string
+	SMs  int
+	// PeakTFLOPs is single-precision peak throughput.
+	PeakTFLOPs float64
+	// HBMGBs is device memory bandwidth in GB/s.
+	HBMGBs float64
+	// ComputeEff derates peak for real kernels.
+	ComputeEff float64
+	// MemEff derates HBM bandwidth for real access patterns.
+	MemEff float64
+	// LaunchOverheadSec is fixed per-kernel overhead.
+	LaunchOverheadSec float64
+	// Year is the release year (Table 1).
+	Year int
+	// TDPWatts is the board power, for the §8.4 cost/energy analysis.
+	TDPWatts float64
+}
+
+// A100 returns the NVIDIA A100 model.
+func A100() GPU {
+	return GPU{
+		Name: "NVIDIA A100", SMs: 108,
+		PeakTFLOPs: 19.5, HBMGBs: 1555,
+		ComputeEff: 0.55, MemEff: 0.75,
+		LaunchOverheadSec: 8e-6, Year: 2020,
+		TDPWatts: 400,
+	}
+}
+
+// V100 returns the NVIDIA V100 model.
+func V100() GPU {
+	return GPU{
+		Name: "NVIDIA V100", SMs: 80,
+		PeakTFLOPs: 15.7, HBMGBs: 900,
+		ComputeEff: 0.55, MemEff: 0.75,
+		LaunchOverheadSec: 8e-6, Year: 2017,
+		TDPWatts: 300,
+	}
+}
+
+// KernelTime estimates the execution time of a kernel launch of `blocks`
+// blocks each performing work w.  Serial (non-vectorizable) flops still
+// parallelize across GPU threads — the GPU's strength — but execute at a
+// reduced rate because dependent chains cannot saturate the FMA pipes; the
+// serialPenalty captures that.
+func (g GPU) KernelTime(blocks int, w machine.BlockWork) float64 {
+	bytes := float64(blocks) * w.Bytes
+	const serialPenalty = 2.0
+	// Integer/address ops consume issue slots too, at roughly half weight
+	// (mirroring the CPU model's convention).
+	ops := float64(blocks) * (w.VecFlops + w.SerialFlops*serialPenalty + 0.5*w.IntOps)
+	computeSec := ops / (g.PeakTFLOPs * 1e12 * g.ComputeEff)
+	memSec := bytes / (g.HBMGBs * 1e9 * g.MemEff)
+	// Occupancy: fewer blocks than SMs leaves the device partly idle.
+	occupancy := 1.0
+	if blocks < g.SMs {
+		occupancy = float64(blocks) / float64(g.SMs)
+	}
+	return math.Max(computeSec, memSec)/occupancy + g.LaunchOverheadSec
+}
+
+func (g GPU) String() string {
+	return fmt.Sprintf("%s (%d SMs, %.1f TFLOP/s, %.0f GB/s)", g.Name, g.SMs, g.PeakTFLOPs, g.HBMGBs)
+}

@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cucc/internal/machine"
+)
+
+func TestTable1GPUSpecs(t *testing.T) {
+	a := A100()
+	if a.PeakTFLOPs != 19.5 || a.SMs != 108 || a.Year != 2020 {
+		t.Errorf("A100 = %+v", a)
+	}
+	v := V100()
+	if v.PeakTFLOPs != 15.7 || v.SMs != 80 || v.Year != 2017 {
+		t.Errorf("V100 = %+v", v)
+	}
+}
+
+func TestComputeBoundKernel(t *testing.T) {
+	g := A100()
+	w := machine.BlockWork{VecFlops: 1e9} // 1 GFLOP per block, negligible bytes
+	got := g.KernelTime(1000, w)
+	want := 1e12/(g.PeakTFLOPs*1e12*g.ComputeEff) + g.LaunchOverheadSec
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("compute-bound time = %g, want %g", got, want)
+	}
+}
+
+func TestMemoryBoundKernel(t *testing.T) {
+	g := V100()
+	w := machine.BlockWork{VecFlops: 1, Bytes: 1e6}
+	got := g.KernelTime(1000, w)
+	want := 1e9/(g.HBMGBs*1e9*g.MemEff) + g.LaunchOverheadSec
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("memory-bound time = %g, want %g", got, want)
+	}
+}
+
+func TestA100FasterThanV100(t *testing.T) {
+	w := machine.BlockWork{VecFlops: 1e7, Bytes: 1e5}
+	if A100().KernelTime(500, w) >= V100().KernelTime(500, w) {
+		t.Error("A100 not faster than V100")
+	}
+}
+
+func TestSerialPenaltyAndIntOps(t *testing.T) {
+	g := A100()
+	vec := g.KernelTime(1000, machine.BlockWork{VecFlops: 1e8})
+	serial := g.KernelTime(1000, machine.BlockWork{SerialFlops: 1e8})
+	if serial <= vec {
+		t.Error("dependence chains should run below peak")
+	}
+	withInts := g.KernelTime(1000, machine.BlockWork{VecFlops: 1e8, IntOps: 2e8})
+	if withInts <= vec {
+		t.Error("integer ops should consume issue slots")
+	}
+}
+
+func TestOccupancyPenalty(t *testing.T) {
+	g := A100()
+	w := machine.BlockWork{VecFlops: 1e8}
+	// Halving an under-occupied launch's blocks should not halve time.
+	few := g.KernelTime(g.SMs/2, w)
+	fewer := g.KernelTime(g.SMs/4, w)
+	// Per-block time is constant when under-occupied.
+	if math.Abs(few-fewer)/few > 0.01 {
+		t.Errorf("under-occupied times differ: %g vs %g", few, fewer)
+	}
+}
+
+// Property: kernel time is monotone in every work dimension.
+func TestKernelTimeMonotone(t *testing.T) {
+	g := A100()
+	f := func(flopsRaw, bytesRaw uint32, blocksRaw uint16) bool {
+		blocks := int(blocksRaw%2048) + 1
+		w := machine.BlockWork{VecFlops: float64(flopsRaw), Bytes: float64(bytesRaw)}
+		base := g.KernelTime(blocks, w)
+		more := w
+		more.VecFlops *= 2
+		more.Bytes *= 2
+		return g.KernelTime(blocks, more) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if !strings.Contains(A100().String(), "A100") {
+		t.Error("bad String")
+	}
+}

@@ -1,0 +1,151 @@
+// Package hostapi is the CUDA-like host interface of the CuCC runtime
+// library: the functions a migrated GPU program's host code calls after
+// transpilation (Malloc / Memcpy / LaunchKernel), mapped onto the
+// distributed cluster.  It mirrors the call shape of the original CUDA
+// host module so migrated main() functions stay structurally unchanged.
+package hostapi
+
+import (
+	"fmt"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/simnet"
+)
+
+// DevicePtr is an opaque handle to device (cluster-replicated) memory, the
+// analogue of a CUDA device pointer.
+type DevicePtr struct {
+	buf cluster.Buffer
+}
+
+// Elem returns the element type of the allocation.
+func (p DevicePtr) Elem() kir.ScalarType { return p.buf.Elem }
+
+// Count returns the number of elements.
+func (p DevicePtr) Count() int { return p.buf.Count }
+
+// Device is the migrated program's execution target: a CPU cluster plus a
+// compiled kernel module.
+type Device struct {
+	cluster *cluster.Cluster
+	session *core.Session
+	// elapsed accumulates simulated kernel time (cudaEvent-style timing).
+	elapsed float64
+}
+
+// Config selects the cluster for a Device.
+type Config struct {
+	Nodes   int
+	Machine machine.CPU
+	Net     simnet.Model
+	// Verify re-checks cross-node consistency after every launch.
+	Verify bool
+}
+
+// DefaultConfig is a 4-node SIMD-Focused cluster.
+func DefaultConfig() Config {
+	return Config{Nodes: 4, Machine: machine.Intel6226(), Net: simnet.IB100(), Verify: true}
+}
+
+// Open compiles the kernel source and connects to a cluster.
+func Open(cfg Config, source string) (*Device, error) {
+	prog, err := core.Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cluster.New(cluster.Config{Nodes: cfg.Nodes, Machine: cfg.Machine, Net: cfg.Net})
+	if err != nil {
+		return nil, err
+	}
+	sess := core.NewSession(c, prog)
+	sess.Verify = cfg.Verify
+	return &Device{cluster: c, session: sess}, nil
+}
+
+// Close releases the cluster.
+func (d *Device) Close() { d.cluster.Close() }
+
+// Program exposes the compiled module (analysis metadata, natives).
+func (d *Device) Program() *core.Program { return d.session.Prog }
+
+// Malloc allocates count elements on every node (cudaMalloc).
+func (d *Device) Malloc(elem kir.ScalarType, count int) DevicePtr {
+	return DevicePtr{buf: d.cluster.Alloc(elem, count)}
+}
+
+// MemcpyH2DF32 uploads float32 data (cudaMemcpyHostToDevice).
+func (d *Device) MemcpyH2DF32(dst DevicePtr, data []float32) error {
+	return d.cluster.WriteAllF32(dst.buf, data)
+}
+
+// MemcpyH2DI32 uploads int32 data.
+func (d *Device) MemcpyH2DI32(dst DevicePtr, data []int32) error {
+	return d.cluster.WriteAllI32(dst.buf, data)
+}
+
+// MemcpyH2D uploads raw bytes.
+func (d *Device) MemcpyH2D(dst DevicePtr, data []byte) error {
+	return d.cluster.WriteAll(dst.buf, data)
+}
+
+// MemcpyD2HF32 downloads float32 data (cudaMemcpyDeviceToHost; node 0's
+// replica, which the consistency invariant makes canonical).
+func (d *Device) MemcpyD2HF32(src DevicePtr) []float32 {
+	return d.cluster.ReadF32(0, src.buf)
+}
+
+// MemcpyD2HI32 downloads int32 data.
+func (d *Device) MemcpyD2HI32(src DevicePtr) []int32 {
+	return d.cluster.ReadI32(0, src.buf)
+}
+
+// MemcpyD2H downloads raw bytes.
+func (d *Device) MemcpyD2H(src DevicePtr) []byte {
+	region := d.cluster.Region(0, src.buf)
+	out := make([]byte, len(region))
+	copy(out, region)
+	return out
+}
+
+// LaunchKernel launches kernel<<<grid, block>>>(args...).  Arguments may
+// be DevicePtr (pointer parameters), int/int32/int64 (int parameters), or
+// float32/float64 (float parameters).
+func (d *Device) LaunchKernel(kernel string, grid, block int, args ...any) (*core.Stats, error) {
+	spec := core.LaunchSpec{
+		Kernel: kernel,
+		Grid:   interp.Dim1(grid),
+		Block:  interp.Dim1(block),
+	}
+	for i, a := range args {
+		switch v := a.(type) {
+		case DevicePtr:
+			spec.Args = append(spec.Args, core.BufArg(v.buf))
+		case int:
+			spec.Args = append(spec.Args, core.IntArg(int64(v)))
+		case int32:
+			spec.Args = append(spec.Args, core.IntArg(int64(v)))
+		case int64:
+			spec.Args = append(spec.Args, core.IntArg(v))
+		case float32:
+			spec.Args = append(spec.Args, core.FloatArg(float64(v)))
+		case float64:
+			spec.Args = append(spec.Args, core.FloatArg(v))
+		default:
+			return nil, fmt.Errorf("hostapi: kernel %s arg %d: unsupported type %T", kernel, i, a)
+		}
+	}
+	stats, err := d.session.Launch(spec)
+	if err != nil {
+		return nil, err
+	}
+	d.elapsed += stats.TotalSec
+	return stats, nil
+}
+
+// ElapsedSec returns the accumulated simulated kernel time, the
+// cudaEventElapsedTime analogue.
+func (d *Device) ElapsedSec() float64 { return d.elapsed }

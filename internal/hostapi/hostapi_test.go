@@ -1,0 +1,158 @@
+package hostapi
+
+import (
+	"math"
+	"testing"
+
+	"cucc/internal/kir"
+)
+
+const saxpySrc = `
+__global__ void saxpy(float* x, float* y, float a, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n)
+        y[id] = a * x[id] + y[id];
+}
+__global__ void iota(int* out, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n)
+        out[id] = id;
+}
+`
+
+func openTestDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := Open(DefaultConfig(), saxpySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// TestMigratedMainShape runs a program exactly the way a transpiled CUDA
+// main() would: malloc, H2D, launch, D2H.
+func TestMigratedMainShape(t *testing.T) {
+	d := openTestDevice(t)
+	const n = 1000
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i)
+		ys[i] = 1
+	}
+	x := d.Malloc(kir.F32, n)
+	y := d.Malloc(kir.F32, n)
+	if err := d.MemcpyH2DF32(x, xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemcpyH2DF32(y, ys); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.LaunchKernel("saxpy", (n+255)/256, 256, x, y, float32(2), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Distributed {
+		t.Error("saxpy was not distributed on a 4-node device")
+	}
+	got := d.MemcpyD2HF32(y)
+	for i := range got {
+		want := 2*float32(i) + 1
+		if got[i] != want {
+			t.Fatalf("y[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+	if d.ElapsedSec() <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+}
+
+func TestIntKernelAndD2HI32(t *testing.T) {
+	d := openTestDevice(t)
+	const n = 300
+	out := d.Malloc(kir.I32, 512)
+	if _, err := d.LaunchKernel("iota", 2, 256, out, n); err != nil {
+		t.Fatal(err)
+	}
+	got := d.MemcpyD2HI32(out)
+	for i := 0; i < n; i++ {
+		if got[i] != int32(i) {
+			t.Fatalf("out[%d] = %d", i, got[i])
+		}
+	}
+	for i := n; i < 512; i++ {
+		if got[i] != 0 {
+			t.Fatalf("out[%d] = %d, want untouched 0", i, got[i])
+		}
+	}
+}
+
+func TestArgTypeConversions(t *testing.T) {
+	d := openTestDevice(t)
+	x := d.Malloc(kir.F32, 256)
+	y := d.Malloc(kir.F32, 256)
+	// int64 / float64 forms.
+	if _, err := d.LaunchKernel("saxpy", 1, 256, x, y, 1.5, int64(256)); err != nil {
+		t.Fatal(err)
+	}
+	// int32 form.
+	if _, err := d.LaunchKernel("saxpy", 1, 256, x, y, float32(1.5), int32(256)); err != nil {
+		t.Fatal(err)
+	}
+	// Unsupported type.
+	if _, err := d.LaunchKernel("saxpy", 1, 256, x, y, "1.5", 256); err == nil {
+		t.Error("string argument accepted")
+	}
+}
+
+func TestRawMemcpyRoundTrip(t *testing.T) {
+	d := openTestDevice(t)
+	buf := d.Malloc(kir.U8, 64)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 5)
+	}
+	if err := d.MemcpyH2D(buf, data); err != nil {
+		t.Fatal(err)
+	}
+	got := d.MemcpyD2H(buf)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	if buf.Elem() != kir.U8 || buf.Count() != 64 {
+		t.Error("DevicePtr accessors wrong")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(DefaultConfig(), "not CUDA"); err == nil {
+		t.Error("bad source accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Nodes = 0
+	if _, err := Open(cfg, saxpySrc); err == nil {
+		t.Error("zero-node device accepted")
+	}
+}
+
+func TestElapsedAccumulates(t *testing.T) {
+	d := openTestDevice(t)
+	x := d.Malloc(kir.F32, 256)
+	y := d.Malloc(kir.F32, 256)
+	var prev float64
+	for i := 0; i < 3; i++ {
+		if _, err := d.LaunchKernel("saxpy", 1, 256, x, y, 1.0, 256); err != nil {
+			t.Fatal(err)
+		}
+		if d.ElapsedSec() <= prev {
+			t.Fatal("elapsed time did not grow")
+		}
+		prev = d.ElapsedSec()
+	}
+	if math.IsNaN(prev) {
+		t.Fatal("NaN elapsed")
+	}
+}

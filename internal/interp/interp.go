@@ -1,0 +1,733 @@
+// Package interp executes kernel IR for one GPU block at a time.
+//
+// It is the reference implementation of the "CPU kernel module" the paper's
+// compiler generates: all threads of a block run on one CPU worker
+// (sequentially on the fast path, or as lock-step goroutines when the kernel
+// contains __syncthreads).  Alongside execution it accounts the work
+// performed (flops, integer ops, bytes moved), which feeds the hardware cost
+// models in internal/machine.
+package interp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cucc/internal/kir"
+)
+
+// Dim3 is a two-dimensional CUDA launch dimension (z is unused by the
+// supported kernels).
+type Dim3 struct {
+	X, Y int
+}
+
+// Count returns the total number of elements in the dimension.  An unset Y
+// defaults to 1; X must be positive for the dimension to be non-empty.
+func (d Dim3) Count() int {
+	y := d.Y
+	if y == 0 {
+		y = 1
+	}
+	return d.X * y
+}
+
+// Dim1 builds a one-dimensional Dim3.
+func Dim1(x int) Dim3 { return Dim3{X: x, Y: 1} }
+
+// Value is a scalar runtime value; integers use I, floats use F.
+type Value struct {
+	I int64
+	F float64
+}
+
+// IntV returns an integer Value.
+func IntV(v int64) Value { return Value{I: v} }
+
+// FloatV returns a float Value.
+func FloatV(v float64) Value { return Value{F: v} }
+
+// Memory provides element-granular access to the global buffers bound to a
+// kernel's pointer parameters.  Implementations include node-local memory
+// (internal/cluster) and PGAS global pointers (internal/pgas).
+type Memory interface {
+	LoadF32(param, idx int) float32
+	StoreF32(param, idx int, v float32)
+	LoadI32(param, idx int) int32
+	StoreI32(param, idx int, v int32)
+	LoadU8(param, idx int) byte
+	StoreU8(param, idx int, v byte)
+	// Len returns the number of elements in the buffer bound to param.
+	Len(param int) int
+}
+
+// Work accumulates the dynamic work of executed blocks.  Byte counts cover
+// global memory only; shared-memory traffic is tracked separately because it
+// stays on-node after migration.
+type Work struct {
+	Flops            int64
+	IntOps           int64
+	GlobalLoadBytes  int64
+	GlobalStoreBytes int64
+	SharedBytes      int64
+}
+
+// Add accumulates o into w.
+func (w *Work) Add(o Work) {
+	w.Flops += o.Flops
+	w.IntOps += o.IntOps
+	w.GlobalLoadBytes += o.GlobalLoadBytes
+	w.GlobalStoreBytes += o.GlobalStoreBytes
+	w.SharedBytes += o.SharedBytes
+}
+
+// Launch describes one kernel launch against a memory space.
+type Launch struct {
+	Kernel *kir.Kernel
+	Grid   Dim3
+	Block  Dim3
+	// Args holds scalar argument values indexed by parameter position;
+	// entries for pointer parameters are ignored (resolved via Mem).
+	Args []Value
+	Mem  Memory
+	// MaxLoopIters bounds the total loop iterations one thread may
+	// execute (0 = DefaultMaxLoopIters); a runaway-kernel guard so a
+	// buggy while(1) fails with an error instead of hanging.
+	MaxLoopIters int64
+}
+
+// DefaultMaxLoopIters is the per-thread loop-iteration budget.
+const DefaultMaxLoopIters = 1 << 30
+
+// intrinsicFlops approximates the flop cost of each math intrinsic,
+// following common throughput tables (used only by the cost model, not for
+// correctness).
+var intrinsicFlops = map[kir.Intrinsic]int64{
+	kir.Sqrt: 4, kir.Exp: 8, kir.Log: 8, kir.Fabs: 1,
+	kir.Fmin: 1, kir.Fmax: 1, kir.Pow: 16, kir.Sin: 8, kir.Cos: 8,
+	kir.Tanh: 10, kir.MinI: 1, kir.MaxI: 1, kir.AbsI: 1,
+}
+
+// ExecBlock executes one GPU block (bx, by) of the launch.  The returned
+// Work covers every thread of the block.
+func ExecBlock(l *Launch, bx, by int) (Work, error) {
+	if err := checkLaunch(l); err != nil {
+		return Work{}, err
+	}
+	blk := &blockCtx{
+		launch: l,
+		bx:     bx,
+		by:     by,
+		shared: allocShared(l.Kernel),
+	}
+	if l.Kernel.HasSync() {
+		return blk.runPhased()
+	}
+	return blk.runSequential()
+}
+
+func checkLaunch(l *Launch) error {
+	k := l.Kernel
+	if len(l.Args) < len(k.Params) {
+		return fmt.Errorf("interp: kernel %s: %d args for %d params", k.Name, len(l.Args), len(k.Params))
+	}
+	if l.Grid.Count() <= 0 || l.Block.Count() <= 0 {
+		return fmt.Errorf("interp: kernel %s: empty grid or block", k.Name)
+	}
+	if l.Mem == nil {
+		return fmt.Errorf("interp: kernel %s: nil memory", k.Name)
+	}
+	return nil
+}
+
+func allocShared(k *kir.Kernel) map[string][]Value {
+	if len(k.Shared) == 0 {
+		return nil
+	}
+	m := make(map[string][]Value, len(k.Shared))
+	for _, sh := range k.Shared {
+		m[sh.Name] = make([]Value, sh.Len)
+	}
+	return m
+}
+
+// blockCtx is the shared state of one block execution.
+type blockCtx struct {
+	launch     *Launch
+	bx, by     int
+	shared     map[string][]Value
+	work       Work
+	concurrent bool
+	atomicMu   sync.Mutex
+}
+
+// threadCtx is per-thread interpreter state.
+type threadCtx struct {
+	blk    *blockCtx
+	tx, ty int
+	slots  []Value
+	work   Work
+	bar    *barrier
+	iters  int64
+}
+
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+func (b *blockCtx) newThread(tx, ty int) *threadCtx {
+	t := &threadCtx{blk: b, tx: tx, ty: ty, slots: make([]Value, b.launch.Kernel.NumSlots)}
+	initParamSlots(b.launch, t.slots)
+	return t
+}
+
+// initParamSlots copies scalar arguments into the parameter slots, rounding
+// CUDA float parameters to single precision so interpreted arithmetic
+// matches the float32 native backends.
+func initParamSlots(l *Launch, slots []Value) {
+	copy(slots, l.Args[:len(l.Kernel.Params)])
+	for i, p := range l.Kernel.Params {
+		if !p.Pointer && p.Elem == kir.F32 {
+			slots[i].F = float64(float32(slots[i].F))
+		}
+	}
+}
+
+// runSequential executes all threads one after another (valid when the
+// kernel has no __syncthreads).
+func (b *blockCtx) runSequential() (Work, error) {
+	l := b.launch
+	t := &threadCtx{blk: b, slots: make([]Value, l.Kernel.NumSlots)}
+	ydim := max(l.Block.Y, 1)
+	for ty := 0; ty < ydim; ty++ {
+		for tx := 0; tx < l.Block.X; tx++ {
+			t.tx, t.ty = tx, ty
+			t.iters = 0
+			for i := range t.slots {
+				t.slots[i] = Value{}
+			}
+			initParamSlots(l, t.slots)
+			if _, err := t.execBlock(l.Kernel.Body); err != nil {
+				return b.work, err
+			}
+		}
+	}
+	b.work.Add(t.work)
+	return b.work, nil
+}
+
+func (t *threadCtx) execBlock(blk kir.Block) (ctrl, error) {
+	for _, s := range blk {
+		c, err := t.execStmt(s)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (t *threadCtx) execStmt(s kir.Stmt) (ctrl, error) {
+	switch s := s.(type) {
+	case *kir.Decl:
+		if s.Init != nil {
+			v, err := t.eval(s.Init)
+			if err != nil {
+				return ctrlNone, err
+			}
+			t.slots[s.Slot] = v
+		} else {
+			t.slots[s.Slot] = Value{}
+		}
+	case *kir.Assign:
+		v, err := t.eval(s.Value)
+		if err != nil {
+			return ctrlNone, err
+		}
+		t.slots[s.Slot] = v
+	case *kir.Store:
+		idx, err := t.eval(s.Index)
+		if err != nil {
+			return ctrlNone, err
+		}
+		v, err := t.eval(s.Value)
+		if err != nil {
+			return ctrlNone, err
+		}
+		return ctrlNone, t.store(s.Mem, int(idx.I), v, valueType(s.Value))
+	case *kir.AtomicRMW:
+		return ctrlNone, t.execAtomic(s)
+	case *kir.If:
+		c, err := t.eval(s.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if truthy(c, s.Cond.Type()) {
+			return t.execBlock(s.Then)
+		}
+		return t.execBlock(s.Else)
+	case *kir.For:
+		if s.Init != nil {
+			if _, err := t.execStmt(s.Init); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if err := t.tick(); err != nil {
+				return ctrlNone, err
+			}
+			c, err := t.eval(s.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !truthy(c, s.Cond.Type()) {
+				break
+			}
+			cc, err := t.execBlock(s.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if cc == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			if cc == ctrlBreak {
+				break
+			}
+			if s.Post != nil {
+				if _, err := t.execStmt(s.Post); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+	case *kir.While:
+		for {
+			if err := t.tick(); err != nil {
+				return ctrlNone, err
+			}
+			c, err := t.eval(s.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !truthy(c, s.Cond.Type()) {
+				break
+			}
+			cc, err := t.execBlock(s.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if cc == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			if cc == ctrlBreak {
+				break
+			}
+		}
+	case *kir.Sync:
+		t.syncPoint()
+	case *kir.Return:
+		return ctrlReturn, nil
+	case *kir.BreakStmt:
+		return ctrlBreak, nil
+	case *kir.ContinueStmt:
+		return ctrlContinue, nil
+	default:
+		return ctrlNone, fmt.Errorf("interp: unknown statement %T", s)
+	}
+	return ctrlNone, nil
+}
+
+func valueType(e kir.Expr) kir.ScalarType { return e.Type() }
+
+func truthy(v Value, t kir.ScalarType) bool {
+	if t == kir.F32 {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+func (t *threadCtx) store(mem kir.MemRef, idx int, v Value, vt kir.ScalarType) error {
+	if mem.Space == kir.Shared {
+		arr := t.blk.shared[mem.Name]
+		if idx < 0 || idx >= len(arr) {
+			return fmt.Errorf("interp: %s: shared store out of bounds: %s[%d] (len %d)", t.blk.launch.Kernel.Name, mem.Name, idx, len(arr))
+		}
+		t.sharedStore(arr, idx, v)
+		elemSize := int64(t.blk.launch.Kernel.SharedArrayByName(mem.Name).Elem.Size())
+		t.work.SharedBytes += elemSize
+		return nil
+	}
+	p := t.blk.launch.Kernel.Params[mem.Param]
+	m := t.blk.launch.Mem
+	if idx < 0 || idx >= m.Len(mem.Param) {
+		return fmt.Errorf("interp: %s: global store out of bounds: %s[%d] (len %d)", t.blk.launch.Kernel.Name, mem.Name, idx, m.Len(mem.Param))
+	}
+	switch p.Elem {
+	case kir.F32:
+		m.StoreF32(mem.Param, idx, float32(v.F))
+	case kir.I32:
+		m.StoreI32(mem.Param, idx, int32(v.I))
+	case kir.U8:
+		m.StoreU8(mem.Param, idx, byte(v.I))
+	}
+	t.work.GlobalStoreBytes += int64(p.Elem.Size())
+	return nil
+}
+
+func (t *threadCtx) load(mem kir.MemRef, idx int, elemT kir.ScalarType) (Value, error) {
+	if mem.Space == kir.Shared {
+		arr := t.blk.shared[mem.Name]
+		if idx < 0 || idx >= len(arr) {
+			return Value{}, fmt.Errorf("interp: %s: shared load out of bounds: %s[%d] (len %d)", t.blk.launch.Kernel.Name, mem.Name, idx, len(arr))
+		}
+		t.work.SharedBytes += int64(elemT.Size())
+		return t.sharedLoad(arr, idx), nil
+	}
+	m := t.blk.launch.Mem
+	if idx < 0 || idx >= m.Len(mem.Param) {
+		return Value{}, fmt.Errorf("interp: %s: global load out of bounds: %s[%d] (len %d)", t.blk.launch.Kernel.Name, mem.Name, idx, m.Len(mem.Param))
+	}
+	t.work.GlobalLoadBytes += int64(elemT.Size())
+	switch elemT {
+	case kir.F32:
+		return FloatV(float64(m.LoadF32(mem.Param, idx))), nil
+	case kir.I32:
+		return IntV(int64(m.LoadI32(mem.Param, idx))), nil
+	case kir.U8:
+		return IntV(int64(m.LoadU8(mem.Param, idx))), nil
+	}
+	return Value{}, fmt.Errorf("interp: bad load type %s", elemT)
+}
+
+func (t *threadCtx) execAtomic(s *kir.AtomicRMW) error {
+	idx, err := t.eval(s.Index)
+	if err != nil {
+		return err
+	}
+	v, err := t.eval(s.Value)
+	if err != nil {
+		return err
+	}
+	t.atomicBegin()
+	defer t.atomicEnd()
+	elemT := kir.F32
+	if s.Mem.Space == kir.Global {
+		elemT = t.blk.launch.Kernel.Params[s.Mem.Param].Elem
+	} else {
+		elemT = t.blk.launch.Kernel.SharedArrayByName(s.Mem.Name).Elem
+	}
+	old, err := t.load(s.Mem, int(idx.I), elemT)
+	if err != nil {
+		return err
+	}
+	var nv Value
+	switch s.Op {
+	case kir.AtomicAdd:
+		if elemT == kir.F32 {
+			nv = FloatV(float64(float32(old.F) + float32(v.F)))
+			t.work.Flops++
+		} else {
+			nv = IntV(old.I + v.I)
+			t.work.IntOps++
+		}
+	case kir.AtomicMax:
+		if old.I >= v.I {
+			nv = old
+		} else {
+			nv = v
+		}
+		t.work.IntOps++
+	}
+	return t.store(s.Mem, int(idx.I), nv, elemT)
+}
+
+func (t *threadCtx) eval(e kir.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *kir.IntLit:
+		return IntV(e.Val), nil
+	case *kir.FloatLit:
+		return FloatV(float64(float32(e.Val))), nil
+	case *kir.VarRef:
+		return t.slots[e.Slot], nil
+	case *kir.BuiltinRef:
+		return t.builtin(e), nil
+	case *kir.Binary:
+		return t.evalBinary(e)
+	case *kir.Unary:
+		x, err := t.eval(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Op == kir.Neg {
+			if e.T == kir.F32 {
+				t.work.Flops++
+				return FloatV(-x.F), nil
+			}
+			t.work.IntOps++
+			return IntV(-x.I), nil
+		}
+		// Not
+		if truthy(x, e.X.Type()) {
+			return IntV(0), nil
+		}
+		return IntV(1), nil
+	case *kir.Load:
+		idx, err := t.eval(e.Index)
+		if err != nil {
+			return Value{}, err
+		}
+		return t.load(e.Mem, int(idx.I), e.T)
+	case *kir.Call:
+		return t.evalCall(e)
+	case *kir.Cast:
+		x, err := t.eval(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return castValue(x, e.X.Type(), e.To), nil
+	case *kir.Select:
+		c, err := t.eval(e.Cond)
+		if err != nil {
+			return Value{}, err
+		}
+		if truthy(c, e.Cond.Type()) {
+			return t.eval(e.A)
+		}
+		return t.eval(e.B)
+	}
+	return Value{}, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+func castValue(v Value, from, to kir.ScalarType) Value {
+	switch {
+	case from == to:
+		return v
+	case to == kir.F32:
+		if from.IsInteger() || from == kir.Bool {
+			return FloatV(float64(float32(v.I)))
+		}
+		return v
+	case to.IsInteger():
+		if from == kir.F32 {
+			return IntV(int64(v.F))
+		}
+		if to == kir.U8 {
+			return IntV(int64(byte(v.I)))
+		}
+		return v
+	}
+	return v
+}
+
+func (t *threadCtx) builtin(e *kir.BuiltinRef) Value {
+	l := t.blk.launch
+	switch e.B {
+	case kir.ThreadIdx:
+		if e.Axis == kir.X {
+			return IntV(int64(t.tx))
+		}
+		return IntV(int64(t.ty))
+	case kir.BlockIdx:
+		if e.Axis == kir.X {
+			return IntV(int64(t.blk.bx))
+		}
+		return IntV(int64(t.blk.by))
+	case kir.BlockDim:
+		if e.Axis == kir.X {
+			return IntV(int64(l.Block.X))
+		}
+		return IntV(int64(max(l.Block.Y, 1)))
+	default:
+		if e.Axis == kir.X {
+			return IntV(int64(l.Grid.X))
+		}
+		return IntV(int64(max(l.Grid.Y, 1)))
+	}
+}
+
+func (t *threadCtx) evalBinary(e *kir.Binary) (Value, error) {
+	// Short-circuit logicals.
+	if e.Op == kir.LAnd || e.Op == kir.LOr {
+		l, err := t.eval(e.L)
+		if err != nil {
+			return Value{}, err
+		}
+		lt := truthy(l, e.L.Type())
+		if e.Op == kir.LAnd && !lt {
+			return IntV(0), nil
+		}
+		if e.Op == kir.LOr && lt {
+			return IntV(1), nil
+		}
+		r, err := t.eval(e.R)
+		if err != nil {
+			return Value{}, err
+		}
+		if truthy(r, e.R.Type()) {
+			return IntV(1), nil
+		}
+		return IntV(0), nil
+	}
+	l, err := t.eval(e.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := t.eval(e.R)
+	if err != nil {
+		return Value{}, err
+	}
+	isF := e.L.Type() == kir.F32 || e.R.Type() == kir.F32
+	if e.Op.IsComparison() {
+		var res bool
+		if isF {
+			t.work.Flops++
+			switch e.Op {
+			case kir.Lt:
+				res = l.F < r.F
+			case kir.Le:
+				res = l.F <= r.F
+			case kir.Gt:
+				res = l.F > r.F
+			case kir.Ge:
+				res = l.F >= r.F
+			case kir.Eq:
+				res = l.F == r.F
+			case kir.Ne:
+				res = l.F != r.F
+			}
+		} else {
+			t.work.IntOps++
+			switch e.Op {
+			case kir.Lt:
+				res = l.I < r.I
+			case kir.Le:
+				res = l.I <= r.I
+			case kir.Gt:
+				res = l.I > r.I
+			case kir.Ge:
+				res = l.I >= r.I
+			case kir.Eq:
+				res = l.I == r.I
+			case kir.Ne:
+				res = l.I != r.I
+			}
+		}
+		if res {
+			return IntV(1), nil
+		}
+		return IntV(0), nil
+	}
+	if isF {
+		t.work.Flops++
+		var f float32
+		lf, rf := float32(l.F), float32(r.F)
+		switch e.Op {
+		case kir.Add:
+			f = lf + rf
+		case kir.Sub:
+			f = lf - rf
+		case kir.Mul:
+			f = lf * rf
+		case kir.Div:
+			f = lf / rf
+		default:
+			return Value{}, fmt.Errorf("interp: operator %s on floats", e.Op)
+		}
+		return FloatV(float64(f)), nil
+	}
+	t.work.IntOps++
+	var i int64
+	switch e.Op {
+	case kir.Add:
+		i = l.I + r.I
+	case kir.Sub:
+		i = l.I - r.I
+	case kir.Mul:
+		i = l.I * r.I
+	case kir.Div:
+		if r.I == 0 {
+			return Value{}, fmt.Errorf("interp: %s: integer division by zero", t.blk.launch.Kernel.Name)
+		}
+		i = l.I / r.I
+	case kir.Rem:
+		if r.I == 0 {
+			return Value{}, fmt.Errorf("interp: %s: integer modulo by zero", t.blk.launch.Kernel.Name)
+		}
+		i = l.I % r.I
+	case kir.BAnd:
+		i = l.I & r.I
+	case kir.BOr:
+		i = l.I | r.I
+	case kir.BXor:
+		i = l.I ^ r.I
+	case kir.Shl:
+		i = l.I << uint(r.I)
+	case kir.Shr:
+		i = l.I >> uint(r.I)
+	default:
+		return Value{}, fmt.Errorf("interp: operator %s on ints", e.Op)
+	}
+	return IntV(i), nil
+}
+
+func (t *threadCtx) evalCall(e *kir.Call) (Value, error) {
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := t.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	t.work.Flops += intrinsicFlops[e.Fn]
+	f32 := func(v float64) Value { return FloatV(float64(float32(v))) }
+	switch e.Fn {
+	case kir.Sqrt:
+		return f32(math.Sqrt(args[0].F)), nil
+	case kir.Exp:
+		return f32(math.Exp(args[0].F)), nil
+	case kir.Log:
+		return f32(math.Log(args[0].F)), nil
+	case kir.Fabs:
+		return f32(math.Abs(args[0].F)), nil
+	case kir.Fmin:
+		return f32(math.Min(args[0].F, args[1].F)), nil
+	case kir.Fmax:
+		return f32(math.Max(args[0].F, args[1].F)), nil
+	case kir.Pow:
+		return f32(math.Pow(args[0].F, args[1].F)), nil
+	case kir.Sin:
+		return f32(math.Sin(args[0].F)), nil
+	case kir.Cos:
+		return f32(math.Cos(args[0].F)), nil
+	case kir.Tanh:
+		return f32(math.Tanh(args[0].F)), nil
+	case kir.MinI:
+		return IntV(min(args[0].I, args[1].I)), nil
+	case kir.MaxI:
+		return IntV(max(args[0].I, args[1].I)), nil
+	case kir.AbsI:
+		if args[0].I < 0 {
+			return IntV(-args[0].I), nil
+		}
+		return IntV(args[0].I), nil
+	}
+	return Value{}, fmt.Errorf("interp: unknown intrinsic %s", e.Fn)
+}
+
+// tick charges one loop iteration against the thread's budget.
+func (t *threadCtx) tick() error {
+	t.iters++
+	limit := t.blk.launch.MaxLoopIters
+	if limit == 0 {
+		limit = DefaultMaxLoopIters
+	}
+	if t.iters > limit {
+		return fmt.Errorf("interp: kernel %s: thread exceeded %d loop iterations (runaway loop?)",
+			t.blk.launch.Kernel.Name, limit)
+	}
+	return nil
+}

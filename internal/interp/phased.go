@@ -1,0 +1,111 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// barrier is a cyclic barrier supporting early departure: a thread that
+// returns from the kernel leaves the barrier so the remaining threads can
+// still synchronize (matching the CUDA requirement that __syncthreads is
+// executed by all *live* threads of the block).
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     int
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting >= b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}
+
+func (b *barrier) leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parties--
+	if b.waiting >= b.parties && b.parties > 0 {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+}
+
+// runPhased executes the block with one goroutine per GPU thread, used when
+// the kernel contains __syncthreads.  Blocks in the evaluation suites that
+// use barriers have at most a few hundred threads, which Go handles easily.
+func (b *blockCtx) runPhased() (Work, error) {
+	l := b.launch
+	ydim := max(l.Block.Y, 1)
+	n := l.Block.X * ydim
+	bar := newBarrier(n)
+	b.concurrent = true
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	works := make([]Work, n)
+	for ty := 0; ty < ydim; ty++ {
+		for tx := 0; tx < l.Block.X; tx++ {
+			wg.Add(1)
+			go func(tx, ty, id int) {
+				defer wg.Done()
+				t := b.newThread(tx, ty)
+				t.bar = bar
+				_, err := t.execBlock(l.Kernel.Body)
+				bar.leave()
+				errs[id] = err
+				works[id] = t.work
+			}(tx, ty, ty*l.Block.X+tx)
+		}
+	}
+	wg.Wait()
+	b.concurrent = false
+	for _, err := range errs {
+		if err != nil {
+			return b.work, fmt.Errorf("interp: phased execution: %w", err)
+		}
+	}
+	for _, w := range works {
+		b.work.Add(w)
+	}
+	return b.work, nil
+}
+
+func (t *threadCtx) syncPoint() {
+	if t.bar != nil {
+		t.bar.await()
+	}
+}
+
+func (t *threadCtx) atomicBegin() {
+	if t.blk.concurrent {
+		t.blk.atomicMu.Lock()
+	}
+}
+
+func (t *threadCtx) atomicEnd() {
+	if t.blk.concurrent {
+		t.blk.atomicMu.Unlock()
+	}
+}
+
+func (t *threadCtx) sharedLoad(arr []Value, idx int) Value     { return arr[idx] }
+func (t *threadCtx) sharedStore(arr []Value, idx int, v Value) { arr[idx] = v }

@@ -1,0 +1,245 @@
+package kir
+
+import "fmt"
+
+// Expr is a side-effect-free kernel expression.  Every expression carries
+// its resolved scalar type.
+type Expr interface {
+	Type() ScalarType
+	exprNode()
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	Lt
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+	LAnd
+	LOr
+	BAnd
+	BOr
+	BXor
+	Shl
+	Shr
+)
+
+var binOpNames = [...]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Rem: "%",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Eq: "==", Ne: "!=",
+	LAnd: "&&", LOr: "||", BAnd: "&", BOr: "|", BXor: "^", Shl: "<<", Shr: ">>",
+}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether the operator yields a Bool.
+func (op BinOp) IsComparison() bool { return op >= Lt && op <= Ne }
+
+// IsLogical reports whether the operator is && or ||.
+func (op BinOp) IsLogical() bool { return op == LAnd || op == LOr }
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+const (
+	Neg UnOp = iota
+	Not
+)
+
+func (op UnOp) String() string {
+	if op == Neg {
+		return "-"
+	}
+	return "!"
+}
+
+// Intrinsic enumerates built-in math functions.
+type Intrinsic uint8
+
+const (
+	Sqrt Intrinsic = iota
+	Exp
+	Log
+	Fabs
+	Fmin
+	Fmax
+	Pow
+	Sin
+	Cos
+	Tanh
+	MinI
+	MaxI
+	AbsI
+)
+
+var intrinsicNames = [...]string{
+	Sqrt: "sqrtf", Exp: "expf", Log: "logf", Fabs: "fabsf",
+	Fmin: "fminf", Fmax: "fmaxf", Pow: "powf", Sin: "sinf", Cos: "cosf",
+	Tanh: "tanhf", MinI: "min", MaxI: "max", AbsI: "abs",
+}
+
+func (i Intrinsic) String() string { return intrinsicNames[i] }
+
+// NumArgs returns the arity of the intrinsic.
+func (i Intrinsic) NumArgs() int {
+	switch i {
+	case Fmin, Fmax, Pow, MinI, MaxI:
+		return 2
+	}
+	return 1
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+func (*IntLit) Type() ScalarType { return I32 }
+func (*IntLit) exprNode()        {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Val float64 }
+
+func (*FloatLit) Type() ScalarType { return F32 }
+func (*FloatLit) exprNode()        {}
+
+// VarRef reads a local variable or scalar parameter by slot.  Slots are
+// assigned by the front-end: parameters occupy slots [0, len(Params)) and
+// locals follow in declaration order.
+type VarRef struct {
+	Name string
+	Slot int
+	T    ScalarType
+}
+
+func (v *VarRef) Type() ScalarType { return v.T }
+func (*VarRef) exprNode()          {}
+
+// BuiltinRef reads a CUDA special register such as threadIdx.x.
+type BuiltinRef struct {
+	B    Builtin
+	Axis Axis
+}
+
+func (*BuiltinRef) Type() ScalarType { return I32 }
+func (*BuiltinRef) exprNode()        {}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+	T    ScalarType
+}
+
+func (b *Binary) Type() ScalarType { return b.T }
+func (*Binary) exprNode()          {}
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op UnOp
+	X  Expr
+	T  ScalarType
+}
+
+func (u *Unary) Type() ScalarType { return u.T }
+func (*Unary) exprNode()          {}
+
+// Load reads one element from global or shared memory.
+type Load struct {
+	Mem   MemRef
+	Index Expr
+	T     ScalarType
+}
+
+func (l *Load) Type() ScalarType { return l.T }
+func (*Load) exprNode()          {}
+
+// Call invokes a math intrinsic.
+type Call struct {
+	Fn   Intrinsic
+	Args []Expr
+	T    ScalarType
+}
+
+func (c *Call) Type() ScalarType { return c.T }
+func (*Call) exprNode()          {}
+
+// Cast converts between scalar types.
+type Cast struct {
+	To ScalarType
+	X  Expr
+}
+
+func (c *Cast) Type() ScalarType { return c.To }
+func (*Cast) exprNode()          {}
+
+// Select is the ternary operator cond ? a : b.
+type Select struct {
+	Cond Expr
+	A, B Expr
+	T    ScalarType
+}
+
+func (s *Select) Type() ScalarType { return s.T }
+func (*Select) exprNode()          {}
+
+// Int returns an integer literal expression.
+func Int(v int64) *IntLit { return &IntLit{Val: v} }
+
+// Float returns a float literal expression.
+func Float(v float64) *FloatLit { return &FloatLit{Val: v} }
+
+// Bin builds a binary expression, deriving the result type from the
+// operator and operand types (ints promote to float when mixed).
+func Bin(op BinOp, l, r Expr) *Binary {
+	t := l.Type()
+	if r.Type() == F32 || t == F32 {
+		t = F32
+	} else if t == U8 && r.Type() == I32 || t == I32 {
+		t = I32
+	}
+	if op.IsComparison() || op.IsLogical() {
+		t = Bool
+	}
+	return &Binary{Op: op, L: l, R: r, T: t}
+}
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Val)
+	case *FloatLit:
+		return fmt.Sprintf("%g", e.Val)
+	case *VarRef:
+		return e.Name
+	case *BuiltinRef:
+		return fmt.Sprintf("%s.%s", e.B, e.Axis)
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", exprString(e.L), e.Op, exprString(e.R))
+	case *Unary:
+		return fmt.Sprintf("%s%s", e.Op, exprString(e.X))
+	case *Load:
+		return fmt.Sprintf("%s[%s]", e.Mem.Name, exprString(e.Index))
+	case *Call:
+		s := e.Fn.String() + "("
+		for i, a := range e.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += exprString(a)
+		}
+		return s + ")"
+	case *Cast:
+		return fmt.Sprintf("(%s)%s", e.To, exprString(e.X))
+	case *Select:
+		return fmt.Sprintf("(%s ? %s : %s)", exprString(e.Cond), exprString(e.A), exprString(e.B))
+	}
+	return "?"
+}

@@ -1,0 +1,223 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildVecCopy hand-constructs the paper's Listing 1 kernel in IR, the way
+// a non-parser front-end (or test generator) would.
+func buildVecCopy() *Kernel {
+	// int id = blockDim.x * blockIdx.x + threadIdx.x;
+	gid := Bin(Add,
+		Bin(Mul, &BuiltinRef{B: BlockDim, Axis: X}, &BuiltinRef{B: BlockIdx, Axis: X}),
+		&BuiltinRef{B: ThreadIdx, Axis: X})
+	idRef := &VarRef{Name: "id", Slot: 3, T: I32}
+	return &Kernel{
+		Name: "vec_copy",
+		Params: []Param{
+			{Name: "src", Elem: U8, Pointer: true},
+			{Name: "dest", Elem: U8, Pointer: true},
+			{Name: "n", Elem: I32},
+		},
+		NumSlots: 4,
+		Body: Block{
+			&Decl{Name: "id", Slot: 3, T: I32, Init: gid},
+			&If{
+				Cond: Bin(Lt, idRef, &VarRef{Name: "n", Slot: 2, T: I32}),
+				Then: Block{
+					&Store{
+						Mem:   MemRef{Space: Global, Param: 1, Name: "dest"},
+						Index: idRef,
+						Value: &Load{Mem: MemRef{Space: Global, Param: 0, Name: "src"}, Index: idRef, T: U8},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestHandBuiltKernelValidates(t *testing.T) {
+	k := buildVecCopy()
+	if err := k.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Kernel)
+		want   string
+	}{
+		{"bad slot", func(k *Kernel) { k.Body[0].(*Decl).Slot = 99 }, "slot"},
+		{"bad param index", func(k *Kernel) {
+			st := k.Body[1].(*If).Then[0].(*Store)
+			st.Mem.Param = 7
+		}, "out of range"},
+		{"store through scalar", func(k *Kernel) {
+			st := k.Body[1].(*If).Then[0].(*Store)
+			st.Mem.Param = 2 // n is not a pointer
+		}, "not a pointer"},
+		{"duplicate param", func(k *Kernel) { k.Params[1].Name = "src" }, "duplicate"},
+		{"empty name", func(k *Kernel) { k.Name = "" }, "empty"},
+		{"break outside loop", func(k *Kernel) { k.Body = append(k.Body, &BreakStmt{}) }, "break"},
+		{"unknown shared", func(k *Kernel) {
+			k.Body = append(k.Body, &Store{Mem: MemRef{Space: Shared, Name: "ghost"}, Index: Int(0), Value: Int(1)})
+		}, "unknown shared"},
+		{"float index", func(k *Kernel) {
+			st := k.Body[1].(*If).Then[0].(*Store)
+			st.Index = Float(1.5)
+		}, "non-integer index"},
+		{"bad intrinsic arity", func(k *Kernel) {
+			k.Body = append(k.Body, &Assign{Name: "id", Slot: 3,
+				Value: &Call{Fn: Fmin, Args: []Expr{Float(1)}, T: F32}})
+		}, "args"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			k := buildVecCopy()
+			c.mutate(k)
+			err := k.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted invalid IR")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPrinterRoundTrip(t *testing.T) {
+	k := buildVecCopy()
+	s := k.String()
+	for _, want := range []string{
+		"__global__ void vec_copy(char* src, char* dest, int n)",
+		"if (", "dest[", "src[", "blockDim.x", "threadIdx.x",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed kernel missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWalkStmtsOrder(t *testing.T) {
+	k := buildVecCopy()
+	var kinds []string
+	WalkStmts(k.Body, func(s Stmt) {
+		switch s.(type) {
+		case *Decl:
+			kinds = append(kinds, "decl")
+		case *If:
+			kinds = append(kinds, "if")
+		case *Store:
+			kinds = append(kinds, "store")
+		}
+	})
+	if strings.Join(kinds, ",") != "decl,if,store" {
+		t.Errorf("walk order = %v", kinds)
+	}
+}
+
+func TestWalkExprsFindsAll(t *testing.T) {
+	k := buildVecCopy()
+	loads, builtins := 0, 0
+	WalkExprs(k.Body, func(e Expr) {
+		switch e.(type) {
+		case *Load:
+			loads++
+		case *BuiltinRef:
+			builtins++
+		}
+	})
+	if loads != 1 {
+		t.Errorf("loads = %d, want 1", loads)
+	}
+	if builtins != 3 {
+		t.Errorf("builtins = %d, want 3", builtins)
+	}
+}
+
+func TestGlobalStores(t *testing.T) {
+	k := buildVecCopy()
+	if got := len(k.GlobalStores()); got != 1 {
+		t.Errorf("GlobalStores = %d, want 1", got)
+	}
+	// Shared stores do not count.
+	k.Shared = append(k.Shared, SharedArray{Name: "buf", Elem: F32, Len: 8})
+	k.Body = append(k.Body, &Store{Mem: MemRef{Space: Shared, Name: "buf"}, Index: Int(0), Value: Float(1)})
+	if got := len(k.GlobalStores()); got != 1 {
+		t.Errorf("GlobalStores with shared = %d, want 1", got)
+	}
+}
+
+func TestScalarTypeProperties(t *testing.T) {
+	cases := []struct {
+		t       ScalarType
+		size    int
+		numeric bool
+		integer bool
+	}{
+		{I32, 4, true, true},
+		{F32, 4, true, false},
+		{U8, 1, true, true},
+		{Bool, 1, false, false},
+		{Invalid, 0, false, false},
+	}
+	for _, c := range cases {
+		if c.t.Size() != c.size {
+			t.Errorf("%s.Size() = %d, want %d", c.t, c.t.Size(), c.size)
+		}
+		if c.t.IsNumeric() != c.numeric {
+			t.Errorf("%s.IsNumeric() = %v", c.t, c.t.IsNumeric())
+		}
+		if c.t.IsInteger() != c.integer {
+			t.Errorf("%s.IsInteger() = %v", c.t, c.t.IsInteger())
+		}
+	}
+}
+
+func TestBinTypeInference(t *testing.T) {
+	if got := Bin(Add, Int(1), Float(2)).Type(); got != F32 {
+		t.Errorf("int + float = %s, want float", got)
+	}
+	if got := Bin(Lt, Int(1), Int(2)).Type(); got != Bool {
+		t.Errorf("int < int = %s, want bool", got)
+	}
+	if got := Bin(Mul, Int(1), Int(2)).Type(); got != I32 {
+		t.Errorf("int * int = %s, want int", got)
+	}
+}
+
+func TestModuleLookup(t *testing.T) {
+	m := &Module{Kernels: []*Kernel{buildVecCopy()}}
+	if m.Kernel("vec_copy") == nil {
+		t.Error("lookup failed")
+	}
+	if m.Kernel("nope") != nil {
+		t.Error("phantom kernel found")
+	}
+	k := m.Kernel("vec_copy")
+	if k.ParamIndex("dest") != 1 || k.ParamIndex("ghost") != -1 {
+		t.Error("ParamIndex wrong")
+	}
+	if k.HasSync() {
+		t.Error("HasSync on kernel without barriers")
+	}
+	k.Body = append(k.Body, &Sync{})
+	if !k.HasSync() {
+		t.Error("HasSync missed the barrier")
+	}
+}
+
+func TestIntrinsicNames(t *testing.T) {
+	for fn := Sqrt; fn <= AbsI; fn++ {
+		if fn.String() == "" {
+			t.Errorf("intrinsic %d has no name", fn)
+		}
+		if fn.NumArgs() < 1 || fn.NumArgs() > 2 {
+			t.Errorf("%s arity %d", fn, fn.NumArgs())
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package kir
+
+// Stmt is a kernel statement.
+type Stmt interface{ stmtNode() }
+
+// Block is a statement list.
+type Block []Stmt
+
+// Decl declares a local variable (with optional initializer) bound to Slot.
+type Decl struct {
+	Name string
+	Slot int
+	T    ScalarType
+	Init Expr // may be nil
+}
+
+func (*Decl) stmtNode() {}
+
+// Assign writes a local variable slot.
+type Assign struct {
+	Name  string
+	Slot  int
+	Value Expr
+}
+
+func (*Assign) stmtNode() {}
+
+// Store writes one element to global or shared memory.
+type Store struct {
+	Mem   MemRef
+	Index Expr
+	Value Expr
+}
+
+func (*Store) stmtNode() {}
+
+// AtomicOp enumerates atomic read-modify-write operations.
+type AtomicOp uint8
+
+const (
+	// AtomicAdd corresponds to CUDA atomicAdd.
+	AtomicAdd AtomicOp = iota
+	// AtomicMax corresponds to CUDA atomicMax (integer).
+	AtomicMax
+)
+
+func (op AtomicOp) String() string {
+	if op == AtomicAdd {
+		return "atomicAdd"
+	}
+	return "atomicMax"
+}
+
+// AtomicRMW performs an atomic read-modify-write on memory.  As in the
+// paper, atomics to global memory make a kernel non-distributable (blocks'
+// write sets overlap).
+type AtomicRMW struct {
+	Op    AtomicOp
+	Mem   MemRef
+	Index Expr
+	Value Expr
+}
+
+func (*AtomicRMW) stmtNode() {}
+
+// If is a conditional.
+type If struct {
+	Cond Expr
+	Then Block
+	Else Block // may be nil
+}
+
+func (*If) stmtNode() {}
+
+// For is a C-style for loop.  Init and Post may be nil.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Block
+}
+
+func (*For) stmtNode() {}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body Block
+}
+
+func (*While) stmtNode() {}
+
+// Sync is a __syncthreads() barrier across the threads of one block.
+type Sync struct{}
+
+func (*Sync) stmtNode() {}
+
+// Return exits the kernel for the executing thread.
+type Return struct{}
+
+func (*Return) stmtNode() {}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{}
+
+func (*BreakStmt) stmtNode() {}
+
+// ContinueStmt skips to the next iteration of the innermost loop.
+type ContinueStmt struct{}
+
+func (*ContinueStmt) stmtNode() {}

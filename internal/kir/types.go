@@ -1,0 +1,131 @@
+// Package kir defines the CuCC kernel intermediate representation.
+//
+// The paper applies its analysis and transformations at the LLVM IR level;
+// this package is the stand-in: a typed, structured IR for GPU kernels that
+// the front-end (internal/lang) lowers to, the Allgather-distributable
+// analysis (internal/analysis) inspects, and the reference interpreter
+// (internal/interp) executes.
+package kir
+
+import "fmt"
+
+// ScalarType enumerates the scalar types supported by kernels.
+type ScalarType uint8
+
+const (
+	Invalid ScalarType = iota
+	// I32 is a 32-bit signed integer (CUDA "int").
+	I32
+	// F32 is a 32-bit float (CUDA "float").
+	F32
+	// U8 is an unsigned byte (CUDA "char"/"unsigned char").
+	U8
+	// Bool is the result type of comparisons and logical operators.
+	Bool
+)
+
+// Size returns the in-memory size of the type in bytes.
+func (t ScalarType) Size() int {
+	switch t {
+	case I32, F32:
+		return 4
+	case U8, Bool:
+		return 1
+	}
+	return 0
+}
+
+// IsNumeric reports whether the type participates in arithmetic.
+func (t ScalarType) IsNumeric() bool { return t == I32 || t == F32 || t == U8 }
+
+// IsInteger reports whether the type is an integer type.
+func (t ScalarType) IsInteger() bool { return t == I32 || t == U8 }
+
+func (t ScalarType) String() string {
+	switch t {
+	case I32:
+		return "int"
+	case F32:
+		return "float"
+	case U8:
+		return "char"
+	case Bool:
+		return "bool"
+	}
+	return "invalid"
+}
+
+// Axis identifies a CUDA dimension (.x or .y).  The front-end and runtime
+// support two grid/block dimensions, which covers every kernel in the
+// evaluation suites.
+type Axis uint8
+
+const (
+	// X is the fastest-varying dimension.
+	X Axis = iota
+	// Y is the second dimension.
+	Y
+)
+
+func (a Axis) String() string {
+	if a == X {
+		return "x"
+	}
+	return "y"
+}
+
+// Builtin identifies a CUDA special register.
+type Builtin uint8
+
+const (
+	ThreadIdx Builtin = iota
+	BlockIdx
+	BlockDim
+	GridDim
+)
+
+func (b Builtin) String() string {
+	switch b {
+	case ThreadIdx:
+		return "threadIdx"
+	case BlockIdx:
+		return "blockIdx"
+	case BlockDim:
+		return "blockDim"
+	}
+	return "gridDim"
+}
+
+// MemSpace distinguishes the address spaces a memory operation can target.
+type MemSpace uint8
+
+const (
+	// Global memory is visible to all blocks and is the only space that
+	// requires cross-node communication after migration.
+	Global MemSpace = iota
+	// Shared memory is per-block (__shared__); after migration it is
+	// private to the CPU node executing the block.
+	Shared
+)
+
+func (s MemSpace) String() string {
+	if s == Global {
+		return "global"
+	}
+	return "shared"
+}
+
+// MemRef names a memory object: either a pointer parameter (global) or a
+// named __shared__ array.
+type MemRef struct {
+	Space MemSpace
+	// Param is the kernel parameter index for Space == Global.
+	Param int
+	// Name is the array name for Space == Shared (and mirrors the
+	// parameter name for Global, for diagnostics).
+	Name string
+}
+
+func (m MemRef) String() string {
+	return fmt.Sprintf("%s:%s", m.Space, m.Name)
+}

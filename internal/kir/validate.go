@@ -1,0 +1,128 @@
+package kir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks structural invariants of a kernel: slot bounds, memory
+// references resolving to declared parameters/shared arrays, expression
+// types, and intrinsic arities.  The front-end guarantees these; Validate
+// exists so that hand-built IR (tests, generators) is checked too.
+func (k *Kernel) Validate() error {
+	var errs []error
+	check := func(cond bool, format string, args ...any) {
+		if !cond {
+			errs = append(errs, fmt.Errorf("kernel %s: "+format, append([]any{k.Name}, args...)...))
+		}
+	}
+	checkMem := func(m MemRef) {
+		switch m.Space {
+		case Global:
+			check(m.Param >= 0 && m.Param < len(k.Params), "memref %s: param index %d out of range", m, m.Param)
+			if m.Param >= 0 && m.Param < len(k.Params) {
+				check(k.Params[m.Param].Pointer, "memref %s: param %q is not a pointer", m, k.Params[m.Param].Name)
+			}
+		case Shared:
+			check(k.SharedArrayByName(m.Name) != nil, "memref %s: unknown shared array", m)
+		}
+	}
+	var checkExpr func(e Expr)
+	checkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case nil:
+			errs = append(errs, fmt.Errorf("kernel %s: nil expression", k.Name))
+		case *VarRef:
+			check(e.Slot >= 0 && e.Slot < k.NumSlots, "var %q: slot %d out of range [0,%d)", e.Name, e.Slot, k.NumSlots)
+			check(e.T != Invalid, "var %q: invalid type", e.Name)
+		case *Binary:
+			checkExpr(e.L)
+			checkExpr(e.R)
+			check(e.T != Invalid, "binary %s: invalid type", e.Op)
+		case *Unary:
+			checkExpr(e.X)
+		case *Load:
+			checkMem(e.Mem)
+			checkExpr(e.Index)
+			check(e.Index.Type().IsInteger(), "load %s: non-integer index", e.Mem)
+		case *Call:
+			check(len(e.Args) == e.Fn.NumArgs(), "call %s: got %d args, want %d", e.Fn, len(e.Args), e.Fn.NumArgs())
+			for _, a := range e.Args {
+				checkExpr(a)
+			}
+		case *Cast:
+			checkExpr(e.X)
+			check(e.To != Invalid, "cast to invalid type")
+		case *Select:
+			checkExpr(e.Cond)
+			checkExpr(e.A)
+			checkExpr(e.B)
+		case *IntLit, *FloatLit, *BuiltinRef:
+		default:
+			errs = append(errs, fmt.Errorf("kernel %s: unknown expression %T", k.Name, e))
+		}
+	}
+	var checkBlock func(b Block, inLoop bool)
+	checkBlock = func(b Block, inLoop bool) {
+		for _, s := range b {
+			switch s := s.(type) {
+			case *Decl:
+				check(s.Slot >= len(k.Params) && s.Slot < k.NumSlots, "decl %q: slot %d outside local range [%d,%d)", s.Name, s.Slot, len(k.Params), k.NumSlots)
+				if s.Init != nil {
+					checkExpr(s.Init)
+				}
+			case *Assign:
+				check(s.Slot >= 0 && s.Slot < k.NumSlots, "assign %q: slot %d out of range", s.Name, s.Slot)
+				checkExpr(s.Value)
+			case *Store:
+				checkMem(s.Mem)
+				checkExpr(s.Index)
+				checkExpr(s.Value)
+				check(s.Index.Type().IsInteger(), "store %s: non-integer index", s.Mem)
+			case *AtomicRMW:
+				checkMem(s.Mem)
+				checkExpr(s.Index)
+				checkExpr(s.Value)
+			case *If:
+				checkExpr(s.Cond)
+				check(s.Cond.Type() == Bool || s.Cond.Type().IsInteger(), "if condition has type %s", s.Cond.Type())
+				checkBlock(s.Then, inLoop)
+				checkBlock(s.Else, inLoop)
+			case *For:
+				if s.Init != nil {
+					checkBlock(Block{s.Init}, inLoop)
+				}
+				if s.Cond != nil {
+					checkExpr(s.Cond)
+				}
+				if s.Post != nil {
+					checkBlock(Block{s.Post}, true)
+				}
+				checkBlock(s.Body, true)
+			case *While:
+				checkExpr(s.Cond)
+				checkBlock(s.Body, true)
+			case *BreakStmt:
+				check(inLoop, "break outside loop")
+			case *ContinueStmt:
+				check(inLoop, "continue outside loop")
+			case *Sync, *Return:
+			default:
+				errs = append(errs, fmt.Errorf("kernel %s: unknown statement %T", k.Name, s))
+			}
+		}
+	}
+	check(k.Name != "", "empty kernel name")
+	check(k.NumSlots >= len(k.Params), "NumSlots %d < %d params", k.NumSlots, len(k.Params))
+	seen := map[string]bool{}
+	for _, p := range k.Params {
+		check(!seen[p.Name], "duplicate parameter %q", p.Name)
+		seen[p.Name] = true
+	}
+	for _, sh := range k.Shared {
+		check(sh.Len > 0, "shared array %q has non-positive length", sh.Name)
+		check(!seen[sh.Name], "shared array %q shadows a parameter", sh.Name)
+	}
+	checkBlock(k.Body, false)
+	return errors.Join(errs...)
+}

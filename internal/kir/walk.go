@@ -1,0 +1,75 @@
+package kir
+
+// WalkStmts calls fn for every statement in the block, recursively,
+// in source order.
+func WalkStmts(b Block, fn func(Stmt)) {
+	for _, s := range b {
+		fn(s)
+		switch s := s.(type) {
+		case *If:
+			WalkStmts(s.Then, fn)
+			WalkStmts(s.Else, fn)
+		case *For:
+			if s.Init != nil {
+				fn(s.Init)
+			}
+			WalkStmts(s.Body, fn)
+			if s.Post != nil {
+				fn(s.Post)
+			}
+		case *While:
+			WalkStmts(s.Body, fn)
+		}
+	}
+}
+
+// WalkExprs calls fn for every expression appearing in the block,
+// recursively (including sub-expressions).
+func WalkExprs(b Block, fn func(Expr)) {
+	var visitExpr func(e Expr)
+	visitExpr = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch e := e.(type) {
+		case *Binary:
+			visitExpr(e.L)
+			visitExpr(e.R)
+		case *Unary:
+			visitExpr(e.X)
+		case *Load:
+			visitExpr(e.Index)
+		case *Call:
+			for _, a := range e.Args {
+				visitExpr(a)
+			}
+		case *Cast:
+			visitExpr(e.X)
+		case *Select:
+			visitExpr(e.Cond)
+			visitExpr(e.A)
+			visitExpr(e.B)
+		}
+	}
+	WalkStmts(b, func(s Stmt) {
+		switch s := s.(type) {
+		case *Decl:
+			visitExpr(s.Init)
+		case *Assign:
+			visitExpr(s.Value)
+		case *Store:
+			visitExpr(s.Index)
+			visitExpr(s.Value)
+		case *AtomicRMW:
+			visitExpr(s.Index)
+			visitExpr(s.Value)
+		case *If:
+			visitExpr(s.Cond)
+		case *For:
+			visitExpr(s.Cond)
+		case *While:
+			visitExpr(s.Cond)
+		}
+	})
+}

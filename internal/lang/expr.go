@@ -1,0 +1,256 @@
+package lang
+
+import "cucc/internal/kir"
+
+// binary operator precedence, higher binds tighter.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var binOps = map[string]kir.BinOp{
+	"||": kir.LOr, "&&": kir.LAnd, "|": kir.BOr, "^": kir.BXor, "&": kir.BAnd,
+	"==": kir.Eq, "!=": kir.Ne, "<": kir.Lt, "<=": kir.Le, ">": kir.Gt, ">=": kir.Ge,
+	"<<": kir.Shl, ">>": kir.Shr, "+": kir.Add, "-": kir.Sub, "*": kir.Mul,
+	"/": kir.Div, "%": kir.Rem,
+}
+
+var intrinsics = map[string]kir.Intrinsic{
+	"sqrtf": kir.Sqrt, "sqrt": kir.Sqrt,
+	"expf": kir.Exp, "exp": kir.Exp,
+	"logf": kir.Log, "log": kir.Log,
+	"fabsf": kir.Fabs, "fabs": kir.Fabs,
+	"fminf": kir.Fmin, "fmin": kir.Fmin,
+	"fmaxf": kir.Fmax, "fmax": kir.Fmax,
+	"powf": kir.Pow, "pow": kir.Pow,
+	"sinf": kir.Sin, "sin": kir.Sin,
+	"cosf": kir.Cos, "cos": kir.Cos,
+	"tanhf": kir.Tanh, "tanh": kir.Tanh,
+	"min": kir.MinI, "max": kir.MaxI, "abs": kir.AbsI,
+}
+
+// coerce inserts a cast when the expression type differs from want.
+func coerce(e kir.Expr, want kir.ScalarType) kir.Expr {
+	got := e.Type()
+	if got == want {
+		return e
+	}
+	// Bool used as int (e.g., int ok = a < b).
+	if got == kir.Bool && want.IsInteger() {
+		return &kir.Cast{To: want, X: e}
+	}
+	if got.IsNumeric() && want.IsNumeric() {
+		// Constant-fold literal conversions for cleaner IR.
+		if il, ok := e.(*kir.IntLit); ok && want == kir.F32 {
+			return kir.Float(float64(il.Val))
+		}
+		return &kir.Cast{To: want, X: e}
+	}
+	return e
+}
+
+// parseExpr parses a full expression including the ternary operator.
+func (p *parser) parseExpr() (kir.Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.eatPunct("?") {
+		return cond, nil
+	}
+	a, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	b, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := a.Type()
+	if b.Type() == kir.F32 || t == kir.F32 {
+		t = kir.F32
+		a, b = coerce(a, t), coerce(b, t)
+	}
+	return &kir.Select{Cond: cond, A: a, B: b, T: t}, nil
+}
+
+// parseBinary is precedence-climbing over binary operators.
+func (p *parser) parseBinary(minPrec int) (kir.Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		op := binOps[t.Text]
+		l, r := lhs, rhs
+		// Arithmetic promotion: int op float -> float op float.
+		if !op.IsLogical() {
+			if l.Type() == kir.F32 || r.Type() == kir.F32 {
+				l, r = coerce(l, kir.F32), coerce(r, kir.F32)
+			}
+		}
+		lhs = kir.Bin(op, l, r)
+	}
+}
+
+func (p *parser) parseUnary() (kir.Expr, error) {
+	switch {
+	case p.eatPunct("-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if il, ok := x.(*kir.IntLit); ok {
+			return kir.Int(-il.Val), nil
+		}
+		if fl, ok := x.(*kir.FloatLit); ok {
+			return kir.Float(-fl.Val), nil
+		}
+		return &kir.Unary{Op: kir.Neg, X: x, T: x.Type()}, nil
+	case p.eatPunct("+"):
+		return p.parseUnary()
+	case p.eatPunct("!"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &kir.Unary{Op: kir.Not, X: x, T: kir.Bool}, nil
+	case p.atPunct("("):
+		// Either a cast "(type)expr" or a parenthesized expression.
+		if p.toks[p.pos+1].Kind == TokKeyword {
+			switch p.toks[p.pos+1].Text {
+			case "int", "float", "char", "unsigned":
+				p.next() // (
+				t, _ := parseScalarType(p)
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &kir.Cast{To: t, X: x}, nil
+			}
+		}
+		p.next() // (
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (kir.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		return kir.Int(t.Int), nil
+	case TokFloatLit:
+		p.next()
+		return kir.Float(t.Float), nil
+	case TokIdent:
+		name := t.Text
+		// Builtins: threadIdx.x etc.
+		if b, ok := builtinNames[name]; ok {
+			p.next()
+			if err := p.expectPunct("."); err != nil {
+				return nil, err
+			}
+			ax := p.next()
+			var axis kir.Axis
+			switch ax.Text {
+			case "x":
+				axis = kir.X
+			case "y":
+				axis = kir.Y
+			default:
+				return nil, errf(ax.Line, ax.Col, "unsupported axis %q (only .x and .y)", ax.Text)
+			}
+			return &kir.BuiltinRef{B: b, Axis: axis}, nil
+		}
+		// Intrinsic call.
+		if fn, ok := intrinsics[name]; ok && p.toks[p.pos+1].Text == "(" {
+			p.next()
+			p.next() // (
+			var args []kir.Expr
+			for !p.atPunct(")") {
+				if len(args) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.next() // )
+			if len(args) != fn.NumArgs() {
+				return nil, errf(t.Line, t.Col, "%s expects %d args, got %d", fn, fn.NumArgs(), len(args))
+			}
+			retT := kir.F32
+			if fn == kir.MinI || fn == kir.MaxI || fn == kir.AbsI {
+				retT = kir.I32
+			} else {
+				for i, a := range args {
+					args[i] = coerce(a, kir.F32)
+					_ = a
+				}
+			}
+			return &kir.Call{Fn: fn, Args: args, T: retT}, nil
+		}
+		p.next()
+		// Array load.
+		if p.atPunct("[") {
+			mem, idx, elemT, err := p.parseIndexFor(name)
+			if err != nil {
+				return nil, err
+			}
+			return &kir.Load{Mem: mem, Index: idx, T: elemT}, nil
+		}
+		v, ok := p.lookup(name)
+		if !ok {
+			return nil, errf(t.Line, t.Col, "undeclared identifier %q", name)
+		}
+		return &kir.VarRef{Name: name, Slot: v.slot, T: v.typ}, nil
+	}
+	return nil, errf(t.Line, t.Col, "expected expression, found %s", t)
+}
+
+var builtinNames = map[string]kir.Builtin{
+	"threadIdx": kir.ThreadIdx,
+	"blockIdx":  kir.BlockIdx,
+	"blockDim":  kir.BlockDim,
+	"gridDim":   kir.GridDim,
+}

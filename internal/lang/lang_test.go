@@ -1,0 +1,406 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"cucc/internal/kir"
+)
+
+const vecCopySrc = `
+__global__ void vec_copy(char *src, char *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n)
+        dest[id] = src[id];
+}
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("int x = 42; float y = 3.5f; // comment\nx += 0x1F;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Fatalf("missing EOF token")
+	}
+	// int x = 42 ;
+	if toks[0].Kind != TokKeyword || toks[0].Text != "int" {
+		t.Errorf("tok0 = %v, want keyword int", toks[0])
+	}
+	if toks[3].Kind != TokIntLit || toks[3].Int != 42 {
+		t.Errorf("tok3 = %v, want int 42", toks[3])
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == TokFloatLit && tk.Float == 3.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("float literal 3.5f not lexed: %v", kinds)
+	}
+	for _, tk := range toks {
+		if tk.Kind == TokIntLit && tk.Text == "0x1F" && tk.Int != 31 {
+			t.Errorf("hex literal = %d, want 31", tk.Int)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d, want 1:1", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("bb at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "/* unterminated", "int $x;"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseVecCopy(t *testing.T) {
+	mod, err := Parse(vecCopySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mod.Kernel("vec_copy")
+	if k == nil {
+		t.Fatal("kernel vec_copy not found")
+	}
+	if len(k.Params) != 3 {
+		t.Fatalf("got %d params, want 3", len(k.Params))
+	}
+	if !k.Params[0].Pointer || k.Params[0].Elem != kir.U8 {
+		t.Errorf("param 0 = %v, want char*", k.Params[0])
+	}
+	if k.Params[2].Pointer || k.Params[2].Elem != kir.I32 {
+		t.Errorf("param 2 = %v, want int", k.Params[2])
+	}
+	if err := k.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	stores := k.GlobalStores()
+	if len(stores) != 1 {
+		t.Fatalf("got %d global stores, want 1", len(stores))
+	}
+}
+
+func TestParseSharedAndSync(t *testing.T) {
+	src := `
+__global__ void transpose(float* in, float* out, int n) {
+    __shared__ float tile[16][16];
+    int x = blockIdx.x * 16 + threadIdx.x;
+    int y = blockIdx.y * 16 + threadIdx.y;
+    tile[threadIdx.y * 16 + threadIdx.x] = in[y * n + x];
+    __syncthreads();
+    out[x * n + y] = tile[threadIdx.y * 16 + threadIdx.x];
+}
+`
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mod.Kernel("transpose")
+	if len(k.Shared) != 1 || k.Shared[0].Len != 256 {
+		t.Fatalf("shared = %+v, want one 256-element array", k.Shared)
+	}
+	if !k.HasSync() {
+		t.Error("HasSync() = false, want true")
+	}
+}
+
+func TestParseForLoopAndIntrinsics(t *testing.T) {
+	src := `
+__global__ void fir(float* in, float* out, float* coeff, int n, int taps) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        float sum = 0.0f;
+        for (int i = 0; i < taps; i++) {
+            sum += coeff[i] * in[id + i];
+        }
+        out[id] = sqrtf(fabsf(sum));
+    }
+}
+`
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mod.Kernel("fir")
+	if err := k.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Printing should round-trip key constructs.
+	s := k.String()
+	for _, want := range []string{"for (", "sqrtf(", "out[", "blockIdx.x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed kernel missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestParseTernaryAndCast(t *testing.T) {
+	src := `
+__global__ void clampk(float* x, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        float v = x[id];
+        x[id] = v > 1.0f ? 1.0f : (float)0;
+    }
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAtomic(t *testing.T) {
+	src := `
+__global__ void hist(char* data, int* bins, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        atomicAdd(&bins[data[id]], 1);
+}
+`
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := mod.Kernel("hist").GlobalStores()
+	if len(stores) != 1 {
+		t.Fatalf("got %d global writes, want 1 (the atomic)", len(stores))
+	}
+	if _, ok := stores[0].(*kir.AtomicRMW); !ok {
+		t.Errorf("global write is %T, want *kir.AtomicRMW", stores[0])
+	}
+}
+
+func TestParseMultiKernel(t *testing.T) {
+	src := vecCopySrc + `
+__global__ void scale(float* x, float a, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) x[id] = x[id] * a;
+}
+`
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Kernels) != 2 {
+		t.Fatalf("got %d kernels, want 2", len(mod.Kernels))
+	}
+	if mod.Kernel("scale") == nil || mod.Kernel("vec_copy") == nil {
+		t.Error("kernel lookup by name failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no kernels", "  ", "no __global__"},
+		{"missing global", "void f() {}", "__global__"},
+		{"non-void", "__global__ int f() {}", "void"},
+		{"undeclared", "__global__ void f(int n) { x = 1; }", "undeclared"},
+		{"redeclared", "__global__ void f(int n) { int n = 1; }", "redeclaration"},
+		{"dup kernel", vecCopySrc + vecCopySrc, "duplicate kernel"},
+		{"bad axis", "__global__ void f(int* a) { a[threadIdx.z] = 1; }", "axis"},
+		{"not array", "__global__ void f(int n) { n[0] = 1; }", "not an array"},
+		{"missing semi", "__global__ void f(int* a) { a[0] = 1 }", "expected"},
+		{"float index", "__global__ void f(float* a) { a[a[0]] = 1.0f; }", "integer"},
+		{"break outside loop", "__global__ void f(int* a) { break; }", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error")
+			}
+			if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestScopingInBlocks(t *testing.T) {
+	src := `
+__global__ void f(int* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int i = 0; i < 2; i++) {
+        int tmp = i * 10;
+        if (id < n) out[id] = tmp;
+    }
+    for (int i = 0; i < 3; i++) {
+        if (id < n) out[id] = out[id] + i;
+    }
+}
+`
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two loop variables must get distinct slots.
+	if mod.Kernels[0].NumSlots < 5 {
+		t.Errorf("NumSlots = %d, want >= 5 (2 params + id + 2 loop vars)", mod.Kernels[0].NumSlots)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad source")
+		}
+	}()
+	MustParse("not a kernel")
+}
+
+func TestPreprocessorDefine(t *testing.T) {
+	// The paper's Listing 1, verbatim.
+	src := `
+#define N 1200
+__global__ void vec_copy(char *src, char *dest) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < N)
+        dest[id] = src[id];
+}
+`
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mod.Kernel("vec_copy")
+	if len(k.Params) != 2 {
+		t.Fatalf("got %d params, want 2 (N is a macro)", len(k.Params))
+	}
+	// The bound must appear as the literal 1200.
+	found := false
+	kir.WalkExprs(k.Body, func(e kir.Expr) {
+		if il, ok := e.(*kir.IntLit); ok && il.Val == 1200 {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("macro N was not substituted with 1200")
+	}
+}
+
+func TestPreprocessorChainedAndScoped(t *testing.T) {
+	src := `
+#define BS 256
+#define BLOCK BS
+__global__ void f(float* out, int nBS) {
+    out[threadIdx.x] = (float)(BLOCK + nBS);
+}
+`
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nBS must NOT be rewritten (whole-token substitution only).
+	if mod.Kernels[0].ParamIndex("nBS") != 1 {
+		t.Error("macro substitution corrupted identifier nBS")
+	}
+}
+
+func TestPreprocessorErrors(t *testing.T) {
+	cases := []string{
+		"#include <stdio.h>\n__global__ void f(int* x) { x[0] = 1; }",
+		"#define F(x) x\n__global__ void f(int* x) { x[0] = 1; }",
+		"#define N\n__global__ void f(int* x) { x[0] = 1; }",
+		"#define N 1\n#define N 2\n__global__ void f(int* x) { x[0] = N; }",
+		"#define A B\n#define B A\n__global__ void f(int* x) { x[0] = A; }",
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: bad preprocessor input accepted", i)
+		}
+	}
+}
+
+func TestSharedArray2DIndexing(t *testing.T) {
+	src := `
+__global__ void tiled(float* in, float* out, int n) {
+    __shared__ float tile[16][16];
+    int x = blockIdx.x * 16 + threadIdx.x;
+    int y = blockIdx.y * 16 + threadIdx.y;
+    tile[threadIdx.y][threadIdx.x] = in[y * n + x];
+    __syncthreads();
+    out[x * n + y] = tile[threadIdx.y][threadIdx.x];
+}
+`
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mod.Kernel("tiled")
+	if len(k.Shared[0].Dims) != 2 || k.Shared[0].Len != 256 {
+		t.Fatalf("shared dims = %v len %d", k.Shared[0].Dims, k.Shared[0].Len)
+	}
+	// Over-indexing and bad arity are rejected.
+	if _, err := Parse(`
+__global__ void bad(float* out) {
+    __shared__ float tile[4][4];
+    tile[0][1][2] = 1.0f;
+}`); err == nil {
+		t.Error("3D index into 2D array accepted")
+	}
+	if _, err := Parse(`
+__global__ void bad2(float* out) {
+    __shared__ float cube[2][2][2];
+    cube[0][1] = 1.0f;
+}`); err == nil {
+		t.Error("partial index accepted")
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	mod, err := Parse(`
+__global__ void find(char* text, int* hits, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        hits[id] = text[id] == 'A' ? 1 : 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	kir.WalkExprs(mod.Kernels[0].Body, func(e kir.Expr) {
+		if il, ok := e.(*kir.IntLit); ok && il.Val == 'A' {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("char literal 'A' not lowered to 65")
+	}
+	// Escapes.
+	if _, err := Parse(`
+__global__ void esc(int* out) {
+    out[0] = '\n' + '\t' + '\0' + '\\';
+}`); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	for _, src := range []string{
+		"__global__ void f(int* x) { x[0] = 'AB'; }",
+		"__global__ void f(int* x) { x[0] = '; }",
+		"__global__ void f(int* x) { x[0] = '\\q'; }",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("bad char literal accepted: %s", src)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer tokenizes kernel source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []Token
+}
+
+// Lex tokenizes src, returning the token stream (terminated by TokEOF) or a
+// positioned error.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.toks, nil
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) emit(kind TokKind, text string, line, col int) {
+	l.toks = append(l.toks, Token{Kind: kind, Text: text, Line: line, Col: col})
+}
+
+// multi-character operators, longest first.
+var punct2 = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--"}
+
+func (l *lexer) run() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		line, col := l.line, l.col
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && !(l.peek() == '*' && l.peek2() == '/') {
+				l.advance()
+			}
+			if l.pos >= len(l.src) {
+				return errf(line, col, "unterminated block comment")
+			}
+			l.advance()
+			l.advance()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (isIdentChar(l.peek())) {
+				l.advance()
+			}
+			word := l.src[start:l.pos]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			l.emit(kind, word, line, col)
+		case unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(l.peek2()))):
+			if err := l.lexNumber(line, col); err != nil {
+				return err
+			}
+		case c == '\'':
+			if err := l.lexCharLiteral(line, col); err != nil {
+				return err
+			}
+		default:
+			matched := false
+			if l.pos+1 < len(l.src) {
+				two := l.src[l.pos : l.pos+2]
+				for _, p := range punct2 {
+					if two == p {
+						l.advance()
+						l.advance()
+						l.emit(TokPunct, p, line, col)
+						matched = true
+						break
+					}
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.IndexByte("+-*/%<>=!&|^~?:;,(){}[].", c) >= 0 {
+				l.advance()
+				l.emit(TokPunct, string(c), line, col)
+			} else {
+				return errf(line, col, "unexpected character %q", string(c))
+			}
+		}
+	}
+	l.emit(TokEOF, "", l.line, l.col)
+	return nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) lexNumber(line, col int) error {
+	start := l.pos
+	isFloat := false
+	// Hex literals.
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		v, err := strconv.ParseInt(l.src[start+2:l.pos], 16, 64)
+		if err != nil {
+			return errf(line, col, "bad hex literal %q", l.src[start:l.pos])
+		}
+		l.toks = append(l.toks, Token{Kind: TokIntLit, Text: l.src[start:l.pos], Int: v, Line: line, Col: col})
+		return nil
+	}
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		isFloat = true
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.pos]
+	// CUDA float suffix.
+	if l.peek() == 'f' || l.peek() == 'F' {
+		isFloat = true
+		l.advance()
+	}
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return errf(line, col, "bad float literal %q", text)
+		}
+		l.toks = append(l.toks, Token{Kind: TokFloatLit, Text: text, Float: v, Line: line, Col: col})
+	} else {
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return errf(line, col, "bad int literal %q", text)
+		}
+		l.toks = append(l.toks, Token{Kind: TokIntLit, Text: text, Int: v, Line: line, Col: col})
+	}
+	return nil
+}
+
+// lexCharLiteral handles 'A'-style byte literals (including escapes
+// \n \t \0 \\ \'), emitted as integer tokens.
+func (l *lexer) lexCharLiteral(line, col int) error {
+	l.advance() // opening quote
+	if l.pos >= len(l.src) {
+		return errf(line, col, "unterminated character literal")
+	}
+	var v byte
+	c := l.advance()
+	if c == '\\' {
+		if l.pos >= len(l.src) {
+			return errf(line, col, "unterminated character literal")
+		}
+		switch e := l.advance(); e {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			return errf(line, col, "unsupported escape \\%c", e)
+		}
+	} else {
+		v = c
+	}
+	if l.pos >= len(l.src) || l.advance() != '\'' {
+		return errf(line, col, "unterminated character literal")
+	}
+	l.toks = append(l.toks, Token{Kind: TokIntLit, Text: fmt.Sprintf("'%c'", v), Int: int64(v), Line: line, Col: col})
+	return nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

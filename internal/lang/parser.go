@@ -1,0 +1,664 @@
+package lang
+
+import (
+	"fmt"
+
+	"cucc/internal/kir"
+)
+
+// Parse compiles kernel source text into a kir.Module.  The source may
+// contain any number of __global__ kernels, preceded by #define constant
+// macros (the paper's Listing 1 style).
+func Parse(src string) (*kir.Module, error) {
+	src, err := preprocess(src)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	mod := &kir.Module{}
+	for !p.at(TokEOF) {
+		k, err := p.parseKernel()
+		if err != nil {
+			return nil, err
+		}
+		if mod.Kernel(k.Name) != nil {
+			return nil, errf(0, 0, "duplicate kernel %q", k.Name)
+		}
+		mod.Kernels = append(mod.Kernels, k)
+	}
+	if len(mod.Kernels) == 0 {
+		return nil, errf(1, 1, "no __global__ kernels in source")
+	}
+	for _, k := range mod.Kernels {
+		if err := k.Validate(); err != nil {
+			return nil, fmt.Errorf("internal: generated invalid IR: %w", err)
+		}
+	}
+	return mod, nil
+}
+
+// MustParse is Parse that panics on error; intended for static kernel
+// definitions in the suites where the source is a compile-time constant.
+func MustParse(src string) *kir.Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type varInfo struct {
+	slot int
+	typ  kir.ScalarType
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	src  string
+
+	kernel *kir.Kernel
+	// scopes maps names to slots; index 0 is the outermost (params).
+	scopes   []map[string]varInfo
+	nextSlot int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind) bool { return p.cur().Kind == kind }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().Kind == TokPunct && p.cur().Text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == s
+}
+
+func (p *parser) eatPunct(s string) bool {
+	if p.atPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKeyword(s string) bool {
+	if p.atKeyword(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.eatPunct(s) {
+		t := p.cur()
+		return errf(t.Line, t.Col, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) fail(format string, args ...any) error {
+	t := p.cur()
+	return errf(t.Line, t.Col, format, args...)
+}
+
+// --- scopes ---
+
+func (p *parser) pushScope() { p.scopes = append(p.scopes, map[string]varInfo{}) }
+func (p *parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *parser) declare(name string, t kir.ScalarType) (int, error) {
+	top := p.scopes[len(p.scopes)-1]
+	if _, ok := top[name]; ok {
+		return 0, p.fail("redeclaration of %q", name)
+	}
+	slot := p.nextSlot
+	p.nextSlot++
+	top[name] = varInfo{slot: slot, typ: t}
+	return slot, nil
+}
+
+func (p *parser) lookup(name string) (varInfo, bool) {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if v, ok := p.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return varInfo{}, false
+}
+
+// --- kernel ---
+
+func parseScalarType(p *parser) (kir.ScalarType, bool) {
+	switch {
+	case p.eatKeyword("int"):
+		return kir.I32, true
+	case p.eatKeyword("float"):
+		return kir.F32, true
+	case p.eatKeyword("unsigned"):
+		p.eatKeyword("char") // "unsigned char"; bare "unsigned" is I32
+		return kir.U8, true
+	case p.eatKeyword("char"):
+		return kir.U8, true
+	}
+	return kir.Invalid, false
+}
+
+func (p *parser) parseKernel() (*kir.Kernel, error) {
+	start := p.pos
+	if !p.eatKeyword("__global__") {
+		return nil, p.fail("expected __global__, found %s", p.cur())
+	}
+	if !p.eatKeyword("void") {
+		return nil, p.fail("kernels must return void")
+	}
+	if !p.at(TokIdent) {
+		return nil, p.fail("expected kernel name")
+	}
+	name := p.next().Text
+	k := &kir.Kernel{Name: name}
+	p.kernel = k
+	p.scopes = nil
+	p.nextSlot = 0
+	p.pushScope()
+	defer p.popScope()
+
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		if len(k.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		p.eatKeyword("const")
+		t, ok := parseScalarType(p)
+		if !ok {
+			return nil, p.fail("expected parameter type")
+		}
+		ptr := p.eatPunct("*")
+		p.eatKeyword("__restrict__")
+		if !p.at(TokIdent) {
+			return nil, p.fail("expected parameter name")
+		}
+		pname := p.next().Text
+		if _, err := p.declare(pname, t); err != nil {
+			return nil, err
+		}
+		k.Params = append(k.Params, kir.Param{Name: pname, Elem: t, Pointer: ptr})
+	}
+	p.next() // ')'
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+
+	// __shared__ declarations must come first, as in common CUDA style.
+	for p.atKeyword("__shared__") {
+		p.next()
+		t, ok := parseScalarType(p)
+		if !ok {
+			return nil, p.fail("expected shared array element type")
+		}
+		if !p.at(TokIdent) {
+			return nil, p.fail("expected shared array name")
+		}
+		sname := p.next().Text
+		total := 1
+		var dims []int
+		for p.eatPunct("[") {
+			if !p.at(TokIntLit) {
+				return nil, p.fail("shared array length must be an integer literal")
+			}
+			d := int(p.next().Int)
+			if d <= 0 {
+				return nil, p.fail("shared array dimension must be positive")
+			}
+			dims = append(dims, d)
+			total *= d
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+		}
+		if len(dims) == 0 {
+			return nil, p.fail("shared array %q needs at least one dimension", sname)
+		}
+		if k.SharedArrayByName(sname) != nil {
+			return nil, p.fail("duplicate shared array %q", sname)
+		}
+		k.Shared = append(k.Shared, kir.SharedArray{Name: sname, Elem: t, Len: total, Dims: dims})
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+
+	body, err := p.parseBlockUntilBrace()
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+	k.NumSlots = p.nextSlot
+	end := p.pos
+	k.Source = tokensText(p.toks[start:end], p.src)
+	return k, nil
+}
+
+// tokensText recovers the raw source slice spanned by the tokens, for
+// diagnostics only.
+func tokensText(toks []Token, src string) string {
+	if len(toks) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("<%d tokens from line %d>", len(toks), toks[0].Line)
+}
+
+// parseBlockUntilBrace parses statements until the matching '}'.
+func (p *parser) parseBlockUntilBrace() (kir.Block, error) {
+	var blk kir.Block
+	for !p.atPunct("}") {
+		if p.at(TokEOF) {
+			return nil, p.fail("unexpected end of input, missing '}'")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			blk = append(blk, s)
+		}
+	}
+	p.next() // '}'
+	return blk, nil
+}
+
+// parseStmt parses one statement; it may return nil for empty statements.
+func (p *parser) parseStmt() (kir.Stmt, error) {
+	switch {
+	case p.eatPunct(";"):
+		return nil, nil
+	case p.atPunct("{"):
+		p.next()
+		p.pushScope()
+		blk, err := p.parseBlockUntilBrace()
+		p.popScope()
+		if err != nil {
+			return nil, err
+		}
+		// Flatten nested blocks into an if(true){...}?  Represent as an
+		// always-taken If to preserve scoping semantics without a new node.
+		return &kir.If{Cond: kir.Int(1), Then: blk}, nil
+	case p.atKeyword("if"):
+		return p.parseIf()
+	case p.atKeyword("for"):
+		return p.parseFor()
+	case p.atKeyword("while"):
+		return p.parseWhile()
+	case p.eatKeyword("return"):
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &kir.Return{}, nil
+	case p.eatKeyword("break"):
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &kir.BreakStmt{}, nil
+	case p.eatKeyword("continue"):
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &kir.ContinueStmt{}, nil
+	case p.atKeyword("__syncthreads"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &kir.Sync{}, nil
+	case p.atKeyword("int") || p.atKeyword("float") || p.atKeyword("char") || p.atKeyword("unsigned") || p.atKeyword("const"):
+		s, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseDecl parses "type name [= expr] {, name [= expr]}".  Multiple
+// declarators become an always-taken If wrapping the Decls (cheap way to
+// return several statements as one).
+func (p *parser) parseDecl() (kir.Stmt, error) {
+	p.eatKeyword("const")
+	t, ok := parseScalarType(p)
+	if !ok {
+		return nil, p.fail("expected type")
+	}
+	var decls kir.Block
+	for {
+		if !p.at(TokIdent) {
+			return nil, p.fail("expected variable name")
+		}
+		name := p.next().Text
+		var init kir.Expr
+		if p.eatPunct("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			init = coerce(e, t)
+		}
+		slot, err := p.declare(name, t)
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, &kir.Decl{Name: name, Slot: slot, T: t, Init: init})
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &kir.If{Cond: kir.Int(1), Then: decls}, nil
+}
+
+// parseSimpleStmt parses assignments, compound assignments, increments and
+// atomic calls.
+func (p *parser) parseSimpleStmt() (kir.Stmt, error) {
+	// atomicAdd(&x[i], v) / atomicMax(&x[i], v)
+	if p.at(TokIdent) && (p.cur().Text == "atomicAdd" || p.cur().Text == "atomicMax") {
+		op := kir.AtomicAdd
+		if p.cur().Text == "atomicMax" {
+			op = kir.AtomicMax
+		}
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("&"); err != nil {
+			return nil, err
+		}
+		mem, idx, _, err := p.parseLValueIndex()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &kir.AtomicRMW{Op: op, Mem: mem, Index: idx, Value: val}, nil
+	}
+
+	if !p.at(TokIdent) {
+		return nil, p.fail("expected statement, found %s", p.cur())
+	}
+	name := p.next().Text
+
+	// Array store: name[expr] op= expr
+	if p.atPunct("[") {
+		mem, idx, elemT, err := p.parseIndexFor(name)
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.next()
+		if opTok.Kind != TokPunct {
+			return nil, errf(opTok.Line, opTok.Col, "expected assignment operator")
+		}
+		switch opTok.Text {
+		case "=":
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &kir.Store{Mem: mem, Index: idx, Value: coerce(v, elemT)}, nil
+		case "+=", "-=", "*=", "/=":
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			load := &kir.Load{Mem: mem, Index: idx, T: elemT}
+			bop := map[string]kir.BinOp{"+=": kir.Add, "-=": kir.Sub, "*=": kir.Mul, "/=": kir.Div}[opTok.Text]
+			return &kir.Store{Mem: mem, Index: idx, Value: coerce(kir.Bin(bop, load, v), elemT)}, nil
+		case "++":
+			load := &kir.Load{Mem: mem, Index: idx, T: elemT}
+			return &kir.Store{Mem: mem, Index: idx, Value: coerce(kir.Bin(kir.Add, load, kir.Int(1)), elemT)}, nil
+		default:
+			return nil, errf(opTok.Line, opTok.Col, "unsupported array operator %q", opTok.Text)
+		}
+	}
+
+	// Scalar variable assignment.
+	v, ok := p.lookup(name)
+	if !ok {
+		return nil, p.fail("undeclared variable %q", name)
+	}
+	opTok := p.next()
+	if opTok.Kind != TokPunct {
+		return nil, errf(opTok.Line, opTok.Col, "expected assignment operator after %q", name)
+	}
+	ref := &kir.VarRef{Name: name, Slot: v.slot, T: v.typ}
+	switch opTok.Text {
+	case "=":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &kir.Assign{Name: name, Slot: v.slot, Value: coerce(e, v.typ)}, nil
+	case "+=", "-=", "*=", "/=", "%=":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		bop := map[string]kir.BinOp{"+=": kir.Add, "-=": kir.Sub, "*=": kir.Mul, "/=": kir.Div, "%=": kir.Rem}[opTok.Text]
+		return &kir.Assign{Name: name, Slot: v.slot, Value: coerce(kir.Bin(bop, ref, e), v.typ)}, nil
+	case "++":
+		return &kir.Assign{Name: name, Slot: v.slot, Value: kir.Bin(kir.Add, ref, kir.Int(1))}, nil
+	case "--":
+		return &kir.Assign{Name: name, Slot: v.slot, Value: kir.Bin(kir.Sub, ref, kir.Int(1))}, nil
+	default:
+		return nil, errf(opTok.Line, opTok.Col, "unsupported operator %q in statement", opTok.Text)
+	}
+}
+
+// parseLValueIndex parses name[expr] and resolves the memory reference.
+func (p *parser) parseLValueIndex() (kir.MemRef, kir.Expr, kir.ScalarType, error) {
+	if !p.at(TokIdent) {
+		return kir.MemRef{}, nil, kir.Invalid, p.fail("expected array name")
+	}
+	name := p.next().Text
+	return p.parseIndexFor(name)
+}
+
+func (p *parser) parseIndexFor(name string) (kir.MemRef, kir.Expr, kir.ScalarType, error) {
+	var mem kir.MemRef
+	var elemT kir.ScalarType
+	var sh *kir.SharedArray
+	if sh = p.kernel.SharedArrayByName(name); sh != nil {
+		mem = kir.MemRef{Space: kir.Shared, Name: name}
+		elemT = sh.Elem
+	} else if pi := p.kernel.ParamIndex(name); pi >= 0 && p.kernel.Params[pi].Pointer {
+		mem = kir.MemRef{Space: kir.Global, Param: pi, Name: name}
+		elemT = p.kernel.Params[pi].Elem
+	} else {
+		return kir.MemRef{}, nil, kir.Invalid, p.fail("%q is not an array or pointer parameter", name)
+	}
+	if err := p.expectPunct("["); err != nil {
+		return kir.MemRef{}, nil, kir.Invalid, err
+	}
+	idx, err := p.parseExpr()
+	if err != nil {
+		return kir.MemRef{}, nil, kir.Invalid, err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return kir.MemRef{}, nil, kir.Invalid, err
+	}
+	// Multi-dimensional shared arrays: tile[y][x] lowers to row-major
+	// y*Dims[1] + x (and so on for deeper nests).
+	if sh != nil {
+		dim := 1
+		for p.atPunct("[") {
+			if dim >= len(sh.Dims) {
+				return kir.MemRef{}, nil, kir.Invalid, p.fail("%q has %d dimensions", name, len(sh.Dims))
+			}
+			p.next() // [
+			sub, err := p.parseExpr()
+			if err != nil {
+				return kir.MemRef{}, nil, kir.Invalid, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return kir.MemRef{}, nil, kir.Invalid, err
+			}
+			idx = kir.Bin(kir.Add, kir.Bin(kir.Mul, idx, kir.Int(int64(sh.Dims[dim]))), sub)
+			dim++
+		}
+		if dim != 1 && dim != len(sh.Dims) {
+			return kir.MemRef{}, nil, kir.Invalid, p.fail("%q indexed with %d of %d dimensions", name, dim, len(sh.Dims))
+		}
+	}
+	if !idx.Type().IsInteger() {
+		return kir.MemRef{}, nil, kir.Invalid, p.fail("array index must be an integer")
+	}
+	return mem, idx, elemT, nil
+}
+
+func (p *parser) parseIf() (kir.Stmt, error) {
+	p.next() // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	thenBlk, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	var elseBlk kir.Block
+	if p.eatKeyword("else") {
+		elseBlk, err = p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &kir.If{Cond: cond, Then: thenBlk, Else: elseBlk}, nil
+}
+
+func (p *parser) parseStmtOrBlock() (kir.Block, error) {
+	if p.atPunct("{") {
+		p.next()
+		p.pushScope()
+		blk, err := p.parseBlockUntilBrace()
+		p.popScope()
+		return blk, err
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return kir.Block{}, nil
+	}
+	return kir.Block{s}, nil
+}
+
+func (p *parser) parseFor() (kir.Stmt, error) {
+	p.next() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	p.pushScope()
+	defer p.popScope()
+	var init kir.Stmt
+	var err error
+	if !p.atPunct(";") {
+		if p.atKeyword("int") || p.atKeyword("float") {
+			init, err = p.parseDecl()
+		} else {
+			init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	var cond kir.Expr = kir.Int(1)
+	if !p.atPunct(";") {
+		cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	var post kir.Stmt
+	if !p.atPunct(")") {
+		post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &kir.For{Init: init, Cond: cond, Post: post, Body: body}, nil
+}
+
+func (p *parser) parseWhile() (kir.Stmt, error) {
+	p.next() // while
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &kir.While{Cond: cond, Body: body}, nil
+}

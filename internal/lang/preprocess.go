@@ -1,0 +1,106 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// preprocess implements the small slice of the C preprocessor that GPU
+// benchmark kernels actually use (the paper's Listing 1 starts with
+// `#define N 1200`): object-like macros with integer or identifier bodies,
+// substituted token-wise.  Directives other than #define are rejected.
+func preprocess(src string) (string, error) {
+	lines := strings.Split(src, "\n")
+	macros := map[string]string{}
+	var out []string
+	for ln, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			out = append(out, line)
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		if fields[0] != "#define" {
+			return "", errf(ln+1, 1, "unsupported preprocessor directive %q", fields[0])
+		}
+		if len(fields) != 3 {
+			return "", errf(ln+1, 1, "#define needs exactly a name and a value")
+		}
+		name, value := fields[1], fields[2]
+		if strings.ContainsAny(name, "()") {
+			return "", errf(ln+1, 1, "function-like macros are not supported")
+		}
+		if !isIdentifier(name) {
+			return "", errf(ln+1, 1, "bad macro name %q", name)
+		}
+		if prev, dup := macros[name]; dup && prev != value {
+			return "", errf(ln+1, 1, "macro %q redefined", name)
+		}
+		macros[name] = value
+		out = append(out, "") // keep line numbers stable
+	}
+	if len(macros) == 0 {
+		return src, nil
+	}
+	return substituteMacros(strings.Join(out, "\n"), macros)
+}
+
+func isIdentifier(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			continue
+		}
+		if i > 0 && c >= '0' && c <= '9' {
+			continue
+		}
+		return false
+	}
+	return len(s) > 0
+}
+
+// substituteMacros replaces whole identifier tokens, leaving substrings of
+// longer identifiers untouched.  Macro bodies may reference earlier macros
+// (resolved up to a fixed depth to reject cycles).
+func substituteMacros(src string, macros map[string]string) (string, error) {
+	resolve := func(name string) (string, error) {
+		v := macros[name]
+		for depth := 0; ; depth++ {
+			next, ok := macros[v]
+			if !ok {
+				return v, nil
+			}
+			if depth > 16 {
+				return "", fmt.Errorf("macro %q expands cyclically", name)
+			}
+			v = next
+		}
+	}
+	var b strings.Builder
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			if _, ok := macros[word]; ok {
+				v, err := resolve(word)
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(v)
+			} else {
+				b.WriteString(word)
+			}
+			continue
+		}
+		// Skip over comments and numbers verbatim (identifier-start only
+		// matters for substitution).
+		b.WriteByte(c)
+		i++
+	}
+	return b.String(), nil
+}

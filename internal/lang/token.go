@@ -1,0 +1,74 @@
+// Package lang implements the CuCC mini-CUDA front-end: a lexer and
+// recursive-descent parser for a C-like GPU kernel language, lowering
+// directly to the kernel IR in internal/kir.
+//
+// This package is the stand-in for the paper's Clang/CUDA front-end.  The
+// supported subset covers every kernel in the evaluation suites:
+//
+//	__global__ void fir(float* in, float* out, float* coeff, int n, int taps) {
+//	    int id = blockIdx.x * blockDim.x + threadIdx.x;
+//	    if (id < n) {
+//	        float sum = 0.0;
+//	        for (int i = 0; i < taps; i++) {
+//	            sum = sum + coeff[i] * in[id + i];
+//	        }
+//	        out[id] = sum;
+//	    }
+//	}
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokPunct   // operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	// Int and Float carry decoded literal values.
+	Int   int64
+	Float float64
+	Line  int
+	Col   int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"__global__": true, "__shared__": true, "__syncthreads": true,
+	"void": true, "int": true, "float": true, "char": true, "unsigned": true,
+	"if": true, "else": true, "for": true, "while": true,
+	"return": true, "break": true, "continue": true,
+	"const": true, "__restrict__": true,
+}
+
+// Error is a front-end diagnostic with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

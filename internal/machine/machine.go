@@ -1,0 +1,229 @@
+// Package machine models the CPU hardware of the paper's evaluation
+// clusters (Table 1) and converts per-block kernel work into node
+// execution time with a wave-based roofline model.
+//
+// The model is deliberately first-order: per-core scalar and SIMD flop
+// rates, per-node memory bandwidth with a last-level-cache bonus, and
+// core-count waves for block scheduling.  These are exactly the effects the
+// paper uses to explain its results (block waves for the Kmeans anomaly,
+// SIMD width vs. core count for §8.2, LLC capacity for Transpose vs. GPU).
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// CPU describes one cluster node (all sockets combined).
+type CPU struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	ClockGHz       float64
+	// SIMDLanesF32 is the number of float32 lanes per vector unit
+	// (AVX-512: 16, AVX2: 8).
+	SIMDLanesF32 int
+	// FMAUnits is the number of FMA pipes per core.
+	FMAUnits int
+	// ScalarIPC scales scalar throughput relative to one FMA per cycle
+	// (microarchitectural factor, e.g. Zen 3 vs Skylake).
+	ScalarIPC float64
+	// SIMDEfficiency derates peak vector throughput for compiled loops.
+	SIMDEfficiency float64
+	// MemBWGBs is the node memory bandwidth in GB/s.
+	MemBWGBs float64
+	// LLCMB is the total last-level cache capacity in MB.
+	LLCMB float64
+	// CacheBWGBs is the aggregate LLC bandwidth in GB/s.
+	CacheBWGBs float64
+	// Year is the release year (Table 1).
+	Year int
+	// TDPWatts is the node power budget (sockets + memory), for the
+	// §8.4 cost/energy analysis.
+	TDPWatts float64
+}
+
+// Intel6226 is one SIMD-Focused node: 2 x Intel Xeon Gold 6226
+// (Cascade Lake, 12 cores, 2.7 GHz, AVX-512).
+func Intel6226() CPU {
+	return CPU{
+		Name:           "2 x Intel Xeon Gold 6226",
+		Sockets:        2,
+		CoresPerSocket: 12,
+		ClockGHz:       2.7,
+		SIMDLanesF32:   16,
+		FMAUnits:       2,
+		ScalarIPC:      1.0,
+		SIMDEfficiency: 0.5,
+		MemBWGBs:       281.6, // 2 x 6ch DDR4-2933
+		LLCMB:          2 * 19.25,
+		CacheBWGBs:     1000,
+		Year:           2019,
+		TDPWatts:       2*125 + 50, // 2 x Gold 6226 + DRAM
+	}
+}
+
+// AMD7713 is one Thread-Focused node: 2 x AMD EPYC 7713 (Zen 3, 64 cores,
+// 2.0 GHz, AVX2).
+func AMD7713() CPU {
+	return CPU{
+		Name:           "2 x AMD EPYC 7713",
+		Sockets:        2,
+		CoresPerSocket: 64,
+		ClockGHz:       2.0,
+		SIMDLanesF32:   8,
+		FMAUnits:       2,
+		ScalarIPC:      1.35,
+		SIMDEfficiency: 0.5,
+		MemBWGBs:       409.6, // 2 x 8ch DDR4-3200
+		LLCMB:          2 * 256,
+		CacheBWGBs:     1500,
+		Year:           2021,
+		TDPWatts:       2*225 + 100, // 2 x EPYC 7713 + DRAM
+	}
+}
+
+// Cores returns the total core count of the node.
+func (c CPU) Cores() int { return c.Sockets * c.CoresPerSocket }
+
+// PeakTFLOPs returns the single-precision peak of the node
+// (cores x clock x FMA units x lanes x 2 flops/FMA), reproducing Table 1.
+func (c CPU) PeakTFLOPs() float64 {
+	return float64(c.Cores()) * c.ClockGHz * 1e9 *
+		float64(c.FMAUnits) * float64(c.SIMDLanesF32) * 2 / 1e12
+}
+
+// scalarFlopsPerSec is the per-core scalar (non-vectorized) flop rate.
+func (c CPU) scalarFlopsPerSec() float64 {
+	return c.ClockGHz * 1e9 * 2 * c.ScalarIPC
+}
+
+// vecFlopsPerSec is the per-core vectorized flop rate after efficiency
+// derating.
+func (c CPU) vecFlopsPerSec() float64 {
+	return c.ClockGHz * 1e9 * float64(c.FMAUnits) * float64(c.SIMDLanesF32) * 2 * c.SIMDEfficiency
+}
+
+// BlockWork is the per-block work of a kernel: the inputs of the roofline
+// model, either measured by the interpreter or computed analytically by the
+// native kernels.
+type BlockWork struct {
+	// VecFlops are float operations in loops the compiler can vectorize
+	// across GPU threads.
+	VecFlops float64
+	// SerialFlops are float operations in loops with dependencies that
+	// prevent SIMD (e.g., BinomialOption's time-stepping loop).
+	SerialFlops float64
+	// IntOps are integer/address operations (executed at scalar rate,
+	// partially hidden; weighted at half cost).
+	IntOps float64
+	// Bytes is global-memory traffic per block.
+	Bytes float64
+}
+
+// Add accumulates o into w.
+func (w *BlockWork) Add(o BlockWork) {
+	w.VecFlops += o.VecFlops
+	w.SerialFlops += o.SerialFlops
+	w.IntOps += o.IntOps
+	w.Bytes += o.Bytes
+}
+
+// Scale returns the work multiplied by f.
+func (w BlockWork) Scale(f float64) BlockWork {
+	return BlockWork{VecFlops: w.VecFlops * f, SerialFlops: w.SerialFlops * f, IntOps: w.IntOps * f, Bytes: w.Bytes * f}
+}
+
+// ExecConfig tunes node execution.
+type ExecConfig struct {
+	// SIMD enables vector execution (disabled for the §8.2 ablation).
+	SIMD bool
+	// CoresCap limits usable cores (0 = all); §8.2 caps the
+	// Thread-Focused node at 64 cores for iso-FLOP comparisons.
+	CoresCap int
+	// WorkingSetBytes is the total data touched by the phase, used for
+	// the LLC residency decision; 0 means "assume memory-resident".
+	WorkingSetBytes float64
+}
+
+// DefaultConfig enables SIMD on all cores.
+func DefaultConfig() ExecConfig { return ExecConfig{SIMD: true} }
+
+func (c CPU) usableCores(cfg ExecConfig) int {
+	n := c.Cores()
+	if cfg.CoresCap > 0 && cfg.CoresCap < n {
+		n = cfg.CoresCap
+	}
+	return n
+}
+
+// BlockTime returns the compute time of one block on one core.  Integer
+// (address) operations accompany the float work: the share belonging to
+// vectorizable loops vectorizes with them, the rest executes at scalar
+// rate (weighted at half cost, partially hidden by the FP pipes).
+func (c CPU) BlockTime(w BlockWork, cfg ExecConfig) float64 {
+	scalar := c.scalarFlopsPerSec()
+	flops := w.VecFlops + w.SerialFlops
+	vecShare := 0.0
+	if flops > 0 {
+		vecShare = w.VecFlops / flops
+	}
+	intVec := 0.5 * w.IntOps * vecShare
+	intSerial := 0.5 * w.IntOps * (1 - vecShare)
+	t := (w.SerialFlops + intSerial) / scalar
+	vecOps := w.VecFlops + intVec
+	if cfg.SIMD {
+		t += vecOps / c.vecFlopsPerSec()
+	} else {
+		t += vecOps / scalar
+	}
+	return t
+}
+
+// effBandwidth returns the bandwidth seen by a phase with the given working
+// set: LLC-resident sets stream from cache.
+func (c CPU) effBandwidth(workingSetBytes float64) float64 {
+	if workingSetBytes > 0 && workingSetBytes <= c.LLCMB*1e6 {
+		return c.CacheBWGBs * 1e9
+	}
+	return c.MemBWGBs * 1e9
+}
+
+// PhaseTime returns the makespan of executing `blocks` identical blocks of
+// work w on the node: blocks are scheduled in waves of up to Cores()
+// blocks; each wave is roofline-limited by per-core compute or by node
+// memory bandwidth shared across the wave.
+func (c CPU) PhaseTime(blocks int, w BlockWork, cfg ExecConfig) float64 {
+	if blocks <= 0 {
+		return 0
+	}
+	cores := c.usableCores(cfg)
+	bt := c.BlockTime(w, cfg)
+	bw := c.effBandwidth(cfg.WorkingSetBytes)
+	fullWaves := blocks / cores
+	rem := blocks % cores
+	total := 0.0
+	if fullWaves > 0 {
+		waveTime := math.Max(bt, float64(cores)*w.Bytes/bw)
+		total += float64(fullWaves) * waveTime
+	}
+	if rem > 0 {
+		total += math.Max(bt, float64(rem)*w.Bytes/bw)
+	}
+	return total
+}
+
+// Waves returns how many scheduling waves the blocks need; the quantity
+// behind the paper's Kmeans 16->32 node anomaly.
+func (c CPU) Waves(blocks int, cfg ExecConfig) int {
+	if blocks <= 0 {
+		return 0
+	}
+	cores := c.usableCores(cfg)
+	return (blocks + cores - 1) / cores
+}
+
+func (c CPU) String() string {
+	return fmt.Sprintf("%s (%d cores, %.1f GHz, %d-lane SIMD, %.2f TFLOP/s)",
+		c.Name, c.Cores(), c.ClockGHz, c.SIMDLanesF32, c.PeakTFLOPs())
+}

@@ -1,0 +1,166 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1Specs verifies the hardware models reproduce the paper's
+// Table 1: core counts and peak TFLOPs.
+func TestTable1Specs(t *testing.T) {
+	simd := Intel6226()
+	if simd.Cores() != 24 {
+		t.Errorf("SIMD-Focused cores = %d, want 24", simd.Cores())
+	}
+	if got := simd.PeakTFLOPs(); math.Abs(got-4.15) > 0.05 {
+		t.Errorf("SIMD-Focused peak = %.3f TFLOPs, want 4.15", got)
+	}
+	if simd.Year != 2019 {
+		t.Errorf("SIMD-Focused year = %d, want 2019", simd.Year)
+	}
+
+	thread := AMD7713()
+	if thread.Cores() != 128 {
+		t.Errorf("Thread-Focused cores = %d, want 128", thread.Cores())
+	}
+	if got := thread.PeakTFLOPs(); math.Abs(got-8.19) > 0.05 {
+		t.Errorf("Thread-Focused peak = %.3f TFLOPs, want 8.19", got)
+	}
+	if thread.Year != 2021 {
+		t.Errorf("Thread-Focused year = %d, want 2021", thread.Year)
+	}
+}
+
+// Test64CoreCapEqualizesTFLOPs checks the §8.2 iso-FLOP setup: capping the
+// Thread-Focused node at 64 cores gives ~4.096 TFLOPs, comparable to the
+// SIMD-Focused node's 4.147.
+func Test64CoreCapEqualizesTFLOPs(t *testing.T) {
+	thread := AMD7713()
+	capped := float64(64) * thread.ClockGHz * 1e9 * float64(thread.FMAUnits) * float64(thread.SIMDLanesF32) * 2 / 1e12
+	if math.Abs(capped-4.096) > 0.01 {
+		t.Errorf("capped peak = %.3f, want 4.096", capped)
+	}
+}
+
+func TestWaves(t *testing.T) {
+	simd := Intel6226() // 24 cores
+	cases := []struct {
+		blocks, want int
+	}{
+		{0, 0}, {1, 1}, {24, 1}, {25, 2}, {28, 2}, {34, 2}, {48, 2}, {49, 3},
+	}
+	for _, c := range cases {
+		if got := simd.Waves(c.blocks, DefaultConfig()); got != c.want {
+			t.Errorf("Waves(%d) = %d, want %d", c.blocks, got, c.want)
+		}
+	}
+	// Cores cap applies.
+	thread := AMD7713()
+	if got := thread.Waves(128, ExecConfig{SIMD: true, CoresCap: 64}); got != 2 {
+		t.Errorf("capped Waves(128) = %d, want 2", got)
+	}
+}
+
+func TestBlockTimeSIMDSpeedup(t *testing.T) {
+	simd := Intel6226()
+	w := BlockWork{VecFlops: 1e6}
+	cfg := DefaultConfig()
+	on := simd.BlockTime(w, cfg)
+	cfg.SIMD = false
+	off := simd.BlockTime(w, cfg)
+	ratio := off / on
+	// AVX-512 with 2 FMA units at 50% efficiency: 16x over scalar.
+	if math.Abs(ratio-16) > 0.5 {
+		t.Errorf("SIMD on/off ratio = %.1f, want ~16", ratio)
+	}
+
+	// Serial flops see no SIMD benefit.
+	ws := BlockWork{SerialFlops: 1e6}
+	cfg = DefaultConfig()
+	on = simd.BlockTime(ws, cfg)
+	cfg.SIMD = false
+	off = simd.BlockTime(ws, cfg)
+	if on != off {
+		t.Errorf("serial flops changed with SIMD: %g vs %g", on, off)
+	}
+}
+
+func TestPhaseTimeMonotone(t *testing.T) {
+	simd := Intel6226()
+	w := BlockWork{VecFlops: 1e6, Bytes: 1e4}
+	cfg := DefaultConfig()
+	prev := 0.0
+	for _, blocks := range []int{1, 10, 24, 25, 48, 100, 313} {
+		cur := simd.PhaseTime(blocks, w, cfg)
+		if cur < prev {
+			t.Errorf("PhaseTime(%d) = %g < previous %g", blocks, cur, prev)
+		}
+		prev = cur
+	}
+	if simd.PhaseTime(0, w, cfg) != 0 {
+		t.Error("PhaseTime(0) != 0")
+	}
+}
+
+// Property: phase time never beats the perfect-parallel lower bound and
+// never exceeds the fully-serial upper bound.
+func TestPhaseTimeBounds(t *testing.T) {
+	simd := Intel6226()
+	cfg := DefaultConfig()
+	f := func(blocksRaw uint16, flopsRaw uint32) bool {
+		blocks := int(blocksRaw%2000) + 1
+		w := BlockWork{VecFlops: float64(flopsRaw%1000000) + 1}
+		bt := simd.BlockTime(w, cfg)
+		total := simd.PhaseTime(blocks, w, cfg)
+		lower := bt * float64(simd.Waves(blocks, cfg))
+		upper := bt * float64(blocks)
+		return total >= lower-1e-15 && total <= upper+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBoundWave(t *testing.T) {
+	simd := Intel6226()
+	// A block that moves lots of bytes with almost no compute.
+	w := BlockWork{VecFlops: 1, Bytes: 100e6}
+	cfg := DefaultConfig()
+	got := simd.PhaseTime(24, w, cfg)
+	want := 24 * 100e6 / (simd.MemBWGBs * 1e9)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("memory-bound wave = %g, want %g", got, want)
+	}
+	// LLC-resident working set uses cache bandwidth.
+	cfg.WorkingSetBytes = 10e6
+	fast := simd.PhaseTime(24, w, cfg)
+	if fast >= got {
+		t.Errorf("LLC-resident phase (%g) not faster than memory-resident (%g)", fast, got)
+	}
+}
+
+func TestKmeansWaveAnomaly(t *testing.T) {
+	// Paper §7.2: 313 blocks on 24-core nodes.  16 nodes: 19+9 callback =
+	// 1+1 waves.  32 nodes: 9+25 callback = 1+2 waves -> slower.
+	simd := Intel6226()
+	cfg := DefaultConfig()
+	waves16 := simd.Waves(19, cfg) + simd.Waves(9, cfg)
+	waves32 := simd.Waves(9, cfg) + simd.Waves(25, cfg)
+	if waves16 != 2 || waves32 != 3 {
+		t.Errorf("waves = %d/%d, want 2/3", waves16, waves32)
+	}
+}
+
+func TestBlockWorkAccumulation(t *testing.T) {
+	var w BlockWork
+	w.Add(BlockWork{VecFlops: 1, SerialFlops: 2, IntOps: 3, Bytes: 4})
+	w.Add(BlockWork{VecFlops: 10, SerialFlops: 20, IntOps: 30, Bytes: 40})
+	if w.VecFlops != 11 || w.SerialFlops != 22 || w.IntOps != 33 || w.Bytes != 44 {
+		t.Errorf("accumulated = %+v", w)
+	}
+	s := w.Scale(2)
+	if s.VecFlops != 22 || s.Bytes != 88 {
+		t.Errorf("scaled = %+v", s)
+	}
+}

@@ -1,0 +1,53 @@
+package pgas
+
+import (
+	"cucc/internal/core"
+	"cucc/internal/machine"
+)
+
+// RankTraffic is the analytic fine-grained communication of the busiest
+// rank in a PGAS execution.  The evaluation programs provide closed-form
+// traffic models (validated against measured counts at reduced scale) so
+// the figure benchmarks can sweep paper-scale sizes.
+type RankTraffic struct {
+	Puts     int64
+	Gets     int64
+	PutBytes int64
+	GetBytes int64
+	// LocalOps counts owner-local accesses that still traverse the PGAS
+	// library software path.
+	LocalOps int64
+	// IncastPuts is the put count received by the busiest owner (the
+	// whole cluster's remote puts under OwnerRank0).
+	IncastPuts int64
+}
+
+// Estimate computes the modeled PGAS execution time without running the
+// kernel: `blocks` blocks of `work` each, ceil-divided across ranks, plus
+// the given per-rank fine-grained traffic.  It mirrors the timing model of
+// Run exactly.
+func (s *Session) Estimate(blocks int, work machine.BlockWork, tr RankTraffic) *Result {
+	c := s.Cluster
+	n := c.N()
+	perRank := (blocks + n - 1) / n
+
+	res := &Result{
+		RemotePuts:  tr.Puts * int64(n),
+		RemoteGets:  tr.Gets * int64(n),
+		MaxRankPuts: tr.Puts,
+		MaxRankGets: tr.Gets,
+		PutBytes:    tr.PutBytes * int64(n),
+		GetBytes:    tr.GetBytes * int64(n),
+		LocalOps:    tr.LocalOps * int64(n),
+	}
+	res.IncastPuts = tr.IncastPuts
+	comp := c.Machine().PhaseTime(perRank, work, s.Exec)
+	net := c.Net()
+	incast := float64(tr.IncastPuts) * net.NICPerMsgSec
+	comm := net.FineGrained(tr.Puts+tr.Gets, tr.PutBytes+tr.GetBytes) +
+		float64(tr.LocalOps)*net.PerMsgCPUSec*localOpFactor
+	res.CompSec = comp
+	res.CommSec = comm + incast
+	res.TotalSec = comp + comm + incast + net.Barrier(n) + core.KernelLaunchOverheadSec
+	return res
+}

@@ -1,0 +1,194 @@
+package pgas
+
+import (
+	"bytes"
+	"testing"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/simnet"
+)
+
+const vecCopySrc = `
+__global__ void vec_copy(char *src, char *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n)
+        dest[id] = src[id];
+}
+`
+
+func newCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Nodes: n, Machine: machine.Intel6226(), Net: simnet.IB100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPGASVecCopyCorrect(t *testing.T) {
+	prog := core.MustCompile(vecCopySrc)
+	const N = 1200
+	data := make([]byte, N)
+	for i := range data {
+		data[i] = byte(i*11 + 3)
+	}
+	for _, n := range []int{1, 2, 4, 5} {
+		c := newCluster(t, n)
+		src := c.Alloc(kir.U8, N)
+		dest := c.Alloc(kir.U8, N)
+		c.WriteAll(src, data)
+		sess := NewSession(c, prog)
+		res, err := sess.Run(core.LaunchSpec{
+			Kernel: "vec_copy",
+			Grid:   interp.Dim1(5),
+			Block:  interp.Dim1(256),
+			Args:   []core.Arg{core.BufArg(src), core.BufArg(dest), core.IntArg(N)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sess.Assemble(dest)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d: assembled output differs from input", n)
+		}
+		if n == 1 && res.RemotePuts != 0 {
+			t.Errorf("single rank produced %d remote puts", res.RemotePuts)
+		}
+		if n == 4 && res.RemotePuts == 0 {
+			t.Error("4 ranks with misaligned blocks produced no remote puts")
+		}
+	}
+}
+
+func TestPGASCountsListing3(t *testing.T) {
+	// Listing 3 of the paper: dest becomes a global_ptr (1200 writes
+	// through the PGAS layer), src stays a local array (reads are free).
+	run := func(policy Policy) *Result {
+		prog := core.MustCompile(vecCopySrc)
+		c := newCluster(t, 2)
+		const N = 1200
+		src := c.Alloc(kir.U8, N)
+		dest := c.Alloc(kir.U8, N)
+		c.WriteAll(src, make([]byte, N))
+		sess := NewSession(c, prog)
+		sess.Policy = policy
+		res, err := sess.Run(core.LaunchSpec{
+			Kernel: "vec_copy",
+			Grid:   interp.Dim1(5),
+			Block:  interp.Dim1(256),
+			Args:   []core.Arg{core.BufArg(src), core.BufArg(dest), core.IntArg(N)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Naive rank-0 allocation (the paper's Listing 3): rank 0 runs blocks
+	// 0-2 (768 local writes); rank 1 runs blocks 3-4 (432 remote puts,
+	// all landing on rank 0).
+	r0 := run(OwnerRank0)
+	if r0.RemotePuts != 432 || r0.LocalOps != 768 {
+		t.Errorf("OwnerRank0: puts=%d local=%d, want 432/768", r0.RemotePuts, r0.LocalOps)
+	}
+	if r0.IncastPuts != 432 {
+		t.Errorf("OwnerRank0: incast = %d, want 432", r0.IncastPuts)
+	}
+	if r0.RemoteGets != 0 {
+		t.Errorf("OwnerRank0: gets = %d, want 0 (src is local)", r0.RemoteGets)
+	}
+
+	// Block-distributed: rank 0 writes 0-767 but owns 0-599 -> 168 remote;
+	// rank 1 writes 768-1199 and owns 600-1199 -> all local.
+	bd := run(BlockDistributed)
+	if bd.RemotePuts != 168 || bd.LocalOps != 1032 {
+		t.Errorf("BlockDistributed: puts=%d local=%d, want 168/1032", bd.RemotePuts, bd.LocalOps)
+	}
+	if bd.IncastPuts != 168 {
+		t.Errorf("BlockDistributed: incast = %d, want 168", bd.IncastPuts)
+	}
+	// Every dest write is accounted exactly once.
+	for _, r := range []*Result{r0, bd} {
+		if r.RemotePuts+r.LocalOps != 1200 {
+			t.Errorf("accounted writes = %d, want 1200", r.RemotePuts+r.LocalOps)
+		}
+	}
+}
+
+func TestPGASSlowerThanCuCCModel(t *testing.T) {
+	// The modeled PGAS time must exceed the CuCC collective time for a
+	// write-heavy kernel on the same cluster (Figure 10's direction).
+	prog := core.MustCompile(vecCopySrc)
+	const N = 1 << 18
+	grid := N / 256
+
+	pg := func() float64 {
+		c := newCluster(t, 4)
+		src := c.Alloc(kir.U8, N)
+		dest := c.Alloc(kir.U8, N)
+		sess := NewSession(c, prog)
+		res, err := sess.Run(core.LaunchSpec{
+			Kernel: "vec_copy", Grid: interp.Dim1(grid), Block: interp.Dim1(256),
+			Args: []core.Arg{core.BufArg(src), core.BufArg(dest), core.IntArg(N)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalSec
+	}()
+	cucc := func() float64 {
+		c := newCluster(t, 4)
+		src := c.Alloc(kir.U8, N)
+		dest := c.Alloc(kir.U8, N)
+		sess := core.NewSession(c, prog)
+		stats, err := sess.Launch(core.LaunchSpec{
+			Kernel: "vec_copy", Grid: interp.Dim1(grid), Block: interp.Dim1(256),
+			Args: []core.Arg{core.BufArg(src), core.BufArg(dest), core.IntArg(N)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.TotalSec
+	}()
+	if pg <= cucc {
+		t.Errorf("PGAS (%g s) not slower than CuCC (%g s)", pg, cucc)
+	}
+}
+
+func TestAssemblePartialOwnership(t *testing.T) {
+	// Assemble must take each chunk from its owner even when replicas
+	// diverge elsewhere.
+	prog := core.MustCompile(vecCopySrc)
+	c := newCluster(t, 3)
+	b := c.Alloc(kir.U8, 9)
+	sess := NewSession(c, prog)
+	sess.Policy = BlockDistributed
+	for r := 0; r < 3; r++ {
+		region := c.Region(r, b)
+		for i := range region {
+			region[i] = byte(r * 100) // each node fills everything with its rank marker
+		}
+	}
+	got := sess.Assemble(b)
+	want := []byte{0, 0, 0, 100, 100, 100, 200, 200, 200}
+	if !bytes.Equal(got, want) {
+		t.Errorf("assemble = %v, want %v", got, want)
+	}
+}
+
+func TestPGASValidation(t *testing.T) {
+	prog := core.MustCompile(vecCopySrc)
+	c := newCluster(t, 2)
+	sess := NewSession(c, prog)
+	if _, err := sess.Run(core.LaunchSpec{Kernel: "missing", Grid: interp.Dim1(1), Block: interp.Dim1(1)}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := sess.Run(core.LaunchSpec{Kernel: "vec_copy", Grid: interp.Dim1(1), Block: interp.Dim1(1)}); err == nil {
+		t.Error("bad arity accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package sched is a Slurm-like partition/queue simulator reproducing the
+// paper's motivation measurement (Figure 1): on a production cluster, CPU
+// partitions have far shorter job waiting times than GPU partitions because
+// GPU demand outstrips supply while CPUs sit comparatively idle.
+//
+// The paper measured one week of the Georgia Tech PACE cluster; that trace
+// is not available, so this package generates synthetic traces from
+// per-partition utilization levels and runs an exact FCFS c-server
+// simulation to obtain waiting-time distributions with the same shape.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Partition describes one Slurm partition.
+type Partition struct {
+	Name string
+	// Nodes is the number of identical nodes.
+	Nodes int
+	// Utilization is offered load / capacity in (0, 1); GPU partitions
+	// run near saturation.
+	Utilization float64
+	// MeanJobHours is the mean service time of one job.
+	MeanJobHours float64
+	// IsGPU marks GPU partitions for reporting.
+	IsGPU bool
+}
+
+// PACEDefault models the paper's four CPU and four GPU partitions with
+// utilizations reflecting Figure 1's imbalance.
+func PACEDefault() []Partition {
+	return []Partition{
+		{Name: "cpu-small", Nodes: 192, Utilization: 0.90, MeanJobHours: 2.0},
+		{Name: "cpu-medium", Nodes: 128, Utilization: 0.90, MeanJobHours: 3.0},
+		{Name: "cpu-large", Nodes: 64, Utilization: 0.88, MeanJobHours: 4.0},
+		{Name: "cpu-amd", Nodes: 32, Utilization: 0.85, MeanJobHours: 2.5},
+		{Name: "gpu-v100", Nodes: 16, Utilization: 0.97, MeanJobHours: 5.0, IsGPU: true},
+		{Name: "gpu-a100", Nodes: 12, Utilization: 0.98, MeanJobHours: 6.0, IsGPU: true},
+		{Name: "gpu-rtx6000", Nodes: 20, Utilization: 0.96, MeanJobHours: 4.0, IsGPU: true},
+		{Name: "gpu-h100", Nodes: 8, Utilization: 0.985, MeanJobHours: 6.0, IsGPU: true},
+	}
+}
+
+// WaitStats summarizes a partition's waiting times in hours.
+type WaitStats struct {
+	Partition  string
+	IsGPU      bool
+	Jobs       int
+	MeanWait   float64
+	MedianWait float64
+	P90Wait    float64
+	MaxWait    float64
+}
+
+// serverHeap is a min-heap of node-free times.
+type serverHeap []float64
+
+func (h serverHeap) Len() int           { return len(h) }
+func (h serverHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h serverHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *serverHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *serverHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Simulate runs `days` of synthetic arrivals through the partition with an
+// exact FCFS multi-server queue and returns the waiting-time stats.
+func Simulate(p Partition, days float64, seed int64) WaitStats {
+	rng := rand.New(rand.NewSource(seed))
+	horizon := days * 24 // hours
+	// Offered load rho = lambda * meanService / servers.
+	lambda := p.Utilization * float64(p.Nodes) / p.MeanJobHours
+
+	servers := make(serverHeap, p.Nodes)
+	heap.Init(&servers)
+
+	var waits []float64
+	now := 0.0
+	for now < horizon {
+		now += rng.ExpFloat64() / lambda
+		// Service times: exponential with a heavy-ish cap, like batch jobs.
+		service := rng.ExpFloat64() * p.MeanJobHours
+		if service > 48 {
+			service = 48
+		}
+		free := heap.Pop(&servers).(float64)
+		start := math.Max(now, free)
+		waits = append(waits, start-now)
+		heap.Push(&servers, start+service)
+	}
+	return summarize(p, waits)
+}
+
+func summarize(p Partition, waits []float64) WaitStats {
+	st := WaitStats{Partition: p.Name, IsGPU: p.IsGPU, Jobs: len(waits)}
+	if len(waits) == 0 {
+		return st
+	}
+	sort.Float64s(waits)
+	total := 0.0
+	for _, w := range waits {
+		total += w
+	}
+	st.MeanWait = total / float64(len(waits))
+	st.MedianWait = waits[len(waits)/2]
+	st.P90Wait = waits[int(float64(len(waits))*0.9)]
+	st.MaxWait = waits[len(waits)-1]
+	return st
+}
+
+// SimulateAll runs every partition for the given number of days.
+func SimulateAll(parts []Partition, days float64, seed int64) []WaitStats {
+	out := make([]WaitStats, len(parts))
+	for i, p := range parts {
+		out[i] = Simulate(p, days, seed+int64(i))
+	}
+	return out
+}
+
+// Compare aggregates CPU-vs-GPU mean waits; the Figure 1 headline.
+func Compare(stats []WaitStats) (cpuMean, gpuMean float64) {
+	var cw, gw, cn, gn float64
+	for _, s := range stats {
+		if s.IsGPU {
+			gw += s.MeanWait * float64(s.Jobs)
+			gn += float64(s.Jobs)
+		} else {
+			cw += s.MeanWait * float64(s.Jobs)
+			cn += float64(s.Jobs)
+		}
+	}
+	if cn > 0 {
+		cpuMean = cw / cn
+	}
+	if gn > 0 {
+		gpuMean = gw / gn
+	}
+	return cpuMean, gpuMean
+}
+
+func (s WaitStats) String() string {
+	kind := "CPU"
+	if s.IsGPU {
+		kind = "GPU"
+	}
+	return fmt.Sprintf("%-12s %s jobs=%-5d mean=%6.2fh median=%6.2fh p90=%6.2fh",
+		s.Partition, kind, s.Jobs, s.MeanWait, s.MedianWait, s.P90Wait)
+}

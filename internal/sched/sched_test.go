@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1CPUvsGPUWaits(t *testing.T) {
+	stats := SimulateAll(PACEDefault(), 7, 42)
+	if len(stats) != 8 {
+		t.Fatalf("got %d partitions, want 8", len(stats))
+	}
+	cpuMean, gpuMean := Compare(stats)
+	if cpuMean <= 0 && gpuMean <= 0 {
+		t.Fatal("no waiting recorded at all")
+	}
+	// The Figure 1 headline: GPU waits dominate CPU waits by a wide margin.
+	if gpuMean < 5*cpuMean {
+		t.Errorf("GPU mean wait %.2fh not >> CPU mean wait %.2fh", gpuMean, cpuMean)
+	}
+	// Every GPU partition individually waits longer than every CPU one.
+	var maxCPU, minGPU float64
+	minGPU = 1e18
+	for _, s := range stats {
+		if s.IsGPU {
+			if s.MeanWait < minGPU {
+				minGPU = s.MeanWait
+			}
+		} else if s.MeanWait > maxCPU {
+			maxCPU = s.MeanWait
+		}
+	}
+	if minGPU <= maxCPU {
+		t.Errorf("some CPU partition (%.2fh) waits longer than a GPU partition (%.2fh)", maxCPU, minGPU)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := PACEDefault()[0]
+	a := Simulate(p, 3, 7)
+	b := Simulate(p, 3, 7)
+	if a != b {
+		t.Error("same seed produced different results")
+	}
+	c := Simulate(p, 3, 8)
+	if a == c {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestLowUtilizationMeansNoWait(t *testing.T) {
+	p := Partition{Name: "idle", Nodes: 100, Utilization: 0.05, MeanJobHours: 1}
+	st := Simulate(p, 7, 1)
+	if st.MedianWait != 0 {
+		t.Errorf("nearly idle partition has median wait %.3fh", st.MedianWait)
+	}
+}
+
+func TestWaitStatsOrdering(t *testing.T) {
+	p := PACEDefault()[4] // a saturated GPU partition
+	st := Simulate(p, 7, 3)
+	if !(st.MedianWait <= st.P90Wait && st.P90Wait <= st.MaxWait) {
+		t.Errorf("quantiles out of order: %+v", st)
+	}
+	if st.Jobs == 0 {
+		t.Error("no jobs simulated")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	st := Simulate(PACEDefault()[0], 1, 1)
+	s := st.String()
+	if !strings.Contains(s, "cpu-small") || !strings.Contains(s, "CPU") {
+		t.Errorf("bad format: %q", s)
+	}
+}

@@ -1,0 +1,157 @@
+// Package simnet models the cluster interconnect with the standard
+// alpha-beta (latency-bandwidth) cost model, plus a per-message CPU
+// overhead term for fine-grained communication.
+//
+// It substitutes for the paper's 100 Gb/s InfiniBand fabric: collective
+// and point-to-point costs are computed from measured byte/message counts
+// using closed-form algorithm costs (ring, recursive doubling), which is
+// how communication libraries themselves model these operations.
+package simnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is an alpha-beta network model.
+type Model struct {
+	Name string
+	// AlphaSec is the per-message latency in seconds.
+	AlphaSec float64
+	// BetaSecPerByte is the inverse bandwidth in seconds per byte.
+	BetaSecPerByte float64
+	// PerMsgCPUSec is the sender-side software overhead per message
+	// (library call, injection); it dominates fine-grained PGAS traffic.
+	PerMsgCPUSec float64
+	// NICPerMsgSec is the receiver-side NIC processing time per RDMA
+	// message (no CPU involvement); it bounds incast absorption.
+	NICPerMsgSec float64
+	// MemBWBytesPerSec is node-local memory bandwidth, used for the local
+	// copy in out-of-place collectives.
+	MemBWBytesPerSec float64
+}
+
+// IB100 returns the paper's 100 Gb/s InfiniBand fabric with RDMA.
+func IB100() Model {
+	return Model{
+		Name:             "100Gbps-IB",
+		AlphaSec:         2e-6,               // RDMA small-message latency
+		BetaSecPerByte:   1 / (12.5e9 * 0.9), // 100 Gb/s at 90% efficiency
+		PerMsgCPUSec:     5e-8,               // fine-grained put/get software path
+		NICPerMsgSec:     1.5e-8,             // ~65 Mmsg/s RDMA message rate
+		MemBWBytesPerSec: 200e9,
+	}
+}
+
+// IB400 and IB800 model the higher-bandwidth fabrics of the paper's
+// outlook (§10).
+func IB400() Model {
+	m := IB100()
+	m.Name = "400Gbps-IB"
+	m.BetaSecPerByte = 1 / (50e9 * 0.9)
+	return m
+}
+
+// IB800 returns an 800 Gb/s fabric model.
+func IB800() Model {
+	m := IB100()
+	m.Name = "800Gbps-IB"
+	m.BetaSecPerByte = 1 / (100e9 * 0.9)
+	return m
+}
+
+// PointToPoint returns the cost of one message of n bytes.
+func (m Model) PointToPoint(n int64) float64 {
+	return m.AlphaSec + float64(n)*m.BetaSecPerByte
+}
+
+// RingAllgather returns the cost of a balanced in-place ring Allgather
+// where each of nodes contributes perNodeBytes: (N-1) steps, each moving
+// one chunk between neighbors.
+func (m Model) RingAllgather(nodes int, perNodeBytes int64) float64 {
+	if nodes <= 1 || perNodeBytes == 0 {
+		return 0
+	}
+	steps := float64(nodes - 1)
+	return steps * (m.AlphaSec + float64(perNodeBytes)*m.BetaSecPerByte)
+}
+
+// AllgatherV returns the cost of an imbalanced (vector) ring Allgather.
+// Each step forwards the largest remaining chunk along the ring, so every
+// step is paced by the maximum chunk in flight.
+func (m Model) AllgatherV(chunks []int64) float64 {
+	n := len(chunks)
+	if n <= 1 {
+		return 0
+	}
+	var maxChunk int64
+	for _, c := range chunks {
+		if c > maxChunk {
+			maxChunk = c
+		}
+	}
+	if maxChunk == 0 {
+		return 0
+	}
+	return float64(n-1) * (m.AlphaSec + float64(maxChunk)*m.BetaSecPerByte)
+}
+
+// OutOfPlacePenalty returns the extra local-memory time of an out-of-place
+// Allgather: the local contribution must be copied from the input buffer
+// to the output buffer (read + write).
+func (m Model) OutOfPlacePenalty(totalBytes int64) float64 {
+	if m.MemBWBytesPerSec == 0 {
+		return 0
+	}
+	return 2 * float64(totalBytes) / m.MemBWBytesPerSec
+}
+
+// RecursiveDoublingAllgather returns the cost of the log-step algorithm on
+// a power-of-two node count; it trades fewer steps for doubling message
+// sizes.
+func (m Model) RecursiveDoublingAllgather(nodes int, perNodeBytes int64) float64 {
+	if nodes <= 1 || perNodeBytes == 0 {
+		return 0
+	}
+	cost := 0.0
+	for sz := 1; sz < nodes; sz *= 2 {
+		cost += m.AlphaSec + float64(int64(sz)*perNodeBytes)*m.BetaSecPerByte
+	}
+	return cost
+}
+
+// Barrier returns the cost of a dissemination barrier.
+func (m Model) Barrier(nodes int) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(nodes))) * m.AlphaSec
+}
+
+// Broadcast returns the cost of a binomial-tree broadcast of n bytes.
+func (m Model) Broadcast(nodes int, n int64) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(nodes))) * (m.AlphaSec + float64(n)*m.BetaSecPerByte)
+}
+
+// FineGrained returns the per-rank cost of msgs fine-grained remote
+// accesses totaling bytes: sender CPU overhead serializes message
+// injection while the payload streams at link bandwidth (the PGAS
+// pathology of paper §3.1).
+func (m Model) FineGrained(msgs int64, bytes int64) float64 {
+	if msgs == 0 {
+		return 0
+	}
+	inject := float64(msgs) * m.PerMsgCPUSec
+	stream := float64(bytes) * m.BetaSecPerByte
+	return m.AlphaSec + math.Max(inject, stream)
+}
+
+// BandwidthBytesPerSec reports the effective link bandwidth.
+func (m Model) BandwidthBytesPerSec() float64 { return 1 / m.BetaSecPerByte }
+
+func (m Model) String() string {
+	return fmt.Sprintf("%s (alpha=%.1fus, bw=%.1fGB/s)", m.Name, m.AlphaSec*1e6, m.BandwidthBytesPerSec()/1e9)
+}

@@ -1,0 +1,125 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingAllgatherCost(t *testing.T) {
+	m := IB100()
+	// 1 node or zero bytes: free.
+	if m.RingAllgather(1, 1<<20) != 0 {
+		t.Error("single-node allgather should be free")
+	}
+	if m.RingAllgather(8, 0) != 0 {
+		t.Error("zero-byte allgather should be free")
+	}
+	// Cost formula: (N-1) * (alpha + chunk/beta).
+	got := m.RingAllgather(4, 1<<20)
+	want := 3 * (m.AlphaSec + float64(1<<20)*m.BetaSecPerByte)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("RingAllgather = %g, want %g", got, want)
+	}
+}
+
+// Property (paper §2.3): a balanced Allgather never costs more than an
+// imbalanced one moving the same total data.
+func TestBalancedBeatsImbalanced(t *testing.T) {
+	m := IB100()
+	f := func(aRaw, bRaw uint32, nRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		total := int64(aRaw%(1<<24)) + int64(n) // at least one byte each
+		per := total / int64(n)
+		balanced := make([]int64, n)
+		for i := range balanced {
+			balanced[i] = per
+		}
+		imbalanced := make([]int64, n)
+		skew := int64(bRaw) % (per + 1)
+		for i := range imbalanced {
+			imbalanced[i] = per
+		}
+		imbalanced[0] = per + skew
+		imbalanced[1] = per - skew
+		return m.AllgatherV(balanced) <= m.AllgatherV(imbalanced)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (paper §2.3): in-place never costs more than out-of-place.
+func TestInPlaceBeatsOutOfPlace(t *testing.T) {
+	m := IB100()
+	f := func(bytesRaw uint32, nRaw uint8) bool {
+		n := int(nRaw%31) + 2
+		per := int64(bytesRaw % (1 << 22))
+		inPlace := m.RingAllgather(n, per)
+		outOfPlace := inPlace + m.OutOfPlacePenalty(per*int64(n))
+		return inPlace <= outOfPlace
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecursiveDoublingVsRing(t *testing.T) {
+	m := IB100()
+	// For small messages, recursive doubling (log steps) beats the ring
+	// (N-1 steps) because latency dominates.
+	small := int64(64)
+	if m.RecursiveDoublingAllgather(32, small) >= m.RingAllgather(32, small) {
+		t.Error("recursive doubling should win for small messages")
+	}
+	// Both move the same total volume, so for large messages costs
+	// converge to within the latency difference.
+	big := int64(64 << 20)
+	rd := m.RecursiveDoublingAllgather(32, big)
+	ring := m.RingAllgather(32, big)
+	if math.Abs(rd-ring)/ring > 0.01 {
+		t.Errorf("bandwidth-bound costs diverge: rd=%g ring=%g", rd, ring)
+	}
+}
+
+func TestFineGrainedOverheadDominates(t *testing.T) {
+	m := IB100()
+	// 1M one-byte puts vs one 1MB collective chunk: the PGAS pathology.
+	fine := m.FineGrained(1<<20, 1<<20)
+	coarse := m.PointToPoint(1 << 20)
+	if fine < 100*coarse {
+		t.Errorf("fine-grained (%g) should dwarf coarse (%g)", fine, coarse)
+	}
+}
+
+func TestBandwidthUpgrades(t *testing.T) {
+	b100 := IB100().BandwidthBytesPerSec()
+	b400 := IB400().BandwidthBytesPerSec()
+	b800 := IB800().BandwidthBytesPerSec()
+	if math.Abs(b400/b100-4) > 0.01 || math.Abs(b800/b100-8) > 0.01 {
+		t.Errorf("bandwidth ratios = %.2f / %.2f, want 4 / 8", b400/b100, b800/b100)
+	}
+}
+
+func TestBarrierAndBroadcast(t *testing.T) {
+	m := IB100()
+	if m.Barrier(1) != 0 || m.Broadcast(1, 100) != 0 {
+		t.Error("single-node collectives should be free")
+	}
+	if m.Barrier(32) != 5*m.AlphaSec {
+		t.Errorf("Barrier(32) = %g, want 5 alpha", m.Barrier(32))
+	}
+	if m.Broadcast(8, 0) != 3*m.AlphaSec {
+		t.Errorf("Broadcast(8,0) = %g, want 3 alpha", m.Broadcast(8, 0))
+	}
+}
+
+func TestAllgatherVEmptyAndSingle(t *testing.T) {
+	m := IB100()
+	if m.AllgatherV(nil) != 0 || m.AllgatherV([]int64{100}) != 0 {
+		t.Error("degenerate AllgatherV should be free")
+	}
+	if m.AllgatherV([]int64{0, 0, 0}) != 0 {
+		t.Error("all-zero AllgatherV should be free")
+	}
+}

@@ -1,0 +1,475 @@
+package suites
+
+import (
+	"cucc/internal/analysis"
+	"cucc/internal/lang"
+)
+
+// CoverageKernel is one kernel of the §7.1 coverage study (Figure 7).
+type CoverageKernel struct {
+	Suite  string // "BERT", "ViT", "Hetero-Mark"
+	Name   string
+	Source string
+	// WantDistributable is the paper-reported classification.
+	WantDistributable bool
+	// WantReason is the expected rejection class for non-distributable
+	// kernels (ReasonOK otherwise).
+	WantReason analysis.Reason
+}
+
+// Classify runs the Allgather-distributable analysis on the kernel.
+func (ck CoverageKernel) Classify() *analysis.Metadata {
+	mod := lang.MustParse(ck.Source)
+	return analysis.Analyze(mod.Kernels[0])
+}
+
+// CoverageSuite returns all 34 kernels of the coverage evaluation:
+// 11 BERT + 10 ViT Triton-generated-style kernels (all distributable in
+// the paper) and 13 Hetero-Mark-style hand-written CUDA kernels (8
+// distributable, 4 with overlapping write intervals, 1 with indirect
+// memory access).
+func CoverageSuite() []CoverageKernel {
+	var out []CoverageKernel
+	out = append(out, bertKernels()...)
+	out = append(out, vitKernels()...)
+	out = append(out, heteroMarkKernels()...)
+	return out
+}
+
+// CoverageCounts tallies classifications per suite: the Figure 7 bars.
+type CoverageCounts struct {
+	Suite         string
+	Total         int
+	Distributable int
+	Overlap       int
+	Indirect      int
+	Other         int
+}
+
+// CountCoverage runs the analysis over the whole suite and aggregates.
+func CountCoverage() []CoverageCounts {
+	order := []string{"BERT", "ViT", "Hetero-Mark"}
+	byName := map[string]*CoverageCounts{}
+	for _, s := range order {
+		byName[s] = &CoverageCounts{Suite: s}
+	}
+	for _, ck := range CoverageSuite() {
+		cc := byName[ck.Suite]
+		cc.Total++
+		md := ck.Classify()
+		switch {
+		case md.Distributable:
+			cc.Distributable++
+		case md.Reason == analysis.ReasonOverlap:
+			cc.Overlap++
+		case md.Reason == analysis.ReasonIndirect:
+			cc.Indirect++
+		default:
+			cc.Other++
+		}
+	}
+	out := make([]CoverageCounts, 0, len(order))
+	for _, s := range order {
+		out = append(out, *byName[s])
+	}
+	return out
+}
+
+// --- BERT kernels (Triton-style: flat indices, explicit bound masks) ---
+
+func bertKernels() []CoverageKernel {
+	mk := func(name, src string) CoverageKernel {
+		return CoverageKernel{Suite: "BERT", Name: name, Source: src, WantDistributable: true}
+	}
+	return []CoverageKernel{
+		mk("bert_embedding_lookup", `
+__global__ void bert_embedding_lookup(int* ids, float* table, float* out, int n, int hidden) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        int tok = id / hidden;
+        int h = id % hidden;
+        out[id] = table[ids[tok] * hidden + h];
+    }
+}`),
+		mk("bert_embedding_add", `
+__global__ void bert_embedding_add(float* word, float* pos, float* seg, float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        out[id] = word[id] + pos[id] + seg[id];
+}`),
+		mk("bert_layernorm", `
+__global__ void bert_layernorm(float* x, float* gamma, float* beta, float* out, int rows, int hidden) {
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row < rows) {
+        float mean = 0.0f;
+        for (int c = 0; c < hidden; c++)
+            mean += x[row * hidden + c];
+        mean = mean / (float)hidden;
+        float var = 0.0f;
+        for (int c = 0; c < hidden; c++) {
+            float d = x[row * hidden + c] - mean;
+            var += d * d;
+        }
+        float inv = 1.0f / sqrtf(var / (float)hidden + 0.00001f);
+        for (int c = 0; c < hidden; c++)
+            out[row * hidden + c] = (x[row * hidden + c] - mean) * inv * gamma[c] + beta[c];
+    }
+}
+`),
+		mk("bert_qkv_matmul", `
+__global__ void bert_qkv_matmul(float* x, float* w, float* out, int tiles, int k) {
+    int width = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < k; j++)
+            acc += x[row * k + j] * w[j * width + col];
+        out[row * width + col] = acc;
+    }
+}`),
+		mk("bert_attention_scores", `
+__global__ void bert_attention_scores(float* q, float* km, float* out, int tiles, int d, float scale) {
+    int cols = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < d; j++)
+            acc += q[row * d + j] * km[col * d + j];
+        out[row * cols + col] = acc * scale;
+    }
+}`),
+		mk("bert_softmax", `
+__global__ void bert_softmax(float* x, float* out, int rows, int cols) {
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row < rows) {
+        float maxv = -1e30f;
+        for (int c = 0; c < cols; c++) {
+            float v = x[row * cols + c];
+            if (v > maxv) maxv = v;
+        }
+        float sum = 0.0f;
+        for (int c = 0; c < cols; c++)
+            sum += expf(x[row * cols + c] - maxv);
+        for (int c = 0; c < cols; c++)
+            out[row * cols + c] = expf(x[row * cols + c] - maxv) / sum;
+    }
+}
+`),
+		mk("bert_attention_context", `
+__global__ void bert_attention_context(float* probs, float* v, float* out, int tiles, int seq) {
+    int d = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < seq; j++)
+            acc += probs[row * seq + j] * v[j * d + col];
+        out[row * d + col] = acc;
+    }
+}`),
+		mk("bert_bias_gelu", `
+__global__ void bert_bias_gelu(float* x, float* bias, float* out, int n, int width) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        float v = x[id] + bias[id % width];
+        out[id] = 0.5f * v * (1.0f + tanhf(0.7978845f * (v + 0.044715f * v * v * v)));
+    }
+}`),
+		mk("bert_residual_add", `
+__global__ void bert_residual_add(float* x, float* res, float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        out[id] = x[id] + res[id];
+}`),
+		mk("bert_dropout", `
+__global__ void bert_dropout(float* x, char* mask, float* out, int n, float scale) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        out[id] = mask[id] > 0 ? x[id] * scale : 0.0f;
+}`),
+		mk("bert_pooler_tanh", `
+__global__ void bert_pooler_tanh(float* x, float* w, float* out, int tiles, int k) {
+    int width = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < k; j++)
+            acc += x[row * k + j] * w[j * width + col];
+        out[row * width + col] = tanhf(acc);
+    }
+}`),
+	}
+}
+
+// --- ViT kernels ---
+
+func vitKernels() []CoverageKernel {
+	mk := func(name, src string) CoverageKernel {
+		return CoverageKernel{Suite: "ViT", Name: name, Source: src, WantDistributable: true}
+	}
+	return []CoverageKernel{
+		mk("vit_patch_embed", `
+__global__ void vit_patch_embed(float* img, float* w, float* out, int tiles, int patch) {
+    int d = tiles * blockDim.x;
+    int p = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < patch; j++)
+            acc += img[p * patch + j] * w[j * d + col];
+        out[p * d + col] = acc;
+    }
+}`),
+		mk("vit_cls_concat", `
+__global__ void vit_cls_concat(float* cls, float* patches, float* out, int n, int d) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        out[id] = id < d ? cls[id] : patches[id - d];
+}`),
+		mk("vit_pos_add", `
+__global__ void vit_pos_add(float* x, float* pos, float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        out[id] = x[id] + pos[id];
+}`),
+		mk("vit_layernorm", `
+__global__ void vit_layernorm(float* x, float* gamma, float* beta, float* out, int rows, int hidden) {
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row < rows) {
+        float mean = 0.0f;
+        for (int c = 0; c < hidden; c++)
+            mean += x[row * hidden + c];
+        mean = mean / (float)hidden;
+        float var = 0.0f;
+        for (int c = 0; c < hidden; c++) {
+            float d = x[row * hidden + c] - mean;
+            var += d * d;
+        }
+        float inv = 1.0f / sqrtf(var / (float)hidden + 0.00001f);
+        for (int c = 0; c < hidden; c++)
+            out[row * hidden + c] = (x[row * hidden + c] - mean) * inv * gamma[c] + beta[c];
+    }
+}
+`),
+		mk("vit_qkv_proj", `
+__global__ void vit_qkv_proj(float* x, float* w, float* out, int tiles, int k) {
+    int width = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < k; j++)
+            acc += x[row * k + j] * w[j * width + col];
+        out[row * width + col] = acc;
+    }
+}`),
+		mk("vit_attention_softmax", `
+__global__ void vit_attention_softmax(float* x, float* out, int rows, int cols) {
+    int row = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row < rows) {
+        float maxv = -1e30f;
+        for (int c = 0; c < cols; c++) {
+            float v = x[row * cols + c];
+            if (v > maxv) maxv = v;
+        }
+        float sum = 0.0f;
+        for (int c = 0; c < cols; c++)
+            sum += expf(x[row * cols + c] - maxv);
+        for (int c = 0; c < cols; c++)
+            out[row * cols + c] = expf(x[row * cols + c] - maxv) / sum;
+    }
+}
+`),
+		mk("vit_attention_av", `
+__global__ void vit_attention_av(float* probs, float* v, float* out, int tiles, int seq) {
+    int d = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < seq; j++)
+            acc += probs[row * seq + j] * v[j * d + col];
+        out[row * d + col] = acc;
+    }
+}`),
+		mk("vit_mlp_gelu", `
+__global__ void vit_mlp_gelu(float* x, float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        float v = x[id];
+        out[id] = 0.5f * v * (1.0f + tanhf(0.7978845f * (v + 0.044715f * v * v * v)));
+    }
+}`),
+		mk("vit_residual_add", `
+__global__ void vit_residual_add(float* x, float* res, float* out, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        out[id] = x[id] + res[id];
+}`),
+		mk("vit_head_matmul", `
+__global__ void vit_head_matmul(float* x, float* w, float* out, int tiles, int k) {
+    int classes = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float acc = 0.0f;
+        for (int j = 0; j < k; j++)
+            acc += x[row * k + j] * w[j * classes + col];
+        out[row * classes + col] = acc;
+    }
+}`),
+	}
+}
+
+// --- Hetero-Mark kernels ---
+
+func heteroMarkKernels() []CoverageKernel {
+	mk := func(name, src string, distributable bool, reason analysis.Reason) CoverageKernel {
+		return CoverageKernel{Suite: "Hetero-Mark", Name: name, Source: src,
+			WantDistributable: distributable, WantReason: reason}
+	}
+	return []CoverageKernel{
+		// 8 distributable kernels.
+		mk("aes_encrypt", `
+__global__ void aes_encrypt(char* in, char* out, char* key, int nblocks, int rounds) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < nblocks) {
+        for (int b = 0; b < 16; b++) {
+            int v = in[id * 16 + b];
+            for (int r = 0; r < rounds; r++)
+                v = (v ^ key[r * 16 + b]) & 255;
+            out[id * 16 + b] = (char)v;
+        }
+    }
+}`, true, analysis.ReasonOK),
+		mk("be_extract", `
+__global__ void be_extract(float* frame, float* bg, char* fgmask, int n, float thresh) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        fgmask[id] = fabsf(frame[id] - bg[id]) > thresh ? (char)1 : (char)0;
+}`, true, analysis.ReasonOK),
+		mk("be_update", `
+__global__ void be_update(float* frame, float* bg, int n, float alpha) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        bg[id] = alpha * frame[id] + (1.0f - alpha) * bg[id];
+}`, true, analysis.ReasonOK),
+		mk("bs_blackscholes", `
+__global__ void bs_blackscholes(float* price, float* strike, float* t, float* call, float* put, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        float s = price[id];
+        float k = strike[id];
+        float tt = t[id];
+        float d1 = (logf(s / k) + 0.06f * tt) / (0.3f * sqrtf(tt));
+        float nd1 = 0.5f * (1.0f + tanhf(0.797884f * d1));
+        call[id] = s * nd1 - k * expf(0.0f - 0.04f * tt) * nd1;
+        put[id] = call[id] + k * expf(0.0f - 0.04f * tt) - s;
+    }
+}`, true, analysis.ReasonOK),
+		mk("ep_mutate", `
+__global__ void ep_mutate(float* fitness, int n, int iters, int seed) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        int state = seed + id;
+        float acc = 0.0f;
+        for (int i = 0; i < iters; i++) {
+            state = (state * 1103515245 + 12345) % 2147483648;
+            acc += (float)(state % 1000) * 0.001f;
+        }
+        fitness[id] = acc;
+    }
+}`, true, analysis.ReasonOK),
+		mk("fir_filter", `
+__global__ void fir_filter(float* in, float* out, float* coeff, int n, int taps) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        float sum = 0.0f;
+        for (int t = 0; t < taps; t++)
+            sum += coeff[t] * in[id + t];
+        out[id] = sum;
+    }
+}`, true, analysis.ReasonOK),
+		mk("ga_search", `
+__global__ void ga_search(char* query, char* target, int* blockBest, int n, int m) {
+    __shared__ int scores[256];
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    int s = 0;
+    if (id < n) {
+        for (int j = 0; j < m; j++) {
+            if (query[id + j] == target[j])
+                s = s + 1;
+        }
+    }
+    scores[threadIdx.x] = s;
+    __syncthreads();
+    for (int stride = 128; stride > 0; stride = stride / 2) {
+        if (threadIdx.x < stride) {
+            if (scores[threadIdx.x + stride] > scores[threadIdx.x])
+                scores[threadIdx.x] = scores[threadIdx.x + stride];
+        }
+        __syncthreads();
+    }
+    if (threadIdx.x == 0)
+        blockBest[blockIdx.x] = scores[0];
+}`, true, analysis.ReasonOK),
+		mk("km_classify", `
+__global__ void km_classify(float* points, float* centroids, int* membership, int n, int k, int dim) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        int best = 0;
+        float bestDist = 1e30f;
+        for (int c = 0; c < k; c++) {
+            float d = 0.0f;
+            for (int j = 0; j < dim; j++) {
+                float diff = points[id * dim + j] - centroids[c * dim + j];
+                d += diff * diff;
+            }
+            if (d < bestDist) {
+                bestDist = d;
+                best = c;
+            }
+        }
+        membership[id] = best;
+    }
+}`, true, analysis.ReasonOK),
+		// 4 kernels with overlapping write intervals.
+		mk("hist_histogram", `
+__global__ void hist_histogram(char* data, int* bins, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        atomicAdd(&bins[data[id]], 1);
+}`, false, analysis.ReasonOverlap),
+		mk("km_update_centroids", `
+__global__ void km_update_centroids(float* points, int* membership, float* sums, int n, int dim) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        for (int j = 0; j < dim; j++)
+            atomicAdd(&sums[membership[id] * dim + j], points[id * dim + j]);
+    }
+}`, false, analysis.ReasonOverlap),
+		mk("pr_push", `
+__global__ void pr_push(float* rank, int* degree, float* next, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        atomicAdd(&next[id % (n / 2)], rank[id] / (float)degree[id]);
+}`, false, analysis.ReasonOverlap),
+		mk("sc_scan_partial", `
+__global__ void sc_scan_partial(float* in, float* out) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    out[id] = in[id];
+    if (threadIdx.x == 0)
+        out[blockIdx.x * blockDim.x + blockDim.x] = in[blockIdx.x * blockDim.x];
+}`, false, analysis.ReasonOverlap),
+		// 1 kernel with indirect memory access.
+		mk("bfs_scatter", `
+__global__ void bfs_scatter(int* frontier, int* edges, int* next, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n)
+        next[edges[frontier[id]]] = 1;
+}`, false, analysis.ReasonIndirect),
+	}
+}

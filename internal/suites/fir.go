@@ -1,0 +1,134 @@
+package suites
+
+import (
+	"math/rand"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/pgas"
+)
+
+const firSrc = `
+__global__ void fir(float* in, float* out, float* coeff, int n, int taps) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        float sum = 0.0f;
+        for (int t = 0; t < taps; t++)
+            sum += coeff[t] * in[id + t];
+        out[id] = sum;
+    }
+}
+`
+
+const firBlock = 256
+
+// FIR is the finite-impulse-response filter: the paper's showcase for
+// near-linear scalability (heavy per-thread computation, small
+// communication relative to compute; §7.2).
+func FIR() *Program {
+	prog := core.MustCompile(firSrc)
+	must(prog.RegisterNative("fir", core.Native{
+		RunBlock: func(mem interp.Memory, args []interp.Value, grid, block interp.Dim3, bx, by int) error {
+			n := int(args[3].I)
+			taps := int(args[4].I)
+			for tx := 0; tx < block.X; tx++ {
+				id := block.X*bx + tx
+				if id >= n {
+					continue
+				}
+				var sum float32
+				for t := 0; t < taps; t++ {
+					sum += mem.LoadF32(2, t) * mem.LoadF32(0, id+t)
+				}
+				mem.StoreF32(1, id, sum)
+			}
+			return nil
+		},
+		BlockWork: func(args []interp.Value, grid, block interp.Dim3) machine.BlockWork {
+			t := float64(block.X)
+			taps := float64(args[4].I)
+			return machine.BlockWork{
+				VecFlops: t * taps * 2,
+				IntOps:   t * taps * 2,
+				// Streaming reads: each thread's window overlaps its
+				// neighbor's, so per block roughly (blockDim + taps)
+				// fresh input elements plus the coefficient vector (which
+				// stays cached) and blockDim outputs.
+				Bytes: (t + taps + t) * 4,
+			}
+		},
+	}))
+
+	p := &Program{
+		Name:          "FIR",
+		Kernel:        "fir",
+		Source:        firSrc,
+		SIMDFraction:  1.0, // the thread loop vectorizes; taps loop is a reduction per lane
+		GPUComputeEff: 0.85,
+		GPUMemEff:     0.8,
+		Compiled:      prog,
+		Default:       Params{"n": 16384 * firBlock, "taps": 131072},
+		WeakKey:       "n",
+		Small:         Params{"n": 2000, "taps": 32},
+	}
+	spec := func(pr Params, in, out, coeff cluster.Buffer) core.LaunchSpec {
+		n := pr.Get("n")
+		return core.LaunchSpec{
+			Kernel: "fir",
+			Grid:   interp.Dim1(ceilDiv(n, firBlock)),
+			Block:  interp.Dim1(firBlock),
+			Args: []core.Arg{
+				core.BufArg(in), core.BufArg(out), core.BufArg(coeff),
+				core.IntArg(int64(n)), core.IntArg(int64(pr.Get("taps"))),
+			},
+			SIMDFraction: p.SIMDFraction,
+		}
+	}
+	p.Spec = func(pr Params) core.LaunchSpec {
+		n, taps := pr.Get("n"), pr.Get("taps")
+		return spec(pr, virtualBuf(kir.F32, n+taps), virtualBuf(kir.F32, n), virtualBuf(kir.F32, taps))
+	}
+	p.Build = func(c *cluster.Cluster, pr Params) (*Instance, error) {
+		n, taps := pr.Get("n"), pr.Get("taps")
+		rng := rand.New(rand.NewSource(2))
+		ins := make([]float32, n+taps)
+		for i := range ins {
+			ins[i] = rng.Float32() - 0.5
+		}
+		cf := make([]float32, taps)
+		for i := range cf {
+			cf[i] = rng.Float32() * 0.1
+		}
+		want := make([]float32, n)
+		for i := 0; i < n; i++ {
+			var sum float32
+			for t := 0; t < taps; t++ {
+				sum += cf[t] * ins[i+t]
+			}
+			want[i] = sum
+		}
+		in := c.Alloc(kir.F32, n+taps)
+		out := c.Alloc(kir.F32, n)
+		coeff := c.Alloc(kir.F32, taps)
+		if err := c.WriteAllF32(in, ins); err != nil {
+			return nil, err
+		}
+		if err := c.WriteAllF32(coeff, cf); err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Spec:  spec(pr, in, out, coeff),
+			Check: checkF32(c, out, want, "fir"),
+		}, nil
+	}
+	p.Traffic = func(pr Params, nodes int) pgas.RankTraffic {
+		n := pr.Get("n")
+		blocks := ceilDiv(n, firBlock)
+		tail := int64(n - (blocks-1)*firBlock)
+		return trafficOwner0(blocks, nodes, firBlock, tail, 4)
+	}
+	return p
+}

@@ -1,0 +1,154 @@
+package suites
+
+import (
+	"fmt"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+)
+
+// Histogram is the porting guide for the paper's non-distributable class:
+// the classic atomicAdd histogram has overlapping write intervals
+// (Figure 7's largest rejection category), so CuCC can only replicate it.
+// The standard privatization rewrite makes it distributable:
+//
+//  1. hist_private: each block builds a private histogram in shared memory
+//     (shared atomics need no cross-node communication) and writes it to
+//     its own row of a partials matrix — a contiguous, block-indexed write
+//     interval that the analysis accepts (via the block-stride loop rule).
+//  2. hist_reduce: one thread per bin sums the column of partials.
+//
+// Both pipelines produce identical bins; only the ported one distributes.
+
+// HistogramAtomicSrc is the original kernel (not Allgather distributable).
+const HistogramAtomicSrc = `
+__global__ void hist_atomic(char* data, int* bins, int n, int rounds) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        int v = data[id];
+        for (int h = 0; h < rounds; h++)
+            v = (v * 31 + 7) % 64;
+        atomicAdd(&bins[v], 1);
+    }
+}
+`
+
+// HistogramPortedSrc is the privatized two-kernel rewrite (distributable).
+const HistogramPortedSrc = `
+__global__ void hist_private(char* data, int* partial, int n, int bins, int rounds) {
+    __shared__ int sh[256];
+    for (int b = threadIdx.x; b < bins; b = b + blockDim.x)
+        sh[b] = 0;
+    __syncthreads();
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        int v = data[id];
+        for (int h = 0; h < rounds; h++)
+            v = (v * 31 + 7) % 64;
+        atomicAdd(&sh[v], 1);
+    }
+    __syncthreads();
+    for (int b = threadIdx.x; b < bins; b = b + blockDim.x)
+        partial[blockIdx.x * bins + b] = sh[b];
+}
+
+__global__ void hist_reduce(int* partial, int* bins, int blocks, int nbins) {
+    int b = blockIdx.x * blockDim.x + threadIdx.x;
+    if (b < nbins) {
+        int sum = 0;
+        for (int blk = 0; blk < blocks; blk++)
+            sum += partial[blk * nbins + b];
+        bins[b] = sum;
+    }
+}
+`
+
+const histBlock = 256
+
+// HistogramPrograms compiles both variants.
+func HistogramPrograms() (atomic, ported *core.Program) {
+	return core.MustCompile(HistogramAtomicSrc), core.MustCompile(HistogramPortedSrc)
+}
+
+// HistRounds is the per-element binning work (a hash chain), matching the
+// arithmetic real histogram kernels do before the atomic update.
+const HistRounds = 32
+
+// HistBin computes the bin of one input byte (the Go reference of the
+// kernels' hash chain).
+func HistBin(v byte) int {
+	x := int32(v)
+	for h := 0; h < HistRounds; h++ {
+		x = (x*31 + 7) % 64
+	}
+	return int(x)
+}
+
+// RunHistogramAtomic executes the original kernel (trivially replicated on
+// every node) and returns the bins from node 0.
+func RunHistogramAtomic(c *cluster.Cluster, data []byte, nbins int) ([]int32, *core.Stats, error) {
+	prog, _ := HistogramPrograms()
+	dbuf := c.Alloc(kir.U8, len(data))
+	bins := c.Alloc(kir.I32, nbins)
+	if err := c.WriteAll(dbuf, data); err != nil {
+		return nil, nil, err
+	}
+	sess := core.NewSession(c, prog)
+	sess.Verify = true
+	stats, err := sess.Launch(core.LaunchSpec{
+		Kernel: "hist_atomic",
+		Grid:   interp.Dim1(ceilDiv(len(data), histBlock)),
+		Block:  interp.Dim1(histBlock),
+		Args: []core.Arg{core.BufArg(dbuf), core.BufArg(bins),
+			core.IntArg(int64(len(data))), core.IntArg(HistRounds)},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.ReadI32(0, bins), stats, nil
+}
+
+// RunHistogramPorted executes the privatized pipeline and returns the bins
+// from node 0 plus the stats of both launches.
+func RunHistogramPorted(c *cluster.Cluster, data []byte, nbins int) ([]int32, []*core.Stats, error) {
+	if nbins > 256 {
+		return nil, nil, fmt.Errorf("suites: ported histogram supports up to 256 bins, got %d", nbins)
+	}
+	_, prog := HistogramPrograms()
+	blocks := ceilDiv(len(data), histBlock)
+	dbuf := c.Alloc(kir.U8, len(data))
+	partial := c.Alloc(kir.I32, blocks*nbins)
+	bins := c.Alloc(kir.I32, nbins)
+	if err := c.WriteAll(dbuf, data); err != nil {
+		return nil, nil, err
+	}
+	sess := core.NewSession(c, prog)
+	sess.Verify = true
+	st1, err := sess.Launch(core.LaunchSpec{
+		Kernel: "hist_private",
+		Grid:   interp.Dim1(blocks),
+		Block:  interp.Dim1(histBlock),
+		Args: []core.Arg{
+			core.BufArg(dbuf), core.BufArg(partial),
+			core.IntArg(int64(len(data))), core.IntArg(int64(nbins)), core.IntArg(HistRounds),
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st2, err := sess.Launch(core.LaunchSpec{
+		Kernel: "hist_reduce",
+		Grid:   interp.Dim1(ceilDiv(nbins, histBlock)),
+		Block:  interp.Dim1(histBlock),
+		Args: []core.Arg{
+			core.BufArg(partial), core.BufArg(bins),
+			core.IntArg(int64(blocks)), core.IntArg(int64(nbins)),
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.ReadI32(0, bins), []*core.Stats{st1, st2}, nil
+}

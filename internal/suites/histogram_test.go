@@ -1,0 +1,99 @@
+package suites
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func histData(n int) []byte {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(rng.Intn(64))
+	}
+	return data
+}
+
+func TestHistogramClassification(t *testing.T) {
+	atomicProg, ported := HistogramPrograms()
+	if atomicProg.Meta["hist_atomic"].Distributable {
+		t.Error("atomic histogram must not be distributable (overlapping writes)")
+	}
+	if !ported.Meta["hist_private"].Distributable {
+		t.Errorf("privatized kernel must be distributable: %s", ported.Meta["hist_private"].Summary())
+	}
+	if !ported.Meta["hist_reduce"].Distributable {
+		t.Errorf("reduce kernel must be distributable: %s", ported.Meta["hist_reduce"].Summary())
+	}
+	if !ported.Meta["hist_reduce"].TailDivergent {
+		t.Error("reduce kernel should be tail-divergent (bin bound check)")
+	}
+}
+
+func TestHistogramPortedMatchesAtomic(t *testing.T) {
+	const n, nbins = 5000, 64
+	data := histData(n)
+	for _, nodes := range []int{1, 2, 4} {
+		ca := newCluster(t, nodes)
+		atomicBins, atomicStats, err := RunHistogramAtomic(ca, data, nbins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := newCluster(t, nodes)
+		portedBins, portedStats, err := RunHistogramPorted(cp, data, nbins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nodes > 1 {
+			if atomicStats.Distributed {
+				t.Error("atomic version distributed; expected trivial replication")
+			}
+			if !portedStats[0].Distributed {
+				t.Error("privatized kernel not distributed")
+			}
+		}
+		// Both agree with each other and with a direct count.
+		want := make([]int32, nbins)
+		for _, b := range data {
+			want[HistBin(b)]++
+		}
+		for i := 0; i < nbins; i++ {
+			if atomicBins[i] != want[i] {
+				t.Fatalf("nodes=%d: atomic bins[%d] = %d, want %d", nodes, i, atomicBins[i], want[i])
+			}
+			if portedBins[i] != want[i] {
+				t.Fatalf("nodes=%d: ported bins[%d] = %d, want %d", nodes, i, portedBins[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHistogramPortedScalesBetter(t *testing.T) {
+	// The whole point of the rewrite: with the trivial fallback every node
+	// repeats all the work, so the ported pipeline's simulated time must
+	// win on a multi-node cluster.
+	const n, nbins = 200000, 64
+	data := histData(n)
+	ca := newCluster(t, 8)
+	_, atomicStats, err := RunHistogramAtomic(ca, data, nbins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := newCluster(t, 8)
+	_, portedStats, err := RunHistogramPorted(cp, data, nbins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	portedTotal := portedStats[0].TotalSec + portedStats[1].TotalSec
+	if portedTotal >= atomicStats.TotalSec {
+		t.Errorf("ported pipeline (%.1fus) not faster than replicated atomic (%.1fus) on 8 nodes",
+			portedTotal*1e6, atomicStats.TotalSec*1e6)
+	}
+}
+
+func TestHistogramBinLimit(t *testing.T) {
+	c := newCluster(t, 1)
+	if _, _, err := RunHistogramPorted(c, histData(100), 300); err == nil {
+		t.Error("over-limit bin count accepted")
+	}
+}

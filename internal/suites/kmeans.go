@@ -1,0 +1,166 @@
+package suites
+
+import (
+	"math/rand"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/pgas"
+)
+
+const kmeansSrc = `
+__global__ void kmeans(float* points, float* centroids, int* membership, int n, int k, int dim) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        int best = 0;
+        float bestDist = 1e30f;
+        for (int c = 0; c < k; c++) {
+            float d = 0.0f;
+            for (int j = 0; j < dim; j++) {
+                float diff = points[id * dim + j] - centroids[c * dim + j];
+                d += diff * diff;
+            }
+            if (d < bestDist) {
+                bestDist = d;
+                best = c;
+            }
+        }
+        membership[id] = best;
+    }
+}
+`
+
+const kmeansBlock = 256
+
+// Kmeans is the cluster-assignment kernel of k-means.  The paper launches
+// it with 313 blocks, the configuration behind the §7.2 wave-scheduling
+// anomaly (16 -> 32 node slowdown).
+func Kmeans() *Program {
+	prog := core.MustCompile(kmeansSrc)
+	must(prog.RegisterNative("kmeans", core.Native{
+		RunBlock: func(mem interp.Memory, args []interp.Value, grid, block interp.Dim3, bx, by int) error {
+			n := int(args[3].I)
+			k := int(args[4].I)
+			dim := int(args[5].I)
+			for tx := 0; tx < block.X; tx++ {
+				id := bx*block.X + tx
+				if id >= n {
+					continue
+				}
+				best := int32(0)
+				bestDist := float32(1e30)
+				for c := 0; c < k; c++ {
+					var d float32
+					for j := 0; j < dim; j++ {
+						diff := mem.LoadF32(0, id*dim+j) - mem.LoadF32(1, c*dim+j)
+						d += diff * diff
+					}
+					if d < bestDist {
+						bestDist = d
+						best = int32(c)
+					}
+				}
+				mem.StoreI32(2, id, best)
+			}
+			return nil
+		},
+		BlockWork: func(args []interp.Value, grid, block interp.Dim3) machine.BlockWork {
+			t := float64(block.X)
+			k := float64(args[4].I)
+			dim := float64(args[5].I)
+			// The distance loop vectorizes; the argmin update chain does
+			// not (the kernel's declared 0.6 vectorizable fraction).
+			w := t * k * (dim*3 + 1)
+			return machine.BlockWork{
+				VecFlops:    w * 0.6,
+				SerialFlops: w * 0.4,
+				IntOps:      t * k * dim * 2,
+				// Points are read once per thread (centroids stay cached).
+				Bytes: t*dim*4 + t*4,
+			}
+		},
+	}))
+
+	p := &Program{
+		Name:          "Kmeans",
+		Kernel:        "kmeans",
+		Source:        kmeansSrc,
+		SIMDFraction:  0.6, // distance loop vectorizes; the argmin update does not
+		GPUComputeEff: 0.8,
+		GPUMemEff:     0.8,
+		Compiled:      prog,
+		// 80000 points -> ceil(80000/256) = 313 blocks, the paper's count.
+		Default: Params{"n": 80000, "k": 32, "dim": 32},
+		WeakKey: "n",
+		Small:   Params{"n": 500, "k": 4, "dim": 4},
+	}
+	mkSpec := func(pr Params, points, centroids, membership cluster.Buffer) core.LaunchSpec {
+		n := pr.Get("n")
+		return core.LaunchSpec{
+			Kernel: "kmeans",
+			Grid:   interp.Dim1(ceilDiv(n, kmeansBlock)),
+			Block:  interp.Dim1(kmeansBlock),
+			Args: []core.Arg{
+				core.BufArg(points), core.BufArg(centroids), core.BufArg(membership),
+				core.IntArg(int64(n)), core.IntArg(int64(pr.Get("k"))), core.IntArg(int64(pr.Get("dim"))),
+			},
+			SIMDFraction: p.SIMDFraction,
+		}
+	}
+	p.Spec = func(pr Params) core.LaunchSpec {
+		n, k, dim := pr.Get("n"), pr.Get("k"), pr.Get("dim")
+		return mkSpec(pr, virtualBuf(kir.F32, n*dim), virtualBuf(kir.F32, k*dim), virtualBuf(kir.I32, n))
+	}
+	p.Build = func(c *cluster.Cluster, pr Params) (*Instance, error) {
+		n, k, dim := pr.Get("n"), pr.Get("k"), pr.Get("dim")
+		rng := rand.New(rand.NewSource(3))
+		pts := make([]float32, n*dim)
+		for i := range pts {
+			pts[i] = rng.Float32() * 10
+		}
+		cent := make([]float32, k*dim)
+		for i := range cent {
+			cent[i] = rng.Float32() * 10
+		}
+		want := make([]int32, n)
+		for id := 0; id < n; id++ {
+			best := int32(0)
+			bestDist := float32(1e30)
+			for cc := 0; cc < k; cc++ {
+				var d float32
+				for j := 0; j < dim; j++ {
+					diff := pts[id*dim+j] - cent[cc*dim+j]
+					d += diff * diff
+				}
+				if d < bestDist {
+					bestDist = d
+					best = int32(cc)
+				}
+			}
+			want[id] = best
+		}
+		points := c.Alloc(kir.F32, n*dim)
+		centroids := c.Alloc(kir.F32, k*dim)
+		membership := c.Alloc(kir.I32, n)
+		if err := c.WriteAllF32(points, pts); err != nil {
+			return nil, err
+		}
+		if err := c.WriteAllF32(centroids, cent); err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Spec:  mkSpec(pr, points, centroids, membership),
+			Check: checkI32(c, membership, want, "kmeans"),
+		}, nil
+	}
+	p.Traffic = func(pr Params, nodes int) pgas.RankTraffic {
+		n := pr.Get("n")
+		blocks := ceilDiv(n, kmeansBlock)
+		tail := int64(n - (blocks-1)*kmeansBlock)
+		return trafficOwner0(blocks, nodes, kmeansBlock, tail, 4)
+	}
+	return p
+}

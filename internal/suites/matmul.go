@@ -1,0 +1,137 @@
+package suites
+
+import (
+	"math/rand"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/pgas"
+)
+
+const matmulSrc = `
+__global__ void matmul(float* a, float* b, float* out, int tiles, int k) {
+    int n = tiles * blockDim.x;
+    int row = blockIdx.x;
+    for (int t = 0; t < tiles; t++) {
+        int col = t * blockDim.x + threadIdx.x;
+        float sum = 0.0f;
+        for (int j = 0; j < k; j++)
+            sum += a[row * k + j] * b[j * n + col];
+        out[row * n + col] = sum;
+    }
+}
+`
+
+const matmulBlock = 256
+
+// MatMul computes one output row per block: dense, fully vectorizable dot
+// products with plenty of blocks — a well-scaling compute-heavy program.
+func MatMul() *Program {
+	prog := core.MustCompile(matmulSrc)
+	must(prog.RegisterNative("matmul", core.Native{
+		RunBlock: func(mem interp.Memory, args []interp.Value, grid, block interp.Dim3, bx, by int) error {
+			tiles := int(args[3].I)
+			k := int(args[4].I)
+			n := tiles * block.X
+			row := bx
+			for t := 0; t < tiles; t++ {
+				for tx := 0; tx < block.X; tx++ {
+					col := t*block.X + tx
+					var sum float32
+					for j := 0; j < k; j++ {
+						sum += mem.LoadF32(0, row*k+j) * mem.LoadF32(1, j*n+col)
+					}
+					mem.StoreF32(2, row*n+col, sum)
+				}
+			}
+			return nil
+		},
+		BlockWork: func(args []interp.Value, grid, block interp.Dim3) machine.BlockWork {
+			tiles := float64(args[3].I)
+			k := float64(args[4].I)
+			n := tiles * float64(block.X)
+			return machine.BlockWork{
+				VecFlops: n * k * 2,
+				IntOps:   n * k,
+				// a row + output row stream; b is shared across blocks and
+				// amortizes to about one compulsory pass per block row.
+				Bytes: (2*k + 2*n) * 4,
+			}
+		},
+	}))
+
+	p := &Program{
+		Name:          "MatMul",
+		Kernel:        "matmul",
+		Source:        matmulSrc,
+		SIMDFraction:  1.0,
+		GPUComputeEff: 0.85,
+		GPUMemEff:     0.8,
+		Compiled:      prog,
+		Default:       Params{"tiles": 4, "k": 4096}, // n = 1024, deep k
+		Small:         Params{"tiles": 1, "k": 24},   // with block 16 in tests? block fixed 256 -> n = 256
+	}
+	mkSpec := func(pr Params, a, b, out cluster.Buffer) core.LaunchSpec {
+		tiles := pr.Get("tiles")
+		n := tiles * matmulBlock
+		return core.LaunchSpec{
+			Kernel: "matmul",
+			Grid:   interp.Dim1(n),
+			Block:  interp.Dim1(matmulBlock),
+			Args: []core.Arg{
+				core.BufArg(a), core.BufArg(b), core.BufArg(out),
+				core.IntArg(int64(tiles)), core.IntArg(int64(pr.Get("k"))),
+			},
+			SIMDFraction: p.SIMDFraction,
+		}
+	}
+	p.Spec = func(pr Params) core.LaunchSpec {
+		n := pr.Get("tiles") * matmulBlock
+		k := pr.Get("k")
+		return mkSpec(pr, virtualBuf(kir.F32, n*k), virtualBuf(kir.F32, k*n), virtualBuf(kir.F32, n*n))
+	}
+	p.Build = func(c *cluster.Cluster, pr Params) (*Instance, error) {
+		n := pr.Get("tiles") * matmulBlock
+		k := pr.Get("k")
+		rng := rand.New(rand.NewSource(6))
+		as := make([]float32, n*k)
+		bs := make([]float32, k*n)
+		for i := range as {
+			as[i] = rng.Float32() - 0.5
+		}
+		for i := range bs {
+			bs[i] = rng.Float32() - 0.5
+		}
+		want := make([]float32, n*n)
+		for r := 0; r < n; r++ {
+			for cc := 0; cc < n; cc++ {
+				var sum float32
+				for j := 0; j < k; j++ {
+					sum += as[r*k+j] * bs[j*n+cc]
+				}
+				want[r*n+cc] = sum
+			}
+		}
+		a := c.Alloc(kir.F32, n*k)
+		b := c.Alloc(kir.F32, k*n)
+		out := c.Alloc(kir.F32, n*n)
+		if err := c.WriteAllF32(a, as); err != nil {
+			return nil, err
+		}
+		if err := c.WriteAllF32(b, bs); err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Spec:  mkSpec(pr, a, b, out),
+			Check: checkF32(c, out, want, "matmul"),
+		}, nil
+	}
+	p.Traffic = func(pr Params, nodes int) pgas.RankTraffic {
+		n := pr.Get("tiles") * matmulBlock
+		return trafficOwner0(n, nodes, int64(n), int64(n), 4)
+	}
+	return p
+}

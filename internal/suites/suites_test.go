@@ -1,0 +1,267 @@
+package suites
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/machine"
+	"cucc/internal/pgas"
+	"cucc/internal/simnet"
+)
+
+func newCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Nodes: n, Machine: machine.Intel6226(), Net: simnet.IB100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func allWithVecAdd() []*Program {
+	return append([]*Program{VecAdd()}, All()...)
+}
+
+// TestAllProgramsDistributable verifies the compiler analysis accepts every
+// evaluation program (they were all chosen from the paper's distributable
+// set).
+func TestAllProgramsDistributable(t *testing.T) {
+	for _, p := range allWithVecAdd() {
+		md := p.Compiled.Meta[p.Kernel]
+		if md == nil || !md.Distributable {
+			t.Errorf("%s: not distributable: %s", p.Name, md.Summary())
+		}
+	}
+}
+
+// TestTailDivergenceClassification checks which programs have bound checks.
+func TestTailDivergenceClassification(t *testing.T) {
+	wantTail := map[string]bool{
+		"VecAdd": true, "FIR": true, "Kmeans": true, "EP": true,
+		"Transpose": false, "BinomialOption": false, "GA": false,
+		"MatMul": false, "Conv2D": false,
+	}
+	for _, p := range allWithVecAdd() {
+		md := p.Compiled.Meta[p.Kernel]
+		if md.TailDivergent != wantTail[p.Name] {
+			t.Errorf("%s: TailDivergent = %v, want %v", p.Name, md.TailDivergent, wantTail[p.Name])
+		}
+	}
+}
+
+// TestDistributedCorrectness executes every program (native backend) on
+// several cluster sizes, verifying the output against the Go reference and
+// the cross-node consistency invariant.
+func TestDistributedCorrectness(t *testing.T) {
+	for _, p := range allWithVecAdd() {
+		t.Run(p.Name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 3, 4} {
+				c := newCluster(t, n)
+				inst, err := p.Build(c, p.Small)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess := core.NewSession(c, p.Compiled)
+				sess.Verify = true
+				if _, err := sess.Launch(inst.Spec); err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if err := inst.Check(); err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestInterpMatchesNative cross-validates the native backend against the
+// IR interpreter on the same workload.
+func TestInterpMatchesNative(t *testing.T) {
+	for _, p := range allWithVecAdd() {
+		t.Run(p.Name, func(t *testing.T) {
+			run := func(useInterp bool) [][]byte {
+				c := newCluster(t, 2)
+				inst, err := p.Build(c, p.Small)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst.Spec.UseInterp = useInterp
+				sess := core.NewSession(c, p.Compiled)
+				sess.Verify = true
+				if _, err := sess.Launch(inst.Spec); err != nil {
+					t.Fatal(err)
+				}
+				if err := inst.Check(); err != nil {
+					t.Fatal(err)
+				}
+				var snaps [][]byte
+				for _, a := range inst.Spec.Args {
+					if a.IsBuf {
+						region := c.Region(0, *a.Buf)
+						snap := make([]byte, len(region))
+						copy(snap, region)
+						snaps = append(snaps, snap)
+					}
+				}
+				return snaps
+			}
+			nat := run(false)
+			itp := run(true)
+			for i := range nat {
+				if !bytes.Equal(nat[i], itp[i]) {
+					t.Errorf("buffer %d differs between native and interpreter", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEstimateMatchesLaunch verifies that the cost-model-only path returns
+// the same statistics as real execution (the property that justifies
+// paper-scale sweeps via Estimate).
+func TestEstimateMatchesLaunch(t *testing.T) {
+	for _, p := range allWithVecAdd() {
+		t.Run(p.Name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 4} {
+				c := newCluster(t, n)
+				inst, err := p.Build(c, p.Small)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess := core.NewSession(c, p.Compiled)
+				got, err := sess.Estimate(inst.Spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := sess.Launch(inst.Spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Distributed != want.Distributed ||
+					got.BlocksPerNode != want.BlocksPerNode ||
+					got.CallbackBlocks != want.CallbackBlocks ||
+					got.CommBytesPerNode != want.CommBytesPerNode {
+					t.Errorf("n=%d: Estimate %+v != Launch %+v", n, got, want)
+				}
+				if rel := math.Abs(got.TotalSec-want.TotalSec) / want.TotalSec; rel > 1e-9 {
+					t.Errorf("n=%d: TotalSec differs by %.2g (%g vs %g)", n, rel, got.TotalSec, want.TotalSec)
+				}
+			}
+		})
+	}
+}
+
+// TestTrafficModelMatchesMeasured validates each program's analytic PGAS
+// traffic model against the instrumented PGAS execution.
+func TestTrafficModelMatchesMeasured(t *testing.T) {
+	for _, p := range allWithVecAdd() {
+		if p.Traffic == nil {
+			continue
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			for _, n := range []int{2, 3, 4} {
+				c := newCluster(t, n)
+				inst, err := p.Build(c, p.Small)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess := pgas.NewSession(c, p.Compiled)
+				res, err := sess.Run(inst.Spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr := p.Traffic(p.Small, n)
+				if res.MaxRankPuts != tr.Puts {
+					t.Errorf("n=%d: measured max-rank puts %d, model %d", n, res.MaxRankPuts, tr.Puts)
+				}
+				if res.IncastPuts != tr.IncastPuts {
+					t.Errorf("n=%d: measured incast %d, model %d", n, res.IncastPuts, tr.IncastPuts)
+				}
+				if res.LocalOps != tr.LocalOps {
+					t.Errorf("n=%d: measured rank-0 local ops %d, model %d", n, res.LocalOps, tr.LocalOps)
+				}
+			}
+		})
+	}
+}
+
+// TestPGASOutputsCorrect validates the PGAS baseline produces the right
+// answers (assembled from owners).
+func TestPGASOutputsCorrect(t *testing.T) {
+	// VecAdd output is the third buffer; check via assembled bytes of a
+	// CuCC run on one node.
+	p := VecAdd()
+	ref := func() []byte {
+		c := newCluster(t, 1)
+		inst, err := p.Build(c, p.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := core.NewSession(c, p.Compiled)
+		if _, err := sess.Launch(inst.Spec); err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), c.Region(0, *inst.Spec.Args[2].Buf)...)
+	}()
+	for _, policy := range []pgas.Policy{pgas.OwnerRank0, pgas.BlockDistributed} {
+		c := newCluster(t, 3)
+		inst, err := p.Build(c, p.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := pgas.NewSession(c, p.Compiled)
+		sess.Policy = policy
+		if _, err := sess.Run(inst.Spec); err != nil {
+			t.Fatal(err)
+		}
+		got := sess.Assemble(*inst.Spec.Args[2].Buf)
+		if !bytes.Equal(got, ref) {
+			t.Errorf("policy %d: PGAS output differs from reference", policy)
+		}
+	}
+}
+
+// TestDefaultWorkloadsEstimate sanity-checks paper-scale workloads through
+// the cost model: no errors, plausible positive times, distribution on.
+func TestDefaultWorkloadsEstimate(t *testing.T) {
+	for _, p := range All() {
+		t.Run(p.Name, func(t *testing.T) {
+			for _, n := range []int{1, 4, 32} {
+				c := newCluster(t, n)
+				sess := core.NewSession(c, p.Compiled)
+				st, err := sess.Estimate(p.Spec(p.Default))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.TotalSec <= 0 {
+					t.Errorf("n=%d: non-positive time", n)
+				}
+				if n > 1 && !st.Distributed {
+					t.Errorf("n=%d: not distributed", n)
+				}
+			}
+		})
+	}
+}
+
+// TestKmeansPaperBlockCount pins the paper's 313-block configuration.
+func TestKmeansPaperBlockCount(t *testing.T) {
+	p := Kmeans()
+	spec := p.Spec(p.Default)
+	if spec.Grid.X != 313 {
+		t.Errorf("Kmeans default grid = %d blocks, want 313", spec.Grid.X)
+	}
+	for name, want := range map[string]int{"EP": 512, "GA": 256, "BinomialOption": 1024} {
+		for _, p := range All() {
+			if p.Name == name {
+				if got := p.Spec(p.Default).Grid.X; got != want {
+					t.Errorf("%s default grid = %d blocks, want %d", name, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package suites
+
+import (
+	"math/rand"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/pgas"
+)
+
+const vecAddSrc = `
+__global__ void vecadd(float* a, float* b, float* c, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n)
+        c[id] = a[id] + b[id];
+}
+`
+
+const vecAddBlock = 256
+
+// VecAdd is the quickstart program: element-wise vector addition with a
+// tail-divergent bound check (the paper's Listing 1 shape).
+func VecAdd() *Program {
+	prog := core.MustCompile(vecAddSrc)
+	must(prog.RegisterNative("vecadd", core.Native{
+		RunBlock: func(mem interp.Memory, args []interp.Value, grid, block interp.Dim3, bx, by int) error {
+			n := int(args[3].I)
+			for tx := 0; tx < block.X; tx++ {
+				id := block.X*bx + tx
+				if id < n {
+					mem.StoreF32(2, id, mem.LoadF32(0, id)+mem.LoadF32(1, id))
+				}
+			}
+			return nil
+		},
+		BlockWork: func(args []interp.Value, grid, block interp.Dim3) machine.BlockWork {
+			t := float64(block.X)
+			return machine.BlockWork{VecFlops: t, IntOps: 3 * t, Bytes: 12 * t}
+		},
+	}))
+
+	p := &Program{
+		Name:          "VecAdd",
+		Kernel:        "vecadd",
+		Source:        vecAddSrc,
+		SIMDFraction:  1.0,
+		GPUComputeEff: 0.8,
+		GPUMemEff:     0.8,
+		Compiled:      prog,
+		Default:       Params{"n": 64 << 20},
+		WeakKey:       "n",
+		Small:         Params{"n": 5000},
+	}
+	spec := func(pr Params, a, b, c cluster.Buffer) core.LaunchSpec {
+		n := pr.Get("n")
+		return core.LaunchSpec{
+			Kernel:       "vecadd",
+			Grid:         interp.Dim1(ceilDiv(n, vecAddBlock)),
+			Block:        interp.Dim1(vecAddBlock),
+			Args:         []core.Arg{core.BufArg(a), core.BufArg(b), core.BufArg(c), core.IntArg(int64(n))},
+			SIMDFraction: p.SIMDFraction,
+		}
+	}
+	p.Spec = func(pr Params) core.LaunchSpec {
+		n := pr.Get("n")
+		return spec(pr, virtualBuf(kir.F32, n), virtualBuf(kir.F32, n), virtualBuf(kir.F32, n))
+	}
+	p.Build = func(c *cluster.Cluster, pr Params) (*Instance, error) {
+		n := pr.Get("n")
+		rng := rand.New(rand.NewSource(1))
+		as := make([]float32, n)
+		bs := make([]float32, n)
+		want := make([]float32, n)
+		for i := range as {
+			as[i] = rng.Float32()
+			bs[i] = rng.Float32()
+			want[i] = as[i] + bs[i]
+		}
+		a := c.Alloc(kir.F32, n)
+		b := c.Alloc(kir.F32, n)
+		out := c.Alloc(kir.F32, n)
+		if err := c.WriteAllF32(a, as); err != nil {
+			return nil, err
+		}
+		if err := c.WriteAllF32(b, bs); err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Spec:  spec(pr, a, b, out),
+			Check: checkF32(c, out, want, "vecadd"),
+		}, nil
+	}
+	p.Traffic = func(pr Params, nodes int) pgas.RankTraffic {
+		n := pr.Get("n")
+		blocks := ceilDiv(n, vecAddBlock)
+		tail := int64(n - (blocks-1)*vecAddBlock)
+		return trafficOwner0(blocks, nodes, vecAddBlock, tail, 4)
+	}
+	return p
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package throughput models cluster-wide batch throughput (Figure 12):
+// given a data center's CPU/GPU node inventory, how many program instances
+// per second can GPUs alone sustain versus GPUs plus the idle CPU nodes
+// running CuCC-migrated binaries.
+package throughput
+
+import "fmt"
+
+// Inventory is a data center's node counts.
+type Inventory struct {
+	Name        string
+	CPUNodes    int
+	GPUNodes    int
+	GPUsPerNode int
+}
+
+// Lonestar6 is the TACC Lonestar6 inventory the paper cites: 560 CPU nodes
+// (AMD EPYC, Thread-Focused class) and 16 GPU nodes with 3 A100s each.
+func Lonestar6() Inventory {
+	return Inventory{Name: "TACC Lonestar6", CPUNodes: 560, GPUNodes: 16, GPUsPerNode: 3}
+}
+
+// Frontera is the second cluster the paper cites (8368 CPU nodes, 90 GPU
+// nodes with 4 Quadro RTX 5000 each).
+func Frontera() Inventory {
+	return Inventory{Name: "TACC Frontera", CPUNodes: 8368, GPUNodes: 90, GPUsPerNode: 4}
+}
+
+// ProgramPerf is the measured performance of one program.
+type ProgramPerf struct {
+	Name string
+	// GPUSec is one instance's runtime on a single GPU.
+	GPUSec float64
+	// CPUSecByNodes maps CPU cluster size to one instance's runtime.
+	CPUSecByNodes map[int]float64
+}
+
+// Result is the throughput comparison for one program.
+type Result struct {
+	Name string
+	// GPUOnly is instances/second using all GPUs.
+	GPUOnly float64
+	// CPUOnly is instances/second using all CPU nodes at the best
+	// partition size.
+	CPUOnly float64
+	// Combined is GPUs + CPUs.
+	Combined float64
+	// Ratio is Combined / GPUOnly (the Figure 12 bar).
+	Ratio float64
+	// BestClusterSize is the CPU sub-cluster size maximizing throughput.
+	BestClusterSize int
+}
+
+// Evaluate computes the Figure 12 comparison for one program.  CPU
+// throughput for a sub-cluster size k is (CPUNodes/k) concurrent instances
+// each finishing in CPUSecByNodes[k]; the best k wins (strong scaling does
+// not always pay at cluster level: 1/(k*t_k) decides).
+func Evaluate(inv Inventory, p ProgramPerf) Result {
+	res := Result{Name: p.Name}
+	gpus := float64(inv.GPUNodes * inv.GPUsPerNode)
+	if p.GPUSec > 0 {
+		res.GPUOnly = gpus / p.GPUSec
+	}
+	best := 0.0
+	for k, sec := range p.CPUSecByNodes {
+		if k <= 0 || sec <= 0 || k > inv.CPUNodes {
+			continue
+		}
+		instances := float64(inv.CPUNodes / k)
+		tp := instances / sec
+		if tp > best {
+			best = tp
+			res.BestClusterSize = k
+		}
+	}
+	res.CPUOnly = best
+	res.Combined = res.GPUOnly + res.CPUOnly
+	if res.GPUOnly > 0 {
+		res.Ratio = res.Combined / res.GPUOnly
+	}
+	return res
+}
+
+// EvaluateAll runs Evaluate over a program set and returns results plus the
+// average ratio (arithmetic mean, as in the paper's "average 3.59x").
+func EvaluateAll(inv Inventory, progs []ProgramPerf) ([]Result, float64) {
+	out := make([]Result, 0, len(progs))
+	sum := 0.0
+	for _, p := range progs {
+		r := Evaluate(inv, p)
+		out = append(out, r)
+		sum += r.Ratio
+	}
+	if len(out) == 0 {
+		return out, 0
+	}
+	return out, sum / float64(len(out))
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-15s GPU-only=%8.2f/s  +CPUs=%8.2f/s  ratio=%.2fx (best k=%d)",
+		r.Name, r.GPUOnly, r.Combined, r.Ratio, r.BestClusterSize)
+}

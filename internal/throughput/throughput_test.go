@@ -1,0 +1,108 @@
+package throughput
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEvaluateBasic(t *testing.T) {
+	inv := Lonestar6() // 560 CPU nodes, 48 GPUs
+	p := ProgramPerf{
+		Name:   "toy",
+		GPUSec: 1.0,
+		CPUSecByNodes: map[int]float64{
+			1: 16.0,
+			2: 8.5,
+			4: 4.5,
+		},
+	}
+	r := Evaluate(inv, p)
+	if r.GPUOnly != 48 {
+		t.Errorf("GPUOnly = %g, want 48", r.GPUOnly)
+	}
+	// Best k: k=1 -> 560/16 = 35/s; k=2 -> 280/8.5 = 32.9; k=4 -> 140/4.5 = 31.1.
+	if r.BestClusterSize != 1 {
+		t.Errorf("best k = %d, want 1", r.BestClusterSize)
+	}
+	if math.Abs(r.CPUOnly-35) > 1e-9 {
+		t.Errorf("CPUOnly = %g, want 35", r.CPUOnly)
+	}
+	wantRatio := (48.0 + 35.0) / 48.0
+	if math.Abs(r.Ratio-wantRatio) > 1e-9 {
+		t.Errorf("Ratio = %g, want %g", r.Ratio, wantRatio)
+	}
+}
+
+func TestBestClusterSizeTradeoff(t *testing.T) {
+	// Superlinear-cost scaling: best size is the one maximizing
+	// (nodes/k)/t_k, not the fastest t_k.
+	inv := Inventory{CPUNodes: 64, GPUNodes: 1, GPUsPerNode: 1}
+	p := ProgramPerf{
+		Name:   "comm-bound",
+		GPUSec: 1,
+		CPUSecByNodes: map[int]float64{
+			1:  10.0, // 64/10 = 6.4/s
+			8:  2.0,  // 8/2 = 4/s
+			64: 1.0,  // 1/1 = 1/s  (fastest single instance, worst throughput)
+		},
+	}
+	r := Evaluate(inv, p)
+	if r.BestClusterSize != 1 {
+		t.Errorf("best k = %d, want 1 (throughput-optimal, not latency-optimal)", r.BestClusterSize)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	inv := Lonestar6()
+	// Oversized k and zero runtimes are skipped.
+	p := ProgramPerf{
+		Name:   "edge",
+		GPUSec: 0,
+		CPUSecByNodes: map[int]float64{
+			1000: 1.0, // larger than the inventory
+			0:    1.0,
+			4:    0,
+		},
+	}
+	r := Evaluate(inv, p)
+	if r.GPUOnly != 0 || r.CPUOnly != 0 || r.Ratio != 0 {
+		t.Errorf("edge case produced %+v", r)
+	}
+}
+
+func TestEvaluateAllAverage(t *testing.T) {
+	inv := Inventory{CPUNodes: 100, GPUNodes: 10, GPUsPerNode: 1}
+	progs := []ProgramPerf{
+		{Name: "a", GPUSec: 1, CPUSecByNodes: map[int]float64{1: 10}}, // ratio 2
+		{Name: "b", GPUSec: 1, CPUSecByNodes: map[int]float64{1: 5}},  // ratio 3
+	}
+	rs, avg := EvaluateAll(inv, progs)
+	if len(rs) != 2 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if math.Abs(avg-2.5) > 1e-9 {
+		t.Errorf("avg ratio = %g, want 2.5", avg)
+	}
+	if _, a := EvaluateAll(inv, nil); a != 0 {
+		t.Error("empty set should average 0")
+	}
+}
+
+func TestInventories(t *testing.T) {
+	l := Lonestar6()
+	if l.CPUNodes != 560 || l.GPUNodes != 16 {
+		t.Errorf("Lonestar6 = %+v", l)
+	}
+	f := Frontera()
+	if f.CPUNodes != 8368 || f.GPUNodes != 90 {
+		t.Errorf("Frontera = %+v", f)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Name: "fir", GPUOnly: 10, Combined: 25, Ratio: 2.5, BestClusterSize: 4}
+	if !strings.Contains(r.String(), "2.50x") {
+		t.Errorf("format: %q", r.String())
+	}
+}

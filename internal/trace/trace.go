@@ -1,0 +1,129 @@
+// Package trace records simulated-time execution timelines of CuCC kernel
+// launches: one event per node per phase, exportable as a summary table or
+// as Chrome trace-event JSON (load in chrome://tracing or Perfetto) for
+// visual inspection of phase overlap, stragglers, and Allgather barriers.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Phase names used by the runtime.
+const (
+	PhaseLaunch    = "launch-overhead"
+	PhasePartial   = "partial-block-execution"
+	PhaseAllgather = "allgather"
+	PhaseCallback  = "callback-block-execution"
+)
+
+// Event is one timeline span in simulated time.
+type Event struct {
+	// StartSec / DurSec are in simulated seconds.
+	StartSec float64
+	DurSec   float64
+	// Node is the rank, or -1 for cluster-wide events.
+	Node   int
+	Phase  string
+	Kernel string
+	Detail string
+}
+
+// Recorder accumulates events; safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add appends an event.
+func (r *Recorder) Add(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartSec < out[j].StartSec })
+	return out
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// chromeEvent is the Chrome trace-event format ("X" complete events).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	Args any     `json:"args,omitempty"`
+}
+
+// ChromeTrace serializes the timeline as Chrome trace-event JSON.
+func (r *Recorder) ChromeTrace() ([]byte, error) {
+	evs := r.Events()
+	out := make([]chromeEvent, 0, len(evs))
+	for _, ev := range evs {
+		tid := ev.Node
+		if tid < 0 {
+			tid = 9999 // cluster-wide lane
+		}
+		out = append(out, chromeEvent{
+			Name: ev.Phase,
+			Cat:  ev.Kernel,
+			Ph:   "X",
+			TS:   ev.StartSec * 1e6,
+			Dur:  ev.DurSec * 1e6,
+			PID:  1,
+			TID:  tid,
+			Args: map[string]string{"kernel": ev.Kernel, "detail": ev.Detail},
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Summary renders a per-phase aggregate table.
+func (r *Recorder) Summary() string {
+	evs := r.Events()
+	type agg struct {
+		total float64
+		count int
+	}
+	byPhase := map[string]*agg{}
+	var order []string
+	for _, ev := range evs {
+		a, ok := byPhase[ev.Phase]
+		if !ok {
+			a = &agg{}
+			byPhase[ev.Phase] = a
+			order = append(order, ev.Phase)
+		}
+		a.total += ev.DurSec
+		a.count++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events\n", len(evs))
+	for _, ph := range order {
+		a := byPhase[ph]
+		fmt.Fprintf(&b, "  %-26s %5d spans  %10.3f ms total\n", ph, a.count, a.total*1e3)
+	}
+	return b.String()
+}

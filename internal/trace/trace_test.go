@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Recorder {
+	r := New()
+	r.Add(Event{StartSec: 0.002, DurSec: 0.001, Node: 1, Phase: PhasePartial, Kernel: "k"})
+	r.Add(Event{StartSec: 0.000, DurSec: 0.002, Node: 0, Phase: PhaseLaunch, Kernel: "k"})
+	r.Add(Event{StartSec: 0.003, DurSec: 0.004, Node: -1, Phase: PhaseAllgather, Kernel: "k", Detail: "64 bytes"})
+	return r
+}
+
+func TestEventsSorted(t *testing.T) {
+	evs := sample().Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].StartSec < evs[i-1].StartSec {
+			t.Fatal("events not sorted by start time")
+		}
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	raw, err := sample().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(parsed) != 3 {
+		t.Fatalf("got %d trace events", len(parsed))
+	}
+	for _, ev := range parsed {
+		if ev["ph"] != "X" {
+			t.Errorf("phase type = %v, want X", ev["ph"])
+		}
+	}
+	// Cluster-wide events land on the dedicated lane.
+	found := false
+	for _, ev := range parsed {
+		if ev["tid"] == float64(9999) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cluster-wide event lane missing")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sample().Summary()
+	for _, want := range []string{"3 events", PhaseAllgather, PhasePartial} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := sample()
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("reset did not clear events")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	r := New()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 100; i++ {
+				r.Add(Event{StartSec: float64(i), Node: g, Phase: PhasePartial})
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := len(r.Events()); got != 800 {
+		t.Errorf("got %d events, want 800", got)
+	}
+}

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNetwork connects n ranks over loopback TCP sockets with a full mesh of
+// lazily-established connections.  Wire format per message:
+// [from:4][tag:4][len:4][payload].
+type TCPNetwork struct {
+	conns []*tcpConn
+}
+
+// NewTCP builds an n-rank network over 127.0.0.1 listeners.
+func NewTCP(n int) (*TCPNetwork, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				listeners[j].Close()
+			}
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	tn := &TCPNetwork{conns: make([]*tcpConn, n)}
+	for i := 0; i < n; i++ {
+		c := &tcpConn{
+			rank:     i,
+			size:     n,
+			addrs:    addrs,
+			listener: listeners[i],
+			box:      newMailbox(),
+			peers:    make([]net.Conn, n),
+		}
+		tn.conns[i] = c
+		go c.acceptLoop()
+	}
+	return tn, nil
+}
+
+// Conn returns rank r's endpoint.
+func (t *TCPNetwork) Conn(r int) Conn { return t.conns[r] }
+
+// Close shuts down every endpoint.
+func (t *TCPNetwork) Close() {
+	for _, c := range t.conns {
+		c.Close()
+	}
+}
+
+type tcpConn struct {
+	rank     int
+	size     int
+	addrs    []string
+	listener net.Listener
+	box      *mailbox
+
+	mu    sync.Mutex
+	peers []net.Conn // outgoing connections, dialed lazily
+	done  bool
+}
+
+func (c *tcpConn) Rank() int { return c.rank }
+func (c *tcpConn) Size() int { return c.size }
+
+func (c *tcpConn) acceptLoop() {
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.readLoop(conn)
+	}
+}
+
+func (c *tcpConn) readLoop(conn net.Conn) {
+	defer conn.Close()
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		from := int(binary.LittleEndian.Uint32(hdr[0:]))
+		tag := int(binary.LittleEndian.Uint32(hdr[4:]))
+		length := binary.LittleEndian.Uint32(hdr[8:])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		c.box.put(from, tag, payload)
+	}
+}
+
+func (c *tcpConn) peer(to int) (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return nil, fmt.Errorf("transport: rank %d closed", c.rank)
+	}
+	if c.peers[to] != nil {
+		return c.peers[to], nil
+	}
+	conn, err := net.Dial("tcp", c.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial rank %d: %w", to, err)
+	}
+	c.peers[to] = conn
+	return conn, nil
+}
+
+func (c *tcpConn) Send(to, tag int, data []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("transport: send to invalid rank %d (size %d)", to, c.size)
+	}
+	if to == c.rank {
+		c.box.put(c.rank, tag, data)
+		return nil
+	}
+	conn, err := c.peer(to)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 12+len(data))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(c.rank))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(data)))
+	copy(buf[12:], data)
+	// Serialize writes to one peer so frames do not interleave.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err = conn.Write(buf)
+	return err
+}
+
+func (c *tcpConn) Recv(from, tag int) ([]byte, error) {
+	if from < 0 || from >= c.size {
+		return nil, fmt.Errorf("transport: recv from invalid rank %d (size %d)", from, c.size)
+	}
+	return c.box.get(from, tag)
+}
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return nil
+	}
+	c.done = true
+	for _, p := range c.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	c.mu.Unlock()
+	c.box.close()
+	return c.listener.Close()
+}

@@ -1,0 +1,146 @@
+// Package transport provides point-to-point message transports between the
+// ranks of a simulated cluster.  Two implementations share one interface:
+// an in-process transport (channel-backed mailboxes) used by the simulator
+// and tests, and a TCP loopback transport (stdlib net) that exercises real
+// sockets for the realcluster example and integration tests.
+//
+// This package substitutes for the MPI transport layer in the paper's
+// runtime library.
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Conn is one rank's endpoint.  Sends are asynchronous (buffered);
+// receives block until a matching message (same sender and tag) arrives.
+// Message order is preserved per (sender, tag) pair, as in MPI.
+type Conn interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Send delivers data to rank `to` under the given tag.  The data
+	// slice is owned by the transport after the call.
+	Send(to, tag int, data []byte) error
+	// Recv blocks for the next message from rank `from` with the tag.
+	Recv(from, tag int) ([]byte, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+type msgKey struct {
+	from, tag int
+}
+
+// mailbox is a selective-receive queue shared by both transports.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][][]byte
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: map[msgKey][][]byte{}}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(from, tag int, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := msgKey{from, tag}
+	m.queues[k] = append(m.queues[k], data)
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) get(from, tag int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := msgKey{from, tag}
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			data := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			return data, nil
+		}
+		if m.closed {
+			return nil, fmt.Errorf("transport: recv from %d tag %d on closed endpoint", from, tag)
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// --- in-process transport ---
+
+// InprocNetwork connects n ranks through in-memory mailboxes.
+type InprocNetwork struct {
+	boxes []*mailbox
+	conns []*inprocConn
+}
+
+// NewInproc builds an n-rank in-process network.
+func NewInproc(n int) *InprocNetwork {
+	net := &InprocNetwork{
+		boxes: make([]*mailbox, n),
+		conns: make([]*inprocConn, n),
+	}
+	for i := 0; i < n; i++ {
+		net.boxes[i] = newMailbox()
+	}
+	for i := 0; i < n; i++ {
+		net.conns[i] = &inprocConn{net: net, rank: i}
+	}
+	return net
+}
+
+// Conn returns rank r's endpoint.
+func (n *InprocNetwork) Conn(r int) Conn { return n.conns[r] }
+
+// Close shuts down all endpoints.
+func (n *InprocNetwork) Close() {
+	for _, b := range n.boxes {
+		b.close()
+	}
+}
+
+type inprocConn struct {
+	net  *InprocNetwork
+	rank int
+}
+
+func (c *inprocConn) Rank() int { return c.rank }
+func (c *inprocConn) Size() int { return len(c.net.boxes) }
+
+func (c *inprocConn) Send(to, tag int, data []byte) error {
+	if to < 0 || to >= len(c.net.boxes) {
+		return fmt.Errorf("transport: send to invalid rank %d (size %d)", to, c.Size())
+	}
+	c.net.boxes[to].put(c.rank, tag, data)
+	return nil
+}
+
+func (c *inprocConn) Recv(from, tag int) ([]byte, error) {
+	if from < 0 || from >= len(c.net.boxes) {
+		return nil, fmt.Errorf("transport: recv from invalid rank %d (size %d)", from, c.Size())
+	}
+	return c.net.boxes[c.rank].get(from, tag)
+}
+
+func (c *inprocConn) Close() error {
+	c.net.boxes[c.rank].close()
+	return nil
+}

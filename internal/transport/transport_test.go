@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// runRanks executes fn on every rank of the network concurrently and
+// reports the first error.
+func runRanks(t *testing.T, n int, conn func(int) Conn, fn func(c Conn) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(conn(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func testPingPong(t *testing.T, conn func(int) Conn) {
+	runRanks(t, 2, conn, func(c Conn) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, []byte("ping")); err != nil {
+				return err
+			}
+			got, err := c.Recv(1, 7)
+			if err != nil {
+				return err
+			}
+			if string(got) != "pong" {
+				return fmt.Errorf("got %q, want pong", got)
+			}
+		} else {
+			got, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if string(got) != "ping" {
+				return fmt.Errorf("got %q, want ping", got)
+			}
+			return c.Send(0, 7, []byte("pong"))
+		}
+		return nil
+	})
+}
+
+func testOrdering(t *testing.T, conn func(int) Conn) {
+	const msgs = 100
+	runRanks(t, 2, conn, func(c Conn) error {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			got, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if got[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order as %d", i, got[0])
+			}
+		}
+		return nil
+	})
+}
+
+func testTagSelectivity(t *testing.T, conn func(int) Conn) {
+	runRanks(t, 2, conn, func(c Conn) error {
+		if c.Rank() == 0 {
+			// Send tag 2 first, then tag 1; receiver asks for tag 1 first.
+			if err := c.Send(1, 2, []byte("two")); err != nil {
+				return err
+			}
+			return c.Send(1, 1, []byte("one"))
+		}
+		one, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		two, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if string(one) != "one" || string(two) != "two" {
+			return fmt.Errorf("tag selectivity broken: %q / %q", one, two)
+		}
+		return nil
+	})
+}
+
+func testAllToAll(t *testing.T, n int, conn func(int) Conn) {
+	runRanks(t, n, conn, func(c Conn) error {
+		for to := 0; to < n; to++ {
+			if to == c.Rank() {
+				continue
+			}
+			payload := []byte{byte(c.Rank()), byte(to)}
+			if err := c.Send(to, 9, payload); err != nil {
+				return err
+			}
+		}
+		for from := 0; from < n; from++ {
+			if from == c.Rank() {
+				continue
+			}
+			got, err := c.Recv(from, 9)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, []byte{byte(from), byte(c.Rank())}) {
+				return fmt.Errorf("bad payload from %d: %v", from, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestInprocPingPong(t *testing.T) {
+	net := NewInproc(2)
+	defer net.Close()
+	testPingPong(t, net.Conn)
+}
+
+func TestInprocOrdering(t *testing.T) {
+	net := NewInproc(2)
+	defer net.Close()
+	testOrdering(t, net.Conn)
+}
+
+func TestInprocTagSelectivity(t *testing.T) {
+	net := NewInproc(2)
+	defer net.Close()
+	testTagSelectivity(t, net.Conn)
+}
+
+func TestInprocAllToAll(t *testing.T) {
+	net := NewInproc(8)
+	defer net.Close()
+	testAllToAll(t, 8, net.Conn)
+}
+
+func TestInprocInvalidRank(t *testing.T) {
+	net := NewInproc(2)
+	defer net.Close()
+	if err := net.Conn(0).Send(5, 0, nil); err == nil {
+		t.Error("send to invalid rank succeeded")
+	}
+	if _, err := net.Conn(0).Recv(-1, 0); err == nil {
+		t.Error("recv from invalid rank succeeded")
+	}
+}
+
+func TestInprocClosedRecv(t *testing.T) {
+	net := NewInproc(2)
+	c := net.Conn(0)
+	net.Close()
+	if _, err := c.Recv(1, 0); err == nil {
+		t.Error("recv on closed endpoint succeeded")
+	}
+}
+
+func TestTCPPingPong(t *testing.T) {
+	net, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	testPingPong(t, net.Conn)
+}
+
+func TestTCPOrdering(t *testing.T) {
+	net, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	testOrdering(t, net.Conn)
+}
+
+func TestTCPTagSelectivity(t *testing.T) {
+	net, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	testTagSelectivity(t, net.Conn)
+}
+
+func TestTCPAllToAll(t *testing.T) {
+	net, err := NewTCP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	testAllToAll(t, 4, net.Conn)
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	net, err := NewTCP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	c := net.Conn(0)
+	if err := c.Send(0, 1, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "self" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	net, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	runRanks(t, 2, net.Conn, func(c Conn) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, big)
+		}
+		got, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, big) {
+			return fmt.Errorf("large message corrupted")
+		}
+		return nil
+	})
+}
