@@ -1,0 +1,20 @@
+# Tier-1 gate: everything `make check` runs must stay green.  CI and
+# pre-merge checks use this target; see ROADMAP.md.
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/interp/ ./internal/core/ ./internal/comm/
+
+bench:
+	go test -bench=. -benchmem

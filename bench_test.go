@@ -2,12 +2,15 @@ package cucc
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"cucc/internal/cluster"
 	"cucc/internal/comm"
 	"cucc/internal/core"
 	"cucc/internal/experiments"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
 	"cucc/internal/machine"
 	"cucc/internal/pgas"
 	"cucc/internal/simnet"
@@ -432,6 +435,50 @@ func BenchmarkAblationSIMDOff(b *testing.B) {
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.Slowdown, r.Program+"-simdoff-slowdown")
+	}
+}
+
+// BenchmarkIntraNodeWorkers measures the wall-clock effect of the per-node
+// worker pool: the same compute-heavy interpreted launch with a sequential
+// pool vs one worker per CPU.  On multi-core hardware the wide pool should
+// approach a NumCPU-times speedup (the launch is embarrassingly parallel
+// across blocks); simulated-time stats are identical either way (tested in
+// internal/core).
+func BenchmarkIntraNodeWorkers(b *testing.B) {
+	prog := core.MustCompile(`
+__global__ void crunch(int* out, int n, int rounds) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        int v = id;
+        for (int h = 0; h < rounds; h++)
+            v = (v * 31 + 7) % 65537;
+        out[id] = v;
+    }
+}`)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c, err := cluster.New(cluster.Config{Nodes: 1, Machine: machine.Intel6226(), Net: simnet.IB100()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			const blocks, bs = 64, 64
+			out := c.Alloc(kir.I32, blocks*bs)
+			sess := core.NewSession(c, prog)
+			sess.Host.Workers = workers
+			spec := core.LaunchSpec{
+				Kernel: "crunch",
+				Grid:   interp.Dim1(blocks),
+				Block:  interp.Dim1(bs),
+				Args:   []core.Arg{core.BufArg(out), core.IntArg(blocks * bs), core.IntArg(2000)},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Launch(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"cucc/internal/core"
 	"cucc/internal/experiments"
 	"cucc/internal/machine"
 	"cucc/internal/suites"
@@ -22,7 +23,12 @@ func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate (0 = all)")
 	table := flag.Int("table", 0, "table number to regenerate")
 	csvDir := flag.String("csv", "", "also write per-figure CSV data files into this directory")
+	workers := flag.Int("workers", 0, "intra-node worker-pool width for really-executed experiments (0 = all CPUs)")
 	flag.Parse()
+
+	// Sessions are created deep inside the experiment sweeps; the
+	// process-wide default carries the flag there without plumbing.
+	core.DefaultWorkers = *workers
 
 	if *csvDir != "" {
 		if err := experiments.WriteCSVs(*csvDir, suites.All()); err != nil {

@@ -34,6 +34,7 @@ func main() {
 	split := flag.Int("split", 1, "block redistribution factor (GID-only kernels)")
 	list := flag.Bool("list", false, "list available programs")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (-real runs)")
+	workers := flag.Int("workers", 0, "intra-node worker-pool width for -real execution (0 = all CPUs)")
 	flag.Parse()
 
 	all := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
@@ -77,6 +78,7 @@ func main() {
 	}
 
 	sess := core.NewSession(c, prog.Compiled)
+	sess.Host.Workers = *workers
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.New()
@@ -113,7 +115,7 @@ func main() {
 	}
 
 	fmt.Printf("  distributed:      %v (tail-divergent: %v)\n", stats.Distributed, stats.TailDivergent)
-	fmt.Printf("  blocks/node:      %d (+%d callback blocks on every node)\n", stats.BlocksPerNode, stats.CallbackBlocks)
+	fmt.Printf("  blocks/node:      %s (+%d callback blocks on every node)\n", blocksByNode(stats), stats.CallbackBlocks)
 	fmt.Printf("  phase 1 compute:  %.3f ms\n", stats.Phase1Sec*1e3)
 	fmt.Printf("  allgather:        %.3f ms (%d bytes/node, %d msgs)\n", stats.CommSec*1e3, stats.CommBytesPerNode, stats.CommMsgs)
 	fmt.Printf("  callback compute: %.3f ms\n", stats.CallbackSec*1e3)
@@ -131,6 +133,28 @@ func main() {
 		fmt.Printf("%s", rec.Summary())
 		fmt.Printf("chrome trace written to %s\n", *traceOut)
 	}
+}
+
+// blocksByNode renders the per-rank phase-1 block counts: the single shared
+// count when balanced, the full per-rank list when ranks differ (the
+// RemainderImbalanced strategy).
+func blocksByNode(stats *core.Stats) string {
+	counts := stats.BlocksByNode
+	uniform := true
+	for _, c := range counts {
+		if c != stats.BlocksPerNode {
+			uniform = false
+			break
+		}
+	}
+	if len(counts) == 0 || uniform {
+		return fmt.Sprintf("%d", stats.BlocksPerNode)
+	}
+	parts := make([]string, len(counts))
+	for i, c := range counts {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return fmt.Sprintf("max %d [%s]", stats.BlocksPerNode, strings.Join(parts, " "))
 }
 
 func runPGAS(c *cluster.Cluster, prog *suites.Program, real bool) {

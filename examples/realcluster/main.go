@@ -59,6 +59,7 @@ func main() {
 	// Per-node transport counters prove traffic actually flowed.
 	for r := 0; r < nodes; r++ {
 		n := c.Node(r)
-		fmt.Printf("  node %d sent %d messages, %d bytes\n", r, n.Comm.Msgs, n.Comm.BytesSent)
+		fmt.Printf("  node %d sent %d messages (%d bytes), received %d (%d bytes)\n",
+			r, n.Comm.Msgs, n.Comm.BytesSent, n.Comm.Recvs, n.Comm.BytesRecvd)
 	}
 }

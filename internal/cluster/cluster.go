@@ -71,8 +71,11 @@ type Node struct {
 	mem  []byte
 	// Clock is the node's simulated time in seconds.
 	Clock float64
-	// Comm accumulates the node's sent traffic.
+	// Comm accumulates the node's collective traffic (sent and received).
 	Comm comm.Stats
+	// atomics serializes global-memory atomic RMW across the blocks the
+	// node's worker pool executes concurrently (see interp.AtomicMemory).
+	atomics interp.AtomicShards
 }
 
 // Buffer names a region allocated at the same offset on every node.
@@ -289,7 +292,7 @@ type NodeMem struct {
 	binds map[int]Buffer
 }
 
-var _ interp.Memory = (*NodeMem)(nil)
+var _ interp.AtomicMemory = (*NodeMem)(nil)
 
 func (m *NodeMem) buf(param int) Buffer {
 	b, ok := m.binds[param]
@@ -301,6 +304,12 @@ func (m *NodeMem) buf(param int) Buffer {
 
 // Len implements interp.Memory.
 func (m *NodeMem) Len(param int) int { return m.buf(param).Count }
+
+// AtomicShard implements interp.AtomicMemory: locks live on the node, so
+// every memory view of the same node shares them.
+func (m *NodeMem) AtomicShard(param, idx int) *sync.Mutex {
+	return m.node.atomics.Shard(param, idx)
+}
 
 // LoadF32 implements interp.Memory.
 func (m *NodeMem) LoadF32(param, idx int) float32 {

@@ -46,7 +46,11 @@ func Scatter(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
 		return own, st, nil
 	}
 	got, err := c.Recv(root, tagScatter)
-	return got, st, err
+	if err != nil {
+		return nil, st, err
+	}
+	st.recvd(got)
+	return got, st, nil
 }
 
 // Alltoall sends chunk r of this rank's buffer to rank r and returns the
@@ -77,6 +81,7 @@ func Alltoall(c transport.Conn, data []byte) ([]byte, Stats, error) {
 		if err != nil {
 			return nil, st, err
 		}
+		st.recvd(in)
 		if len(in) != chunk {
 			return nil, st, fmt.Errorf("comm: alltoall chunk mismatch: got %d, want %d", len(in), chunk)
 		}
@@ -108,6 +113,7 @@ func GatherBytes(c transport.Conn, root int, data []byte) ([]byte, Stats, error)
 		if err != nil {
 			return nil, st, err
 		}
+		st.recvd(in)
 		if len(in) != len(data) {
 			return nil, st, fmt.Errorf("comm: gather length mismatch from rank %d", r)
 		}
@@ -149,6 +155,7 @@ func ReduceScatterSumF32(c transport.Conn, data []float32) ([]float32, Stats, er
 		if err != nil {
 			return nil, st, err
 		}
+		st.recvd(in)
 		vals, err := decodeF32(in, chunk)
 		if err != nil {
 			return nil, st, err

@@ -26,16 +26,29 @@ const (
 	tagP2P     = 6
 )
 
-// Stats counts the traffic one rank sent during a collective.
+// Stats counts the traffic one rank exchanged during a collective, both
+// directions.  Accounting is symmetric: summed over all ranks of one
+// collective, Msgs == Recvs and BytesSent == BytesRecvd — every message has
+// exactly one counted sender and one counted receiver.
 type Stats struct {
-	Msgs      int64
-	BytesSent int64
+	Msgs       int64
+	BytesSent  int64
+	Recvs      int64
+	BytesRecvd int64
 }
 
 // Add accumulates o into s.
 func (s *Stats) Add(o Stats) {
 	s.Msgs += o.Msgs
 	s.BytesSent += o.BytesSent
+	s.Recvs += o.Recvs
+	s.BytesRecvd += o.BytesRecvd
+}
+
+// recvd records one received message of len(data) bytes.
+func (s *Stats) recvd(data []byte) {
+	s.Recvs++
+	s.BytesRecvd += int64(len(data))
 }
 
 // Send is a tracked point-to-point send.
@@ -64,6 +77,7 @@ func Barrier(c transport.Conn) (Stats, error) {
 		if _, err := c.Recv(from, tagBarrier); err != nil {
 			return st, err
 		}
+		st.Recvs++
 	}
 	return st, nil
 }
@@ -92,6 +106,7 @@ func Bcast(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
 		if err != nil {
 			return nil, st, err
 		}
+		st.recvd(got)
 		data = got
 		firstMask = lowest / 2
 	}
@@ -137,6 +152,7 @@ func AllgatherRing(c transport.Conn, buf []byte, chunkBytes int) (Stats, error) 
 		if err != nil {
 			return st, err
 		}
+		st.recvd(in)
 		if len(in) != chunkBytes {
 			return st, fmt.Errorf("comm: allgather chunk size mismatch: got %d, want %d", len(in), chunkBytes)
 		}
@@ -177,6 +193,7 @@ func AllgatherVRing(c transport.Conn, buf []byte, offs []int) (Stats, error) {
 		if err != nil {
 			return st, err
 		}
+		st.recvd(in)
 		want := offs[recvChunk+1] - offs[recvChunk]
 		if len(in) != want {
 			return st, fmt.Errorf("comm: allgatherv chunk %d size mismatch: got %d, want %d", recvChunk, len(in), want)
@@ -207,11 +224,13 @@ func AllgatherRecDouble(c transport.Conn, buf []byte, chunkBytes int) (Stats, er
 	if chunkBytes == 0 || n == 1 {
 		return st, nil
 	}
-	if n&(n-1) != 0 {
-		return AllgatherRing(c, buf, chunkBytes) // fallback
-	}
+	// Validate before the non-power-of-two fallback so both algorithms
+	// reject malformed buffers identically.
 	if len(buf) != n*chunkBytes {
 		return st, fmt.Errorf("comm: allgather buffer is %d bytes, want %d chunks of %d", len(buf), n, chunkBytes)
+	}
+	if n&(n-1) != 0 {
+		return AllgatherRing(c, buf, chunkBytes) // fallback
 	}
 	r := c.Rank()
 	// At round k the rank owns the 2^k chunks of its aligned group.
@@ -230,6 +249,7 @@ func AllgatherRecDouble(c transport.Conn, buf []byte, chunkBytes int) (Stats, er
 		if err != nil {
 			return st, err
 		}
+		st.recvd(in)
 		peerStart := (peer / dist) * dist
 		copy(buf[peerStart*chunkBytes:], in)
 	}
@@ -257,6 +277,7 @@ func AllReduceMaxF64(c transport.Conn, v float64) (float64, Stats, error) {
 		if err != nil {
 			return 0, st, err
 		}
+		st.recvd(in)
 		pv := math.Float64frombits(binary.LittleEndian.Uint64(in))
 		if pv > v {
 			v = pv
@@ -277,6 +298,7 @@ func AllReduceMaxF64(c transport.Conn, v float64) (float64, Stats, error) {
 			if err != nil {
 				return 0, st, err
 			}
+			st.recvd(in)
 			v = math.Float64frombits(binary.LittleEndian.Uint64(in))
 		} else {
 			for r := 1; r < n; r++ {
@@ -284,6 +306,7 @@ func AllReduceMaxF64(c transport.Conn, v float64) (float64, Stats, error) {
 				if err != nil {
 					return 0, st, err
 				}
+				st.recvd(in)
 				pv := math.Float64frombits(binary.LittleEndian.Uint64(in))
 				if pv > v {
 					v = pv
@@ -325,6 +348,7 @@ func GatherF64(c transport.Conn, root int, v float64) ([]float64, Stats, error) 
 		if err != nil {
 			return nil, st, err
 		}
+		st.recvd(in)
 		vals[r] = math.Float64frombits(binary.LittleEndian.Uint64(in))
 	}
 	return vals, st, nil

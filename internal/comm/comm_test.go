@@ -284,9 +284,170 @@ func TestAllgatherOverTCP(t *testing.T) {
 
 func TestStatsAccumulate(t *testing.T) {
 	var s Stats
-	s.Add(Stats{Msgs: 2, BytesSent: 100})
-	s.Add(Stats{Msgs: 3, BytesSent: 50})
+	s.Add(Stats{Msgs: 2, BytesSent: 100, Recvs: 1, BytesRecvd: 40})
+	s.Add(Stats{Msgs: 3, BytesSent: 50, Recvs: 4, BytesRecvd: 60})
 	if s.Msgs != 5 || s.BytesSent != 150 {
-		t.Errorf("stats = %+v", s)
+		t.Errorf("send stats = %+v", s)
+	}
+	if s.Recvs != 5 || s.BytesRecvd != 100 {
+		t.Errorf("recv stats = %+v", s)
+	}
+}
+
+// checkSymmetric asserts the cluster-wide invariant of Stats: every message
+// has one counted sender and one counted receiver.
+func checkSymmetric(t *testing.T, name string, stats []Stats) {
+	t.Helper()
+	var total Stats
+	for _, st := range stats {
+		total.Add(st)
+	}
+	if total.Msgs != total.Recvs {
+		t.Errorf("%s: %d msgs sent but %d received", name, total.Msgs, total.Recvs)
+	}
+	if total.BytesSent != total.BytesRecvd {
+		t.Errorf("%s: %d bytes sent but %d received", name, total.BytesSent, total.BytesRecvd)
+	}
+	if total.Msgs == 0 {
+		t.Errorf("%s: no traffic counted", name)
+	}
+}
+
+func TestSymmetricAccounting(t *testing.T) {
+	// Each collective, summed over all ranks, must count as many receives
+	// (and received bytes) as sends.  Scatter, GatherBytes, and Bcast
+	// historically returned zero-valued Stats on the receiving ranks.
+	const n = 5 // non-power-of-two exercises the fallback paths too
+	const chunk = 32
+	type tc struct {
+		name string
+		run  func(c transport.Conn) (Stats, error)
+	}
+	cases := []tc{
+		{"Barrier", func(c transport.Conn) (Stats, error) {
+			return Barrier(c)
+		}},
+		{"Bcast", func(c transport.Conn) (Stats, error) {
+			var data []byte
+			if c.Rank() == 0 {
+				data = chunkFor(0, chunk)
+			}
+			_, st, err := Bcast(c, 0, data)
+			return st, err
+		}},
+		{"AllgatherRing", func(c transport.Conn) (Stats, error) {
+			buf := make([]byte, n*chunk)
+			copy(buf[c.Rank()*chunk:], chunkFor(c.Rank(), chunk))
+			return AllgatherRing(c, buf, chunk)
+		}},
+		{"AllgatherVRing", func(c transport.Conn) (Stats, error) {
+			offs := make([]int, n+1)
+			for r := 0; r < n; r++ {
+				offs[r+1] = offs[r] + (r+1)*8
+			}
+			buf := make([]byte, offs[n])
+			return AllgatherVRing(c, buf, offs)
+		}},
+		{"AllgatherRecDouble", func(c transport.Conn) (Stats, error) {
+			buf := make([]byte, n*chunk)
+			copy(buf[c.Rank()*chunk:], chunkFor(c.Rank(), chunk))
+			return AllgatherRecDouble(c, buf, chunk)
+		}},
+		{"AllReduceMaxF64", func(c transport.Conn) (Stats, error) {
+			_, st, err := AllReduceMaxF64(c, float64(c.Rank()))
+			return st, err
+		}},
+		{"GatherF64", func(c transport.Conn) (Stats, error) {
+			_, st, err := GatherF64(c, 1, float64(c.Rank()))
+			return st, err
+		}},
+		{"Scatter", func(c transport.Conn) (Stats, error) {
+			var data []byte
+			if c.Rank() == 2 {
+				data = make([]byte, n*chunk)
+			}
+			got, st, err := Scatter(c, 2, data)
+			if err == nil && len(got) != chunk {
+				err = fmt.Errorf("scatter chunk is %d bytes, want %d", len(got), chunk)
+			}
+			return st, err
+		}},
+		{"Alltoall", func(c transport.Conn) (Stats, error) {
+			_, st, err := Alltoall(c, make([]byte, n*chunk))
+			return st, err
+		}},
+		{"GatherBytes", func(c transport.Conn) (Stats, error) {
+			got, st, err := GatherBytes(c, 0, chunkFor(c.Rank(), chunk))
+			if err == nil && c.Rank() == 0 && len(got) != n*chunk {
+				err = fmt.Errorf("gathered %d bytes, want %d", len(got), n*chunk)
+			}
+			return st, err
+		}},
+		{"ReduceScatterSumF32", func(c transport.Conn) (Stats, error) {
+			_, st, err := ReduceScatterSumF32(c, make([]float32, n*8))
+			return st, err
+		}},
+		{"AllReduceSumF32", func(c transport.Conn) (Stats, error) {
+			_, st, err := AllReduceSumF32(c, make([]float32, n*8))
+			return st, err
+		}},
+	}
+	for _, tcase := range cases {
+		t.Run(tcase.name, func(t *testing.T) {
+			stats := make([]Stats, n)
+			runAll(t, n, func(c transport.Conn) error {
+				st, err := tcase.run(c)
+				stats[c.Rank()] = st
+				return err
+			})
+			checkSymmetric(t, tcase.name, stats)
+		})
+	}
+}
+
+func TestScatterBcastReceiversCounted(t *testing.T) {
+	// Regression: the receiving ranks of rooted collectives must report
+	// their receive, not a zero Stats.
+	const n, chunk = 4, 16
+	runAll(t, n, func(c transport.Conn) error {
+		var data []byte
+		if c.Rank() == 0 {
+			data = make([]byte, n*chunk)
+		}
+		_, st, err := Scatter(c, 0, data)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 && (st.Recvs != 1 || st.BytesRecvd != chunk) {
+			return fmt.Errorf("scatter receiver stats = %+v", st)
+		}
+		payload := []byte("payload")
+		if c.Rank() != 0 {
+			payload = nil
+		}
+		_, st, err = Bcast(c, 0, payload)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 && st.Recvs != 1 {
+			return fmt.Errorf("bcast receiver stats = %+v", st)
+		}
+		return nil
+	})
+}
+
+func TestAllgatherRecDoubleBadBuffer(t *testing.T) {
+	// The length check must run before the non-power-of-two fallback so
+	// both algorithms reject malformed buffers identically.
+	for _, n := range []int{3, 4} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runAll(t, n, func(c transport.Conn) error {
+				buf := make([]byte, 10) // not n*chunk
+				if _, err := AllgatherRecDouble(c, buf, 8); err == nil {
+					return fmt.Errorf("mismatched buffer accepted")
+				}
+				return nil
+			})
+		})
 	}
 }

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"cucc/internal/analysis"
 	"cucc/internal/cluster"
@@ -142,14 +143,48 @@ const (
 	RemainderImbalanced
 )
 
+// ExecConfig tunes the real (wall-clock) intra-node execution of block
+// ranges.  It is distinct from machine.ExecConfig, which parameterizes the
+// *simulated* cost model: Workers changes how fast this process executes a
+// launch, never the modeled times or the computed data.
+type ExecConfig struct {
+	// Workers is the width of the per-node worker pool runBlocks fans a
+	// block range over (the CuPBoP-style block-to-thread transform).
+	// 0 selects DefaultWorkers, then runtime.NumCPU().
+	Workers int
+}
+
+// DefaultWorkers is the process-wide default worker-pool width used when a
+// Session's Host.Workers is zero (0 = runtime.NumCPU()).  CLI tools
+// (cuccrun/cuccbench -workers) set it so sessions created deep inside
+// experiment sweeps inherit the flag.
+var DefaultWorkers int
+
+// EffectiveWorkers resolves the configured width to a concrete worker
+// count (>= 1).
+func (e ExecConfig) EffectiveWorkers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	if DefaultWorkers > 0 {
+		return DefaultWorkers
+	}
+	return runtime.NumCPU()
+}
+
 // Stats reports one launch's execution.
 type Stats struct {
 	// Distributed reports whether the three-phase workflow was used.
 	Distributed bool
 	// TailDivergent mirrors the kernel metadata.
 	TailDivergent bool
-	// BlocksPerNode is the phase-1 block count per node (p_size).
+	// BlocksPerNode is the largest phase-1 block count any node executes
+	// (p_size; the makespan-relevant count).  Under RemainderImbalanced
+	// ranks differ — BlocksByNode has the per-rank counts.
 	BlocksPerNode int
+	// BlocksByNode is the phase-1 block count of every rank (nil for
+	// non-distributed launches).
+	BlocksByNode []int
 	// CallbackBlocks is the phase-3 block count (executed by all nodes).
 	CallbackBlocks int
 	// Phase1Sec, CommSec, CallbackSec are simulated phase times.
@@ -170,8 +205,10 @@ type Stats struct {
 type Session struct {
 	Cluster *cluster.Cluster
 	Prog    *Program
-	// Exec tunes node execution (SIMD, core caps).
+	// Exec tunes the simulated node execution model (SIMD, core caps).
 	Exec machine.ExecConfig
+	// Host tunes real intra-node execution (worker-pool width).
+	Host ExecConfig
 	// Verify re-checks cross-node memory consistency after every launch.
 	Verify bool
 	// Trace, when non-nil, records a simulated-time timeline of every

@@ -480,6 +480,7 @@ func TestLaunchTracing(t *testing.T) {
 	src := c.Alloc(kir.U8, N)
 	dest := c.Alloc(kir.U8, N)
 	sess := NewSession(c, prog)
+	sess.Host.Workers = 1 // no PhaseWorker spans: keep the event count fixed
 	rec := trace.New()
 	sess.Trace = rec
 	if _, err := sess.Launch(LaunchSpec{

@@ -53,11 +53,14 @@ func (s *Session) Estimate(spec LaunchSpec) (*Stats, error) {
 	part := partitionBlocks(totalBlocks, tail, n, spec.Remainder)
 	callbacks := totalBlocks - part.distEnd
 	stats.Distributed = true
-	stats.BlocksPerNode = part.counts[0]
+	stats.BlocksByNode = append([]int(nil), part.counts...)
+	stats.BlocksPerNode = maxCount(part.counts)
 	stats.CallbackBlocks = callbacks
 
-	if part.counts[0] > 0 {
-		stats.Phase1Sec = c.Machine().PhaseTime(part.counts[0], perBlock, s.execConfig(st))
+	if stats.BlocksPerNode > 0 {
+		// Phase 1 ends when the slowest node finishes, i.e. the one with
+		// the most blocks (they only differ under RemainderImbalanced).
+		stats.Phase1Sec = c.Machine().PhaseTime(stats.BlocksPerNode, perBlock, s.execConfig(st))
 	}
 	commSec := 0.0
 	for _, bm := range md.Buffers {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"cucc/internal/trace"
@@ -60,7 +61,8 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 	part := partitionBlocks(totalBlocks, tail, n, spec.Remainder)
 	callbacks := totalBlocks - part.distEnd
 	stats.Distributed = true
-	stats.BlocksPerNode = part.counts[0]
+	stats.BlocksByNode = append([]int(nil), part.counts...)
+	stats.BlocksPerNode = maxCount(part.counts)
 	stats.CallbackBlocks = callbacks
 
 	// Host-side launch overhead is paid once per launch on every node.
@@ -72,14 +74,16 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 
 	// --- Phase 1: partial block execution ---
 	workPerNode := make([]machine.BlockWork, n)
+	workerCounts := make([][]int, n)
 	if part.distEnd > 0 {
 		err := c.RunParallel(func(rank int, _ transport.Conn) error {
 			lo := part.starts[rank]
-			w, err := s.runBlocks(st, rank, lo, lo+part.counts[rank])
+			w, wc, err := s.runBlocks(st, rank, lo, lo+part.counts[rank])
 			if err != nil {
 				return err
 			}
 			workPerNode[rank] = w
+			workerCounts[rank] = wc
 			return nil
 		})
 		if err != nil {
@@ -96,6 +100,7 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 			s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: dt, Node: rank,
 				Phase: trace.PhasePartial, Kernel: st.kernel.Name,
 				Detail: fmt.Sprintf("%d blocks", cnt)})
+			s.emitWorkerSpans(c.Node(rank).Clock, dt, rank, st.kernel.Name, workerCounts[rank])
 			c.Node(rank).Clock += dt
 			if rank == 0 {
 				stats.Phase1Sec = dt
@@ -171,12 +176,14 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 	// --- Phase 3: callback block execution on every node ---
 	if callbacks > 0 {
 		cbWork := make([]machine.BlockWork, n)
+		cbCounts := make([][]int, n)
 		err := c.RunParallel(func(rank int, _ transport.Conn) error {
-			w, err := s.runBlocks(st, rank, part.distEnd, totalBlocks)
+			w, wc, err := s.runBlocks(st, rank, part.distEnd, totalBlocks)
 			if err != nil {
 				return err
 			}
 			cbWork[rank] = w
+			cbCounts[rank] = wc
 			return nil
 		})
 		if err != nil {
@@ -188,6 +195,7 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 			s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: dt, Node: rank,
 				Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
 				Detail: fmt.Sprintf("%d blocks", callbacks)})
+			s.emitWorkerSpans(c.Node(rank).Clock, dt, rank, st.kernel.Name, cbCounts[rank])
 			c.Node(rank).Clock += dt
 			if rank == 0 {
 				stats.CallbackSec = dt
@@ -217,6 +225,17 @@ type partition struct {
 	starts, counts []int
 	distEnd        int
 	balanced       bool
+}
+
+// maxCount returns the largest element (0 for an empty slice).
+func maxCount(counts []int) int {
+	m := 0
+	for _, c := range counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
 }
 
 // partitionBlocks splits the non-tail blocks across nodes under the chosen
@@ -258,12 +277,14 @@ func (s *Session) runTrivial(st *launchState, stats *Stats) error {
 	total := st.spec.Grid.Count()
 	stats.CallbackBlocks = total
 	works := make([]machine.BlockWork, c.N())
+	wkCounts := make([][]int, c.N())
 	err := c.RunParallel(func(rank int, _ transport.Conn) error {
-		w, err := s.runBlocks(st, rank, 0, total)
+		w, wc, err := s.runBlocks(st, rank, 0, total)
 		if err != nil {
 			return err
 		}
 		works[rank] = w
+		wkCounts[rank] = wc
 		return nil
 	})
 	if err != nil {
@@ -275,6 +296,7 @@ func (s *Session) runTrivial(st *launchState, stats *Stats) error {
 		s.emit(trace.Event{StartSec: c.Node(rank).Clock + KernelLaunchOverheadSec, DurSec: dt,
 			Node: rank, Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
 			Detail: fmt.Sprintf("trivial: all %d blocks", total)})
+		s.emitWorkerSpans(c.Node(rank).Clock+KernelLaunchOverheadSec, dt, rank, st.kernel.Name, wkCounts[rank])
 		c.Node(rank).Clock += dt + KernelLaunchOverheadSec
 		if rank == 0 {
 			stats.CallbackSec = dt
@@ -285,40 +307,126 @@ func (s *Session) runTrivial(st *launchState, stats *Stats) error {
 }
 
 // runBlocks executes the linearized block range [lo, hi) on one node and
-// returns the summed work.  Linearization is row-major over (by, bx),
-// matching the analysis' Linear2D convention.
-func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWork, error) {
-	c := s.Cluster
-	mem := c.Mem(rank, st.binds)
+// returns the summed work plus how many blocks each pool worker executed.
+// Linearization is row-major over (by, bx), matching the analysis' Linear2D
+// convention.
+//
+// The range is fanned over Session.Host.EffectiveWorkers() goroutines (the
+// CuPBoP-style block-to-thread transform executing migrated GPU blocks
+// across the node's CPU cores).  Blocks are claimed dynamically off a shared
+// counter, but per-block work is aggregated in block-index order, so the
+// returned BlockWork — and every simulated-time figure derived from it — is
+// bitwise identical to the single-worker (sequential) execution.
+func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWork, []int, error) {
+	n := hi - lo
+	if n <= 0 {
+		return machine.BlockWork{}, nil, nil
+	}
+	mem := s.Cluster.Mem(rank, st.binds)
 	gdx := st.spec.Grid.X
-	var total machine.BlockWork
+
+	// exec runs one linearized block and returns its cost-model work.
+	var exec func(l int) (machine.BlockWork, error)
 	if st.native != nil {
 		perBlock := st.native.BlockWork(st.argVals, st.spec.Grid, st.spec.Block)
-		for l := lo; l < hi; l++ {
+		exec = func(l int) (machine.BlockWork, error) {
 			bx, by := l%gdx, l/gdx
 			if err := st.native.RunBlock(mem, st.argVals, st.spec.Grid, st.spec.Block, bx, by); err != nil {
-				return total, fmt.Errorf("kernel %s block (%d,%d): %w", st.kernel.Name, bx, by, err)
+				return machine.BlockWork{}, fmt.Errorf("kernel %s block (%d,%d): %w", st.kernel.Name, bx, by, err)
 			}
-			total.Add(perBlock)
+			return perBlock, nil
 		}
-		return total, nil
-	}
-	l := &interp.Launch{
-		Kernel: st.kernel,
-		Grid:   st.spec.Grid,
-		Block:  st.spec.Block,
-		Args:   st.argVals,
-		Mem:    mem,
-	}
-	for li := lo; li < hi; li++ {
-		bx, by := li%gdx, li/gdx
-		w, err := interp.ExecBlock(l, bx, by)
-		if err != nil {
-			return total, err
+	} else {
+		l := &interp.Launch{
+			Kernel: st.kernel,
+			Grid:   st.spec.Grid,
+			Block:  st.spec.Block,
+			Args:   st.argVals,
+			Mem:    mem,
 		}
-		total.Add(interpToBlockWork(w, st.spec.SIMDFraction))
+		exec = func(li int) (machine.BlockWork, error) {
+			bx, by := li%gdx, li/gdx
+			w, err := interp.ExecBlock(l, bx, by)
+			if err != nil {
+				return machine.BlockWork{}, err
+			}
+			return interpToBlockWork(w, st.spec.SIMDFraction), nil
+		}
 	}
-	return total, nil
+
+	workers := s.Host.EffectiveWorkers()
+	if workers > n {
+		workers = n
+	}
+	counts := make([]int, workers)
+	works := make([]machine.BlockWork, n)
+	if workers == 1 {
+		// Fast path: no goroutine or scheduling overhead.
+		for l := 0; l < n; l++ {
+			w, err := exec(lo + l)
+			if err != nil {
+				return machine.BlockWork{}, counts, err
+			}
+			works[l] = w
+		}
+		counts[0] = n
+	} else {
+		var next int64
+		var failed int32
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for atomic.LoadInt32(&failed) == 0 {
+					l := int(atomic.AddInt64(&next, 1)) - 1
+					if l >= n {
+						return
+					}
+					w, err := exec(lo + l)
+					if err != nil {
+						errs[wk] = err
+						atomic.StoreInt32(&failed, 1)
+						return
+					}
+					works[l] = w
+					counts[wk]++
+				}
+			}(wk)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return machine.BlockWork{}, counts, err
+			}
+		}
+	}
+	// Fold in block-index order: float summation order — and therefore the
+	// work totals and modeled phase times — matches the sequential loop
+	// exactly, whatever order the workers claimed blocks in.
+	var total machine.BlockWork
+	for i := range works {
+		total.Add(works[i])
+	}
+	return total, counts, nil
+}
+
+// emitWorkerSpans records one trace sub-span per pool worker that executed
+// blocks during a partial/callback phase.  Single-worker pools emit nothing,
+// keeping sequential timelines identical to the pre-pool runtime's.
+func (s *Session) emitWorkerSpans(start, dur float64, rank int, kernel string, counts []int) {
+	if s.Trace == nil || len(counts) <= 1 {
+		return
+	}
+	for w, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		s.emit(trace.Event{StartSec: start, DurSec: dur, Node: rank,
+			Phase: trace.PhaseWorker, Kernel: kernel,
+			Detail: fmt.Sprintf("worker %d/%d: %d blocks", w, len(counts), cnt)})
+	}
 }
 
 // interpToBlockWork converts measured interpreter work into cost-model

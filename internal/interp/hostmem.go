@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"cucc/internal/kir"
 )
@@ -12,8 +13,11 @@ import (
 // reference (non-distributed) kernel execution, mirroring single-CPU
 // migration where GPU global memory maps to the process heap.
 type HostMem struct {
-	bufs map[int]*HostBuffer
+	bufs    map[int]*HostBuffer
+	atomics AtomicShards
 }
+
+var _ AtomicMemory = (*HostMem)(nil)
 
 // HostBuffer is one typed linear buffer.
 type HostBuffer struct {
@@ -93,6 +97,11 @@ func (h *HostMem) buf(param int) *HostBuffer {
 
 // Len implements Memory.
 func (h *HostMem) Len(param int) int { return h.buf(param).Count() }
+
+// AtomicShard implements AtomicMemory.
+func (h *HostMem) AtomicShard(param, idx int) *sync.Mutex {
+	return h.atomics.Shard(param, idx)
+}
 
 // LoadF32 implements Memory.
 func (h *HostMem) LoadF32(param, idx int) float32 {

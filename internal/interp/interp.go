@@ -6,6 +6,12 @@
 // contains __syncthreads).  Alongside execution it accounts the work
 // performed (flops, integer ops, bytes moved), which feeds the hardware cost
 // models in internal/machine.
+//
+// Distinct blocks of one launch may be executed concurrently (the CuPBoP /
+// Moses-et-al. block-to-thread transform: internal/core fans each node's
+// block range over a worker pool).  Cross-block safety for global-memory
+// atomics comes from the AtomicMemory capability: backends expose sharded
+// per-element locks, which ExecBlock uses in place of the per-block mutex.
 package interp
 
 import (
@@ -120,6 +126,7 @@ func ExecBlock(l *Launch, bx, by int) (Work, error) {
 		by:     by,
 		shared: allocShared(l.Kernel),
 	}
+	blk.atomicMem, _ = l.Mem.(AtomicMemory)
 	if l.Kernel.HasSync() {
 		return blk.runPhased()
 	}
@@ -153,12 +160,19 @@ func allocShared(k *kir.Kernel) map[string][]Value {
 
 // blockCtx is the shared state of one block execution.
 type blockCtx struct {
-	launch     *Launch
-	bx, by     int
-	shared     map[string][]Value
-	work       Work
+	launch *Launch
+	bx, by int
+	shared map[string][]Value
+	work   Work
+	// atomicMem is the launch memory's sharded atomic locking capability
+	// (nil when the backend does not provide one).  Global-memory atomics
+	// go through it so blocks executing concurrently on the same memory
+	// stay serialized per element.
+	atomicMem  AtomicMemory
 	concurrent bool
-	atomicMu   sync.Mutex
+	// atomicMu orders atomics within this block only: shared-memory
+	// atomics, and the global fallback for non-AtomicMemory backends.
+	atomicMu sync.Mutex
 }
 
 // threadCtx is per-thread interpreter state.
@@ -411,8 +425,17 @@ func (t *threadCtx) execAtomic(s *kir.AtomicRMW) error {
 	if err != nil {
 		return err
 	}
-	t.atomicBegin()
-	defer t.atomicEnd()
+	if s.Mem.Space == kir.Global && t.blk.atomicMem != nil {
+		// Global atomics must be serialized across *blocks*, not just the
+		// threads of this block: the intra-node worker pool runs blocks of
+		// one launch concurrently against the same node memory.
+		mu := t.blk.atomicMem.AtomicShard(s.Mem.Param, int(idx.I))
+		mu.Lock()
+		defer mu.Unlock()
+	} else {
+		t.atomicBegin()
+		defer t.atomicEnd()
+	}
 	elemT := kir.F32
 	if s.Mem.Space == kir.Global {
 		elemT = t.blk.launch.Kernel.Params[s.Mem.Param].Elem

@@ -149,7 +149,12 @@ type ExecConfig struct {
 // DefaultConfig enables SIMD on all cores.
 func DefaultConfig() ExecConfig { return ExecConfig{SIMD: true} }
 
-func (c CPU) usableCores(cfg ExecConfig) int {
+// EffectiveCores returns the cores a phase actually schedules blocks over:
+// the node's core count clipped by the config's cap.  Estimated block
+// execution time divides by this number (PhaseTime runs blocks in waves of
+// EffectiveCores); the real runtime's intra-node worker pool
+// (internal/core) is the wall-clock analogue of the same quantity.
+func (c CPU) EffectiveCores(cfg ExecConfig) int {
 	n := c.Cores()
 	if cfg.CoresCap > 0 && cfg.CoresCap < n {
 		n = cfg.CoresCap
@@ -197,7 +202,7 @@ func (c CPU) PhaseTime(blocks int, w BlockWork, cfg ExecConfig) float64 {
 	if blocks <= 0 {
 		return 0
 	}
-	cores := c.usableCores(cfg)
+	cores := c.EffectiveCores(cfg)
 	bt := c.BlockTime(w, cfg)
 	bw := c.effBandwidth(cfg.WorkingSetBytes)
 	fullWaves := blocks / cores
@@ -219,7 +224,7 @@ func (c CPU) Waves(blocks int, cfg ExecConfig) int {
 	if blocks <= 0 {
 		return 0
 	}
-	cores := c.usableCores(cfg)
+	cores := c.EffectiveCores(cfg)
 	return (blocks + cores - 1) / cores
 }
 

@@ -18,6 +18,10 @@ const (
 	PhasePartial   = "partial-block-execution"
 	PhaseAllgather = "allgather"
 	PhaseCallback  = "callback-block-execution"
+	// PhaseWorker spans detail a partial/callback phase: one span per
+	// intra-node worker that executed blocks, with the block count in
+	// Detail.  Emitted only when the node's worker pool is wider than one.
+	PhaseWorker = "worker-block-execution"
 )
 
 // Event is one timeline span in simulated time.
