@@ -10,11 +10,13 @@ build:
 vet:
 	go vet ./...
 
+# -timeout 120s: a reintroduced collective deadlock must fail CI with a
+# goroutine dump instead of wedging it.
 test:
-	go test ./...
+	go test -timeout 120s ./...
 
 race:
-	go test -race ./internal/interp/ ./internal/core/ ./internal/comm/
+	go test -race -timeout 120s ./internal/interp/ ./internal/core/ ./internal/comm/ ./internal/transport/
 
 bench:
 	go test -bench=. -benchmem

@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"cucc/internal/cluster"
 	"cucc/internal/core"
 	"cucc/internal/experiments"
 	"cucc/internal/machine"
@@ -24,11 +26,14 @@ func main() {
 	table := flag.Int("table", 0, "table number to regenerate")
 	csvDir := flag.String("csv", "", "also write per-figure CSV data files into this directory")
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for really-executed experiments (0 = all CPUs)")
+	recvTimeout := flag.Duration("recv-timeout", 2*time.Minute, "transport receive deadline for really-executed experiments; a hung rank fails the sweep instead of wedging it (0 = no deadline)")
 	flag.Parse()
 
-	// Sessions are created deep inside the experiment sweeps; the
-	// process-wide default carries the flag there without plumbing.
+	// Sessions and clusters are created deep inside the experiment
+	// sweeps; the process-wide defaults carry the flags there without
+	// plumbing.
 	core.DefaultWorkers = *workers
+	cluster.DefaultRecvTimeout = *recvTimeout
 
 	if *csvDir != "" {
 		if err := experiments.WriteCSVs(*csvDir, suites.All()); err != nil {

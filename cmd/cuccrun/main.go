@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cucc/internal/cluster"
 	"cucc/internal/core"
@@ -35,6 +36,7 @@ func main() {
 	list := flag.Bool("list", false, "list available programs")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (-real runs)")
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for -real execution (0 = all CPUs)")
+	recvTimeout := flag.Duration("recv-timeout", time.Minute, "transport receive deadline; a hung rank fails the run instead of deadlocking it (0 = no deadline)")
 	flag.Parse()
 
 	all := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
@@ -61,7 +63,11 @@ func main() {
 	if strings.EqualFold(*mach, "thread") {
 		m = machine.AMD7713()
 	}
-	c, err := cluster.New(cluster.Config{Nodes: *nodes, Machine: m, Net: simnet.IB100()})
+	rt := *recvTimeout
+	if rt == 0 {
+		rt = -1 // 0 on the flag means "no deadline", not "library default"
+	}
+	c, err := cluster.New(cluster.Config{Nodes: *nodes, Machine: m, Net: simnet.IB100(), RecvTimeout: rt})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

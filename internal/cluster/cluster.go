@@ -12,9 +12,11 @@ package cluster
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"cucc/internal/comm"
 	"cucc/internal/interp"
@@ -49,19 +51,27 @@ type Config struct {
 	// panics past the cap, catching accidental paper-scale allocations
 	// that should have used virtual buffers and Estimate.
 	MaxBytesPerNode int
+	// RecvTimeout bounds every transport receive, so a rank that stops
+	// participating in a collective surfaces as ErrTimeout instead of a
+	// deadlock.  0 selects DefaultRecvTimeout; negative disables the
+	// deadline.
+	RecvTimeout time.Duration
+	// Fault, when non-nil, wraps the transport in the fault-injecting
+	// decorator (transport.Faulty) for chaos testing.
+	Fault *transport.FaultConfig
 }
 
-// network abstracts the two transport constructors.
-type network interface {
-	Conn(r int) transport.Conn
-	Close()
-}
+// DefaultRecvTimeout is the process-wide default receive deadline applied
+// when Config.RecvTimeout is zero (0 = no deadline).  CLI tools
+// (cuccrun/cuccbench -recv-timeout) set it so clusters created deep inside
+// experiment sweeps inherit the flag.
+var DefaultRecvTimeout time.Duration
 
 // Cluster is a set of nodes plus their interconnect.
 type Cluster struct {
 	cfg     Config
 	nodes   []*Node
-	network network
+	network transport.Network
 	heapEnd int
 }
 
@@ -107,6 +117,19 @@ func New(cfg Config) (*Cluster, error) {
 	default:
 		c.network = transport.NewInproc(cfg.Nodes)
 	}
+	if cfg.Fault != nil {
+		c.network = transport.NewFaulty(c.network, *cfg.Fault)
+	}
+	if to := cfg.RecvTimeout; to != 0 || DefaultRecvTimeout != 0 {
+		if to == 0 {
+			to = DefaultRecvTimeout
+		}
+		if to > 0 {
+			for r := 0; r < cfg.Nodes; r++ {
+				c.network.Conn(r).SetRecvTimeout(to)
+			}
+		}
+	}
 	for r := 0; r < cfg.Nodes; r++ {
 		c.nodes[r] = &Node{Rank: r}
 	}
@@ -127,6 +150,22 @@ func (c *Cluster) Node(r int) *Node { return c.nodes[r] }
 
 // Conn returns node r's transport endpoint.
 func (c *Cluster) Conn(r int) transport.Conn { return c.network.Conn(r) }
+
+// Abort cancels the in-flight job: every pending transport receive on
+// every node unblocks with an error wrapping transport.ErrAborted.  The
+// abort is sticky — as after MPI_Abort, the cluster's transport is dead
+// afterwards and a fresh cluster is needed for further launches.
+func (c *Cluster) Abort(cause error) { c.network.Abort(cause) }
+
+// Faults reports the injected-fault counters when the cluster was built
+// with Config.Fault (nil otherwise).
+func (c *Cluster) Faults() *transport.FaultStats {
+	if f, ok := c.network.(*transport.FaultyNetwork); ok {
+		st := f.Stats()
+		return &st
+	}
+	return nil
+}
 
 // Close releases the cluster's transport.
 func (c *Cluster) Close() { c.network.Close() }
@@ -224,6 +263,12 @@ func (c *Cluster) VerifyIdentical(b Buffer) error {
 
 // RunParallel executes fn concurrently on every node (one goroutine per
 // rank, each with its transport endpoint) and joins the errors.
+//
+// A failing node triggers a cooperative cluster-wide abort: peers still
+// blocked in a collective receive unblock with transport.ErrAborted
+// instead of hanging the WaitGroup forever.  All node errors are joined —
+// under fault injection multi-rank failure is the common case and every
+// cause must stay visible.
 func (c *Cluster) RunParallel(fn func(rank int, conn transport.Conn) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, c.N())
@@ -231,16 +276,21 @@ func (c *Cluster) RunParallel(fn func(rank int, conn transport.Conn) error) erro
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			errs[r] = fn(r, c.network.Conn(r))
+			conn := c.network.Conn(r)
+			if err := fn(r, conn); err != nil {
+				errs[r] = err
+				conn.Abort(fmt.Errorf("node %d: %v", r, err))
+			}
 		}(r)
 	}
 	wg.Wait()
+	var joined []error
 	for r, err := range errs {
 		if err != nil {
-			return fmt.Errorf("node %d: %w", r, err)
+			joined = append(joined, fmt.Errorf("node %d: %w", r, err))
 		}
 	}
-	return nil
+	return errors.Join(joined...)
 }
 
 // SyncClocksMax sets every node clock to the cluster-wide maximum plus dt

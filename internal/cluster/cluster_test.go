@@ -1,7 +1,11 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"cucc/internal/comm"
 	"cucc/internal/kir"
@@ -174,4 +178,120 @@ func TestMemoryCapEnforced(t *testing.T) {
 		}
 	}()
 	c.Alloc(kir.F32, 1024) // 4 KiB, over the 1 KiB cap
+}
+
+func TestRunParallelJoinsAllErrors(t *testing.T) {
+	c := newTestCluster(t, 4)
+	err := c.RunParallel(func(rank int, conn transport.Conn) error {
+		switch rank {
+		case 1:
+			return errors.New("bad block split")
+		case 3:
+			return errors.New("oom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("RunParallel swallowed the failures")
+	}
+	msg := err.Error()
+	for _, want := range []string{"node 1", "bad block split", "node 3", "oom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestRunParallelAbortUnblocksCollective: one rank failing before it joins
+// the collective must abort its peers' pending receives instead of
+// deadlocking them.  Pre-abort this test would hang until the suite
+// timeout.
+func TestRunParallelAbortUnblocksCollective(t *testing.T) {
+	c, err := New(Config{
+		Nodes: 4, Machine: machine.Intel6226(), Net: simnet.IB100(),
+		RecvTimeout: 30 * time.Second, // backstop only; the abort must win
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	b := c.Alloc(kir.U8, 4*8)
+	start := time.Now()
+	err = c.RunParallel(func(rank int, conn transport.Conn) error {
+		if rank == 2 {
+			return errors.New("rank 2 exploded")
+		}
+		_, err := comm.AllgatherRing(conn, c.Region(rank, b), 8)
+		return err
+	})
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("peers unblocked only after %v", el)
+	}
+	if err == nil {
+		t.Fatal("RunParallel returned nil despite a failing rank")
+	}
+	if !strings.Contains(err.Error(), "rank 2 exploded") {
+		t.Errorf("error %q missing the originating failure", err)
+	}
+	if !errors.Is(err, transport.ErrAborted) {
+		t.Errorf("peers' errors do not wrap ErrAborted: %v", err)
+	}
+}
+
+func TestRecvTimeoutConfig(t *testing.T) {
+	c, err := New(Config{
+		Nodes: 2, Machine: machine.Intel6226(), Net: simnet.IB100(),
+		RecvTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.RunParallel(func(rank int, conn transport.Conn) error {
+		if rank == 0 {
+			_, err := conn.Recv(1, 7) // nobody sends: default deadline applies
+			return err
+		}
+		return nil
+	})
+	if !errors.Is(err, transport.ErrTimeout) {
+		t.Errorf("error = %v, want ErrTimeout via configured default", err)
+	}
+}
+
+func TestClusterFaultInjection(t *testing.T) {
+	c, err := New(Config{
+		Nodes: 2, Machine: machine.Intel6226(), Net: simnet.IB100(),
+		Fault: &transport.FaultConfig{Seed: 4, Duplicate: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.RunParallel(func(rank int, conn transport.Conn) error {
+		if rank == 0 {
+			return conn.Send(1, 1, []byte("hello"))
+		}
+		got, err := conn.RecvTimeout(0, 1, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		if string(got) != "hello" {
+			return fmt.Errorf("payload %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Faults()
+	if st == nil {
+		t.Fatal("Faults() returned nil on a fault-injecting cluster")
+	}
+	if st.Duplicates == 0 {
+		t.Error("no duplicates injected despite Duplicate: 1.0")
+	}
+	if newTestCluster(t, 2).Faults() != nil {
+		t.Error("Faults() non-nil on a fault-free cluster")
+	}
 }

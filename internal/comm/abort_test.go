@@ -1,0 +1,213 @@
+package comm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cucc/internal/transport"
+)
+
+// collectiveCase invokes one collective on a participating rank for abort
+// and timeout tests; the concrete buffers just need to be structurally
+// valid for n ranks.  `absent` is the rank withheld from the collective —
+// chosen so that at least one peer demonstrably blocks on it (the root for
+// root-driven downward collectives, the last rank otherwise).
+type collectiveCase struct {
+	name   string
+	absent int
+	run    func(c transport.Conn, n int) error
+}
+
+func collectiveCases(n int) []collectiveCase {
+	return []collectiveCase{
+		{"Barrier", n - 1, func(c transport.Conn, n int) error {
+			_, err := Barrier(c)
+			return err
+		}},
+		{"Bcast", 0, func(c transport.Conn, n int) error {
+			_, _, err := Bcast(c, 0, []byte{1, 2, 3})
+			return err
+		}},
+		{"AllgatherRing", n - 1, func(c transport.Conn, n int) error {
+			_, err := AllgatherRing(c, make([]byte, 8*n), 8)
+			return err
+		}},
+		{"AllgatherVRing", n - 1, func(c transport.Conn, n int) error {
+			offs := make([]int, n+1)
+			for i := range offs {
+				offs[i] = 8 * i
+			}
+			_, err := AllgatherVRing(c, make([]byte, 8*n), offs)
+			return err
+		}},
+		{"AllgatherRecDouble", n - 1, func(c transport.Conn, n int) error {
+			_, err := AllgatherRecDouble(c, make([]byte, 8*n), 8)
+			return err
+		}},
+		{"AllgatherOutOfPlace", n - 1, func(c transport.Conn, n int) error {
+			_, err := AllgatherOutOfPlace(c, make([]byte, 8), make([]byte, 8*n))
+			return err
+		}},
+		{"AllReduceMaxF64", n - 1, func(c transport.Conn, n int) error {
+			_, _, err := AllReduceMaxF64(c, float64(c.Rank()))
+			return err
+		}},
+		{"GatherF64", n - 1, func(c transport.Conn, n int) error {
+			_, _, err := GatherF64(c, 0, float64(c.Rank()))
+			return err
+		}},
+		{"Scatter", 0, func(c transport.Conn, n int) error {
+			var data []byte
+			if c.Rank() == 0 {
+				data = make([]byte, 4*n)
+			}
+			_, _, err := Scatter(c, 0, data)
+			return err
+		}},
+		{"Alltoall", n - 1, func(c transport.Conn, n int) error {
+			_, _, err := Alltoall(c, make([]byte, 4*n))
+			return err
+		}},
+		{"GatherBytes", n - 1, func(c transport.Conn, n int) error {
+			_, _, err := GatherBytes(c, 0, []byte{byte(c.Rank())})
+			return err
+		}},
+		{"ReduceScatterSumF32", n - 1, func(c transport.Conn, n int) error {
+			_, _, err := ReduceScatterSumF32(c, make([]float32, n))
+			return err
+		}},
+		{"AllReduceSumF32", n - 1, func(c transport.Conn, n int) error {
+			_, _, err := AllReduceSumF32(c, make([]float32, n))
+			return err
+		}},
+	}
+}
+
+// TestCollectivesUnblockOnAbort: one rank never joins the collective and
+// aborts the job instead; every participating rank must return ErrAborted
+// well before its 30s backstop deadline.  Pre-abort these would hang.
+func TestCollectivesUnblockOnAbort(t *testing.T) {
+	const n = 4
+	for _, tc := range collectiveCases(n) {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			net := transport.NewInproc(n)
+			defer net.Close()
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make([]error, n)
+			for r := 0; r < n; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					c := net.Conn(r)
+					if r == tc.absent {
+						time.Sleep(10 * time.Millisecond)
+						c.Abort(errors.New("injected failure"))
+						return
+					}
+					c.SetRecvTimeout(30 * time.Second)
+					errs[r] = tc.run(c, n)
+				}(r)
+			}
+			wg.Wait()
+			if el := time.Since(start); el > 10*time.Second {
+				t.Fatalf("abort took %v to unblock the collective", el)
+			}
+			// Ranks whose schedule finished before the abort (e.g. gather
+			// leaves, which only send) may return nil; every rank that was
+			// still blocked must surface ErrAborted, and at least one —
+			// whoever waits on the absent rank — always is.
+			aborted := 0
+			for r := 0; r < n; r++ {
+				if r == tc.absent || errs[r] == nil {
+					continue
+				}
+				if !errors.Is(errs[r], transport.ErrAborted) {
+					t.Errorf("rank %d error = %v, want ErrAborted", r, errs[r])
+				}
+				aborted++
+			}
+			if aborted == 0 {
+				t.Error("no rank observed the abort; the collective completed without the absent rank")
+			}
+		})
+	}
+}
+
+// TestCollectivesTimeoutOnAbsentRank: with no abort at all — one rank is
+// simply absent — the receive deadline must still bound every blocked
+// rank.  Ranks that wait on the absent peer get ErrTimeout; ranks whose
+// schedule never needs it (e.g. gather leaves) may finish cleanly, but
+// nobody may hang.
+func TestCollectivesTimeoutOnAbsentRank(t *testing.T) {
+	const n = 4
+	for _, tc := range collectiveCases(n) {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			net := transport.NewInproc(n)
+			defer net.Close()
+			done := make(chan []error, 1)
+			go func() {
+				var wg sync.WaitGroup
+				errs := make([]error, n)
+				for r := 0; r < n; r++ {
+					if r == tc.absent {
+						continue
+					}
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						c := net.Conn(r)
+						c.SetRecvTimeout(200 * time.Millisecond)
+						errs[r] = tc.run(c, n)
+					}(r)
+				}
+				wg.Wait()
+				done <- errs
+			}()
+			select {
+			case errs := <-done:
+				sawTimeout := false
+				for r, err := range errs {
+					if err == nil {
+						continue
+					}
+					if !errors.Is(err, transport.ErrTimeout) {
+						t.Errorf("rank %d error = %v, want ErrTimeout or nil", r, err)
+					}
+					sawTimeout = true
+				}
+				if !sawTimeout {
+					t.Errorf("no rank timed out although rank %d never participated", tc.absent)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("collective hung despite receive deadline")
+			}
+		})
+	}
+}
+
+// TestAllgatherVRingOffsetValidation: malformed offset vectors must be
+// rejected up front, before any traffic.
+func TestAllgatherVRingOffsetValidation(t *testing.T) {
+	const n = 4
+	bad := map[string][]int{
+		"negative":      {-1, 8, 16, 24, 32},
+		"non-monotonic": {0, 16, 8, 24, 32},
+		"beyond-buffer": {0, 8, 16, 24, 1 << 20},
+		"wrong-arity":   {0, 8, 16},
+	}
+	for name, offs := range bad {
+		t.Run(name, func(t *testing.T) {
+			runAll(t, n, func(c transport.Conn) error {
+				if _, err := AllgatherVRing(c, make([]byte, 32), offs); err == nil {
+					t.Errorf("offsets %v accepted", offs)
+				}
+				return nil
+			})
+		})
+	}
+}

@@ -172,6 +172,18 @@ func AllgatherVRing(c transport.Conn, buf []byte, offs []int) (Stats, error) {
 	if len(offs) != n+1 {
 		return st, fmt.Errorf("comm: allgatherv needs %d offsets, got %d", n+1, len(offs))
 	}
+	// Offsets index the shared buffer on every rank: a negative or
+	// non-monotonic table would slice out of range (panic) or alias
+	// chunks (silent corruption), so validate the whole table up front.
+	if offs[0] < 0 {
+		return st, fmt.Errorf("comm: allgatherv offset[0] is negative (%d)", offs[0])
+	}
+	for i := 0; i < n; i++ {
+		if offs[i+1] < offs[i] {
+			return st, fmt.Errorf("comm: allgatherv offsets not monotonic: offs[%d]=%d > offs[%d]=%d",
+				i, offs[i], i+1, offs[i+1])
+		}
+	}
 	if offs[n] > len(buf) {
 		return st, fmt.Errorf("comm: allgatherv offsets exceed buffer (%d > %d)", offs[n], len(buf))
 	}

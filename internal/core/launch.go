@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -87,6 +88,7 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 			return nil
 		})
 		if err != nil {
+			s.emitFailure(st.kernel.Name, err)
 			return nil, err
 		}
 		// Advance clocks by the modeled phase time.
@@ -154,6 +156,7 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 			return nil
 		})
 		if err != nil {
+			s.emitFailure(st.kernel.Name, err)
 			return nil, err
 		}
 		commMsgs += msgs
@@ -187,6 +190,7 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 			return nil
 		})
 		if err != nil {
+			s.emitFailure(st.kernel.Name, err)
 			return nil, err
 		}
 		for rank := 0; rank < n; rank++ {
@@ -288,6 +292,7 @@ func (s *Session) runTrivial(st *launchState, stats *Stats) error {
 		return nil
 	})
 	if err != nil {
+		s.emitFailure(st.kernel.Name, err)
 		return err
 	}
 	for rank := 0; rank < c.N(); rank++ {
@@ -427,6 +432,21 @@ func (s *Session) emitWorkerSpans(start, dur float64, rank int, kernel string, c
 			Phase: trace.PhaseWorker, Kernel: kernel,
 			Detail: fmt.Sprintf("worker %d/%d: %d blocks", w, len(counts), cnt)})
 	}
+}
+
+// emitFailure records a cluster-wide abort/timeout event so failed
+// launches stay visible in the trace timeline alongside the phases that
+// did complete.
+func (s *Session) emitFailure(kernel string, err error) {
+	if s.Trace == nil {
+		return
+	}
+	phase := trace.PhaseAbort
+	if errors.Is(err, transport.ErrTimeout) && !errors.Is(err, transport.ErrAborted) {
+		phase = trace.PhaseTimeout
+	}
+	s.emit(trace.Event{StartSec: s.Cluster.MaxClock(), Node: -1,
+		Phase: phase, Kernel: kernel, Detail: err.Error()})
 }
 
 // interpToBlockWork converts measured interpreter work into cost-model

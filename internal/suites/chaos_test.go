@@ -1,0 +1,137 @@
+package suites
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/simnet"
+	"cucc/internal/transport"
+)
+
+// The chaos tests run every evaluation program at Small scale under seeded
+// transport faults.  The invariants, per ISSUE acceptance criteria:
+//
+//   - benign faults (delay, duplicate) are fully absorbed: the run
+//     completes, the checker passes, and node 0's entire heap is bitwise
+//     identical to a fault-free run;
+//   - lossy faults (drop, corrupt, transient send failure) either retry to
+//     a completed — and still bitwise-identical — run or fail cleanly with
+//     a transport error; no fault schedule may hang the cluster.
+
+func chaosCluster(t *testing.T, n int, fc *transport.FaultConfig) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Nodes: n, Machine: machine.Intel6226(), Net: simnet.IB100(),
+		// Backstop deadline: a dropped frame with no successor must turn
+		// into ErrTimeout instead of a hang.
+		RecvTimeout: 5 * time.Second,
+		Fault:       fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// heapSnapshot copies node 0's entire allocated heap.
+func heapSnapshot(c *cluster.Cluster) []byte {
+	all := cluster.Buffer{Off: 0, Elem: kir.U8, Count: c.BytesPerNode()}
+	return append([]byte(nil), c.Region(0, all)...)
+}
+
+// chaosRun builds and launches one program on a fresh faulty cluster and
+// returns node 0's heap (nil on failure).  The launch runs in a goroutine
+// with a hang watchdog: "fail cleanly" is acceptable, blocking forever is
+// the bug this PR exists to fix.
+func chaosRun(t *testing.T, p *Program, fc *transport.FaultConfig) ([]byte, error) {
+	t.Helper()
+	c := chaosCluster(t, 4, fc)
+	inst, err := p.Build(c, p.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession(c, p.Compiled)
+	sess.Verify = true
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Launch(inst.Spec)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			return nil, err
+		}
+		if err := inst.Check(); err != nil {
+			t.Fatalf("completed run failed its checker: %v", err)
+		}
+		return heapSnapshot(c), nil
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%s hung under fault injection (seed %d)", p.Name, fc.Seed)
+		return nil, nil
+	}
+}
+
+// TestChaosBenignFaultsAbsorbed: delays and duplicates must be invisible —
+// every program completes with a heap bitwise identical to a fault-free
+// run's.
+func TestChaosBenignFaultsAbsorbed(t *testing.T) {
+	for _, p := range allWithVecAdd() {
+		t.Run(p.Name, func(t *testing.T) {
+			ref, err := chaosRun(t, p, &transport.FaultConfig{Seed: 1}) // zero probabilities: fault-free
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := chaosRun(t, p, &transport.FaultConfig{
+				Seed: 1, Delay: 0.3, Duplicate: 0.3, MaxDelay: 200 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatalf("benign faults must be absorbed, got %v", err)
+			}
+			if !bytes.Equal(ref, got) {
+				t.Error("node 0 heap differs from fault-free run under benign faults")
+			}
+		})
+	}
+}
+
+// TestChaosLossyFaultsFailCleanlyOrComplete: under drops, corruption, and
+// transient send failures each seeded run must either complete (bitwise
+// identical to fault-free, checker passing) or fail with a transport
+// error — never hang, never complete with wrong data.
+func TestChaosLossyFaultsFailCleanlyOrComplete(t *testing.T) {
+	lossy := func(seed int64) *transport.FaultConfig {
+		return &transport.FaultConfig{
+			Seed: seed, Drop: 0.02, Corrupt: 0.02, SendFail: 0.2,
+			MaxRetries: 6, RetryBackoff: 10 * time.Microsecond,
+		}
+	}
+	completed, failed := 0, 0
+	for _, p := range allWithVecAdd() {
+		t.Run(p.Name, func(t *testing.T) {
+			ref, err := chaosRun(t, p, &transport.FaultConfig{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				got, err := chaosRun(t, p, lossy(seed))
+				if err != nil {
+					failed++
+					t.Logf("seed %d: failed cleanly: %v", seed, err)
+					continue
+				}
+				completed++
+				if !bytes.Equal(ref, got) {
+					t.Errorf("seed %d: completed run's heap differs from fault-free run", seed)
+				}
+			}
+		})
+	}
+	t.Logf("lossy chaos: %d completed, %d failed cleanly", completed, failed)
+}

@@ -22,6 +22,12 @@ const (
 	// intra-node worker that executed blocks, with the block count in
 	// Detail.  Emitted only when the node's worker pool is wider than one.
 	PhaseWorker = "worker-block-execution"
+	// PhaseAbort marks a launch that failed and cancelled its peers via
+	// the cooperative transport abort; Detail carries the joined errors.
+	PhaseAbort = "abort"
+	// PhaseTimeout marks a launch that failed because a transport
+	// receive deadline expired (a peer stopped participating).
+	PhaseTimeout = "recv-timeout"
 )
 
 // Event is one timeline span in simulated time.

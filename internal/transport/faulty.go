@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault-injection errors.  ErrTransient marks an injected send failure that
+// is safe to retry; ErrCorrupt and ErrDropped are detected at the receiver
+// from the decorator's frame envelope.
+var (
+	// ErrTransient is an injected, retryable send failure.
+	ErrTransient = errors.New("transport: transient send failure (injected)")
+	// ErrCorrupt is returned when a received frame fails its checksum.
+	ErrCorrupt = errors.New("transport: frame corrupted")
+	// ErrDropped is returned when a sequence gap proves frames were lost.
+	ErrDropped = errors.New("transport: frame(s) dropped")
+)
+
+// FaultConfig parameterizes the fault-injecting transport decorator.  All
+// probabilities are per message in [0, 1].  Fault decisions are drawn from
+// a deterministic RNG stream per (sender, receiver, tag), so a given Seed
+// reproduces the exact same fault schedule regardless of goroutine
+// interleaving.
+type FaultConfig struct {
+	// Seed selects the deterministic fault schedule.
+	Seed int64
+	// Drop loses the frame in flight: the receiver either times out or
+	// detects the sequence gap on the next frame (ErrDropped).
+	Drop float64
+	// Delay sleeps the sender up to MaxDelay before the frame departs
+	// (in-line, so per-(sender, tag) ordering is preserved).
+	Delay float64
+	// Duplicate sends the frame twice; receivers deduplicate by sequence
+	// number, so a completed run is unaffected.
+	Duplicate float64
+	// Corrupt flips a payload byte after checksumming; the receiver
+	// detects the mismatch and fails cleanly with ErrCorrupt.
+	Corrupt float64
+	// SendFail makes a send attempt fail transiently; the decorator
+	// retries with exponential backoff up to MaxRetries times before
+	// surfacing ErrTransient.
+	SendFail float64
+	// MaxDelay bounds injected delays (default 1ms).
+	MaxDelay time.Duration
+	// MaxRetries is the retry budget for transient send failures
+	// (default 4).
+	MaxRetries int
+	// RetryBackoff is the initial backoff, doubling per retry
+	// (default 50µs).
+	RetryBackoff time.Duration
+}
+
+// FaultStats counts the faults a FaultyNetwork injected.
+type FaultStats struct {
+	Drops, Delays, Duplicates, Corruptions, SendFailures, Retries int64
+}
+
+// FaultyNetwork decorates a Network with seeded fault injection.  Payloads
+// travel in an envelope [seq:8][crc32:4][payload] per (sender, tag) stream:
+// duplicates are absorbed by sequence numbers, corruption is caught by the
+// checksum, and drops surface as sequence gaps — so every injected fault
+// either leaves a completed run bitwise identical to a fault-free one or
+// fails cleanly with a distinguishable error, never silently corrupts.
+type FaultyNetwork struct {
+	inner Network
+	cfg   FaultConfig
+	conns []*faultyConn
+
+	drops, delays, dups, corrupts, sendFails, retries atomic.Int64
+}
+
+// NewFaulty wraps a network with fault injection.
+func NewFaulty(inner Network, cfg FaultConfig) *FaultyNetwork {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Microsecond
+	}
+	f := &FaultyNetwork{inner: inner, cfg: cfg, conns: make([]*faultyConn, inner.Size())}
+	for r := range f.conns {
+		f.conns[r] = &faultyConn{
+			net:   f,
+			inner: inner.Conn(r),
+			send:  map[streamKey]*sendStream{},
+			recv:  map[streamKey]*recvStream{},
+		}
+	}
+	return f
+}
+
+// Conn returns rank r's decorated endpoint.
+func (f *FaultyNetwork) Conn(r int) Conn { return f.conns[r] }
+
+// Size returns the number of ranks.
+func (f *FaultyNetwork) Size() int { return f.inner.Size() }
+
+// Abort cancels the job on every rank.
+func (f *FaultyNetwork) Abort(cause error) { f.inner.Abort(cause) }
+
+// Close shuts down the inner network.
+func (f *FaultyNetwork) Close() { f.inner.Close() }
+
+// Stats snapshots the injected-fault counters.
+func (f *FaultyNetwork) Stats() FaultStats {
+	return FaultStats{
+		Drops:        f.drops.Load(),
+		Delays:       f.delays.Load(),
+		Duplicates:   f.dups.Load(),
+		Corruptions:  f.corrupts.Load(),
+		SendFailures: f.sendFails.Load(),
+		Retries:      f.retries.Load(),
+	}
+}
+
+type streamKey struct {
+	peer, tag int
+}
+
+// sendStream is the per-(receiver, tag) sender state: the next sequence
+// number and the deterministic fault RNG for this stream.
+type sendStream struct {
+	mu  sync.Mutex
+	seq uint64
+	rng *rand.Rand
+}
+
+// recvStream is the per-(sender, tag) receiver state.
+type recvStream struct {
+	mu   sync.Mutex
+	last uint64
+}
+
+// streamSeed mixes the config seed with the stream coordinates so each
+// (sender, receiver, tag) stream draws an independent deterministic
+// sequence, whatever order the streams are exercised in.
+func streamSeed(seed int64, from, to, tag int) int64 {
+	h := uint64(seed)
+	for _, v := range []uint64{uint64(from), uint64(to), uint64(tag)} {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return int64(h & (1<<63 - 1))
+}
+
+type faultyConn struct {
+	net   *FaultyNetwork
+	inner Conn
+
+	mu   sync.Mutex
+	send map[streamKey]*sendStream
+	recv map[streamKey]*recvStream
+}
+
+func (c *faultyConn) Rank() int                      { return c.inner.Rank() }
+func (c *faultyConn) Size() int                      { return c.inner.Size() }
+func (c *faultyConn) SetRecvTimeout(d time.Duration) { c.inner.SetRecvTimeout(d) }
+func (c *faultyConn) Abort(cause error)              { c.inner.Abort(cause) }
+func (c *faultyConn) Close() error                   { return c.inner.Close() }
+
+func (c *faultyConn) sendStream(to, tag int) *sendStream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := streamKey{to, tag}
+	s, ok := c.send[k]
+	if !ok {
+		s = &sendStream{rng: rand.New(rand.NewSource(streamSeed(c.net.cfg.Seed, c.Rank(), to, tag)))}
+		c.send[k] = s
+	}
+	return s
+}
+
+func (c *faultyConn) recvStream(from, tag int) *recvStream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := streamKey{from, tag}
+	s, ok := c.recv[k]
+	if !ok {
+		s = &recvStream{}
+		c.recv[k] = s
+	}
+	return s
+}
+
+func (c *faultyConn) Send(to, tag int, data []byte) error {
+	if to < 0 || to >= c.Size() {
+		return c.inner.Send(to, tag, data) // let the inner transport report it
+	}
+	cfg := &c.net.cfg
+	s := c.sendStream(to, tag)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rng := s.rng
+
+	if cfg.SendFail > 0 {
+		backoff := cfg.RetryBackoff
+		for attempt := 0; rng.Float64() < cfg.SendFail; attempt++ {
+			c.net.sendFails.Add(1)
+			if attempt >= cfg.MaxRetries {
+				return fmt.Errorf("transport: send to %d tag %d failed after %d attempts: %w",
+					to, tag, attempt+1, ErrTransient)
+			}
+			c.net.retries.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	if cfg.Delay > 0 && rng.Float64() < cfg.Delay {
+		c.net.delays.Add(1)
+		// Sleeping in-line (not in a goroutine) keeps per-stream FIFO
+		// ordering, modelling a slow link rather than a reordering one.
+		time.Sleep(time.Duration(rng.Int63n(int64(cfg.MaxDelay) + 1)))
+	}
+
+	s.seq++
+	env := sealFrame(s.seq, data)
+	if cfg.Corrupt > 0 && rng.Float64() < cfg.Corrupt {
+		c.net.corrupts.Add(1)
+		// Flip one byte after checksumming so the receiver detects it.
+		if len(data) > 0 {
+			env[12+rng.Intn(len(data))] ^= 0xFF
+		} else {
+			env[8] ^= 0xFF // no payload: corrupt the checksum itself
+		}
+	}
+	if cfg.Drop > 0 && rng.Float64() < cfg.Drop {
+		c.net.drops.Add(1)
+		return nil // vanishes in flight; the receiver sees a gap or times out
+	}
+	if err := c.inner.Send(to, tag, env); err != nil {
+		return err
+	}
+	if cfg.Duplicate > 0 && rng.Float64() < cfg.Duplicate {
+		c.net.dups.Add(1)
+		return c.inner.Send(to, tag, append([]byte(nil), env...))
+	}
+	return nil
+}
+
+func (c *faultyConn) Recv(from, tag int) ([]byte, error) {
+	return c.recvFrame(from, tag, func() ([]byte, error) { return c.inner.Recv(from, tag) })
+}
+
+func (c *faultyConn) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error) {
+	return c.recvFrame(from, tag, func() ([]byte, error) { return c.inner.RecvTimeout(from, tag, timeout) })
+}
+
+func (c *faultyConn) recvFrame(from, tag int, next func() ([]byte, error)) ([]byte, error) {
+	if from < 0 || from >= c.Size() {
+		return next() // let the inner transport report it
+	}
+	s := c.recvStream(from, tag)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		env, err := next()
+		if err != nil {
+			return nil, err
+		}
+		seq, payload, err := openFrame(env)
+		if err != nil {
+			return nil, fmt.Errorf("transport: recv from %d tag %d: %w", from, tag, err)
+		}
+		if seq <= s.last {
+			continue // duplicate of an already-delivered frame
+		}
+		if seq != s.last+1 {
+			lost := seq - s.last - 1
+			s.last = seq
+			return nil, fmt.Errorf("transport: recv from %d tag %d: %d %w", from, tag, lost, ErrDropped)
+		}
+		s.last = seq
+		return payload, nil
+	}
+}
+
+// sealFrame wraps a payload in the [seq:8][crc32:4][payload] envelope.
+func sealFrame(seq uint64, data []byte) []byte {
+	env := make([]byte, 12+len(data))
+	binary.LittleEndian.PutUint64(env[0:], seq)
+	binary.LittleEndian.PutUint32(env[8:], crc32.ChecksumIEEE(data))
+	copy(env[12:], data)
+	return env
+}
+
+// openFrame validates and unwraps an envelope.
+func openFrame(env []byte) (uint64, []byte, error) {
+	if len(env) < 12 {
+		return 0, nil, fmt.Errorf("%d-byte frame below envelope size: %w", len(env), ErrCorrupt)
+	}
+	seq := binary.LittleEndian.Uint64(env[0:])
+	crc := binary.LittleEndian.Uint32(env[8:])
+	payload := env[12:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, ErrCorrupt
+	}
+	return seq, payload, nil
+}

@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFaultyDeterministic: the same seed reproduces the exact same fault
+// schedule and delivered bytes, whatever the wall clock does.
+func TestFaultyDeterministic(t *testing.T) {
+	run := func() (FaultStats, [][]byte, []error) {
+		net := NewFaulty(NewInproc(2), FaultConfig{
+			Seed: 42, Drop: 0.2, Duplicate: 0.3, Corrupt: 0.1, Delay: 0.2,
+			MaxDelay: 50 * time.Microsecond,
+		})
+		defer net.Close()
+		for i := 0; i < 32; i++ {
+			if err := net.Conn(0).Send(1, 1, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got [][]byte
+		var errs []error
+		for i := 0; i < 32; i++ {
+			b, err := net.Conn(1).RecvTimeout(0, 1, 100*time.Millisecond)
+			if err != nil {
+				errs = append(errs, err)
+				if errors.Is(err, ErrTimeout) {
+					break
+				}
+				continue
+			}
+			got = append(got, b)
+		}
+		return net.Stats(), got, errs
+	}
+	s1, g1, e1 := run()
+	s2, g2, e2 := run()
+	if s1 != s2 {
+		t.Errorf("fault schedules differ: %+v vs %+v", s1, s2)
+	}
+	if len(g1) != len(g2) || len(e1) != len(e2) {
+		t.Fatalf("deliveries differ: %d/%d msgs, %d/%d errors", len(g1), len(g2), len(e1), len(e2))
+	}
+	for i := range g1 {
+		if !bytes.Equal(g1[i], g2[i]) {
+			t.Errorf("message %d differs: %v vs %v", i, g1[i], g2[i])
+		}
+	}
+	for i := range e1 {
+		if e1[i].Error() != e2[i].Error() {
+			t.Errorf("error %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+// TestFaultyDuplicatesAbsorbed: with certain duplication every frame is
+// sent twice yet delivered exactly once, in order.
+func TestFaultyDuplicatesAbsorbed(t *testing.T) {
+	net := NewFaulty(NewInproc(2), FaultConfig{Seed: 3, Duplicate: 1.0})
+	defer net.Close()
+	const msgs = 20
+	for i := 0; i < msgs; i++ {
+		if err := net.Conn(0).Send(1, 2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		got, err := net.Conn(1).RecvTimeout(0, 2, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("message %d delivered as %d (duplicate leaked?)", i, got[0])
+		}
+	}
+	// Nothing further: all duplicates were absorbed.
+	if _, err := net.Conn(1).RecvTimeout(0, 2, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("expected timeout after %d messages, got %v", msgs, err)
+	}
+	if st := net.Stats(); st.Duplicates != msgs {
+		t.Errorf("Duplicates = %d, want %d", st.Duplicates, msgs)
+	}
+}
+
+// TestFaultyDropDetected: a dropped frame surfaces at the receiver as
+// ErrDropped (sequence gap) or ErrTimeout (nothing after it) — never as a
+// silent hang or reordered delivery.
+func TestFaultyDropDetected(t *testing.T) {
+	net := NewFaulty(NewInproc(2), FaultConfig{Seed: 11, Drop: 0.5})
+	defer net.Close()
+	const msgs = 16
+	for i := 0; i < msgs; i++ {
+		if err := net.Conn(0).Send(1, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delivered := 0
+	var finalErr error
+	for i := 0; i < msgs; i++ {
+		got, err := net.Conn(1).RecvTimeout(0, 1, 50*time.Millisecond)
+		if err != nil {
+			finalErr = err
+			break
+		}
+		if got[0] != byte(delivered) {
+			t.Fatalf("delivery %d carries payload %d; drops must fail, not reorder", delivered, got[0])
+		}
+		delivered++
+	}
+	st := net.Stats()
+	if st.Drops == 0 {
+		t.Skip("seed produced no drops; adjust seed")
+	}
+	if finalErr == nil {
+		t.Fatalf("%d frames dropped but all %d messages delivered", st.Drops, msgs)
+	}
+	if !errors.Is(finalErr, ErrDropped) && !errors.Is(finalErr, ErrTimeout) {
+		t.Errorf("error = %v, want ErrDropped or ErrTimeout", finalErr)
+	}
+}
+
+// TestFaultyCorruptionDetected: a flipped byte fails the checksum at the
+// receiver instead of delivering silently corrupt data.
+func TestFaultyCorruptionDetected(t *testing.T) {
+	net := NewFaulty(NewInproc(2), FaultConfig{Seed: 5, Corrupt: 1.0})
+	defer net.Close()
+	if err := net.Conn(0).Send(1, 1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Conn(1).RecvTimeout(0, 1, time.Second); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("error = %v, want ErrCorrupt", err)
+	}
+	// Zero-length payloads are covered by corrupting the checksum itself.
+	if err := net.Conn(0).Send(1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Conn(1).RecvTimeout(0, 2, time.Second); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nil-payload error = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFaultyRetryBackoff: transient send failures are retried with
+// backoff; a persistent failure exhausts the budget with ErrTransient.
+func TestFaultyRetryBackoff(t *testing.T) {
+	// 50% failure with a deep retry budget: all sends eventually succeed.
+	net := NewFaulty(NewInproc(2), FaultConfig{
+		Seed: 9, SendFail: 0.5, MaxRetries: 20, RetryBackoff: time.Microsecond,
+	})
+	defer net.Close()
+	for i := 0; i < 16; i++ {
+		if err := net.Conn(0).Send(1, 1, []byte{byte(i)}); err != nil {
+			t.Fatalf("send %d not retried to success: %v", i, err)
+		}
+	}
+	if st := net.Stats(); st.Retries == 0 || st.SendFailures == 0 {
+		t.Skip("seed produced no transient failures; adjust seed")
+	}
+
+	// Certain failure with a tiny budget: the send surfaces ErrTransient.
+	always := NewFaulty(NewInproc(2), FaultConfig{
+		Seed: 9, SendFail: 1.0, MaxRetries: 2, RetryBackoff: time.Microsecond,
+	})
+	defer always.Close()
+	err := always.Conn(0).Send(1, 1, []byte("x"))
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("error = %v, want ErrTransient", err)
+	}
+	if st := always.Stats(); st.SendFailures != 3 || st.Retries != 2 {
+		t.Errorf("stats = %+v, want 3 failures / 2 retries", st)
+	}
+}
+
+// TestFaultyStreamIndependence: fault decisions on one (peer, tag) stream
+// are independent of traffic on other streams, so concurrent collectives
+// cannot perturb each other's schedules.
+func TestFaultyStreamIndependence(t *testing.T) {
+	deliveries := func(noise bool) []byte {
+		net := NewFaulty(NewInproc(3), FaultConfig{Seed: 17, Drop: 0.3})
+		defer net.Close()
+		if noise {
+			for i := 0; i < 10; i++ {
+				if err := net.Conn(0).Send(2, 9, []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			if err := net.Conn(0).Send(1, 1, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []byte
+		for {
+			b, err := net.Conn(1).RecvTimeout(0, 1, 20*time.Millisecond)
+			if err != nil {
+				return got
+			}
+			got = append(got, b[0])
+		}
+	}
+	quiet, noisy := deliveries(false), deliveries(true)
+	if !bytes.Equal(quiet, noisy) {
+		t.Errorf("stream schedule perturbed by unrelated traffic: %v vs %v", quiet, noisy)
+	}
+}
+
+// TestFaultyOverTCP: the decorator composes with the socket transport.
+func TestFaultyOverTCP(t *testing.T) {
+	inner, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewFaulty(inner, FaultConfig{Seed: 21, Duplicate: 0.5, Delay: 0.5, MaxDelay: 100 * time.Microsecond})
+	defer net.Close()
+	runRanks(t, 2, net.Conn, func(c Conn) error {
+		const msgs = 32
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			got, err := c.RecvTimeout(0, 3, 5*time.Second)
+			if err != nil {
+				return err
+			}
+			if got[0] != byte(i) {
+				return fmt.Errorf("message %d arrived as %d", i, got[0])
+			}
+		}
+		return nil
+	})
+}

@@ -6,7 +6,21 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// MaxFrameBytes caps the payload length of one TCP frame.  The 4-byte wire
+// length is attacker/bug-controlled input: without a cap a single corrupt
+// frame makes the reader allocate up to 4 GiB.  Oversized frames poison the
+// endpoint (all receives fail) and close the offending connection.  A
+// variable rather than a constant so tests can shrink it.
+var MaxFrameBytes uint32 = 64 << 20
+
+// abortTag is the reserved wire tag of the cluster-abort control frame; its
+// payload is the abort cause.  User tags are non-negative ints, so the tag
+// can never collide.
+const abortTag = ^uint32(0)
 
 // TCPNetwork connects n ranks over loopback TCP sockets with a full mesh of
 // lazily-established connections.  Wire format per message:
@@ -38,7 +52,7 @@ func NewTCP(n int) (*TCPNetwork, error) {
 			addrs:    addrs,
 			listener: listeners[i],
 			box:      newMailbox(),
-			peers:    make([]net.Conn, n),
+			peers:    make([]tcpPeer, n),
 		}
 		tn.conns[i] = c
 		go c.acceptLoop()
@@ -49,11 +63,33 @@ func NewTCP(n int) (*TCPNetwork, error) {
 // Conn returns rank r's endpoint.
 func (t *TCPNetwork) Conn(r int) Conn { return t.conns[r] }
 
+// Size returns the number of ranks.
+func (t *TCPNetwork) Size() int { return len(t.conns) }
+
+// Abort cancels the job on every rank.  The constructor keeps all endpoints
+// in-process, so the token is delivered directly; rank-initiated aborts
+// (Conn.Abort) additionally travel the wire as control frames, the path a
+// multi-process deployment would rely on.
+func (t *TCPNetwork) Abort(cause error) {
+	err := abortError(cause)
+	for _, c := range t.conns {
+		c.box.abortWith(err)
+	}
+}
+
 // Close shuts down every endpoint.
 func (t *TCPNetwork) Close() {
 	for _, c := range t.conns {
 		c.Close()
 	}
+}
+
+// tcpPeer is one lazily-dialed outgoing connection with its own write
+// mutex, so sends to distinct ranks proceed in parallel and only writes to
+// the same peer serialize (keeping frames from interleaving).
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
 }
 
 type tcpConn struct {
@@ -63,13 +99,15 @@ type tcpConn struct {
 	listener net.Listener
 	box      *mailbox
 
-	mu    sync.Mutex
-	peers []net.Conn // outgoing connections, dialed lazily
-	done  bool
+	recvTimeout atomic.Int64
+	done        atomic.Bool
+	peers       []tcpPeer
 }
 
 func (c *tcpConn) Rank() int { return c.rank }
 func (c *tcpConn) Size() int { return c.size }
+
+func (c *tcpConn) SetRecvTimeout(d time.Duration) { c.recvTimeout.Store(int64(d)) }
 
 func (c *tcpConn) acceptLoop() {
 	for {
@@ -88,78 +126,122 @@ func (c *tcpConn) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
 		}
-		from := int(binary.LittleEndian.Uint32(hdr[0:]))
-		tag := int(binary.LittleEndian.Uint32(hdr[4:]))
+		from := int(int32(binary.LittleEndian.Uint32(hdr[0:])))
+		tag := binary.LittleEndian.Uint32(hdr[4:])
 		length := binary.LittleEndian.Uint32(hdr[8:])
+		// The wire length and sender are untrusted input: reject frames
+		// that would allocate unboundedly or misattribute a sender, and
+		// poison the endpoint so the corruption is visible instead of
+		// silently hanging a later receive.
+		if length > MaxFrameBytes {
+			c.box.abortWith(fmt.Errorf("transport: rank %d: frame of %d bytes exceeds %d-byte cap", c.rank, length, MaxFrameBytes))
+			return
+		}
+		if from < 0 || from >= c.size {
+			c.box.abortWith(fmt.Errorf("transport: rank %d: frame from invalid rank %d (size %d)", c.rank, from, c.size))
+			return
+		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
-		c.box.put(from, tag, payload)
+		if tag == abortTag {
+			c.box.abortWith(abortError(fmt.Errorf("rank %d: %s", from, payload)))
+			continue
+		}
+		// Frames racing a concurrent Close are dropped, as on a real NIC.
+		_ = c.box.put(from, int(tag), payload)
 	}
 }
 
-func (c *tcpConn) peer(to int) (net.Conn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.done {
-		return nil, fmt.Errorf("transport: rank %d closed", c.rank)
+// writeFrame serializes one frame to peer `to`, dialing lazily.  Only the
+// target peer's mutex is held, so concurrent sends to distinct ranks do not
+// serialize behind each other.
+func (c *tcpConn) writeFrame(to int, tag uint32, data []byte) error {
+	if len(data) > int(MaxFrameBytes) {
+		return fmt.Errorf("transport: send of %d bytes exceeds %d-byte frame cap", len(data), MaxFrameBytes)
 	}
-	if c.peers[to] != nil {
-		return c.peers[to], nil
+	p := &c.peers[to]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		if c.done.Load() {
+			return fmt.Errorf("transport: rank %d: %w", c.rank, ErrClosed)
+		}
+		conn, err := net.Dial("tcp", c.addrs[to])
+		if err != nil {
+			return fmt.Errorf("transport: dial rank %d: %w", to, err)
+		}
+		p.conn = conn
 	}
-	conn, err := net.Dial("tcp", c.addrs[to])
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial rank %d: %w", to, err)
-	}
-	c.peers[to] = conn
-	return conn, nil
+	buf := make([]byte, 12+len(data))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(c.rank))
+	binary.LittleEndian.PutUint32(buf[4:], tag)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(data)))
+	copy(buf[12:], data)
+	_, err := p.conn.Write(buf)
+	return err
 }
 
 func (c *tcpConn) Send(to, tag int, data []byte) error {
 	if to < 0 || to >= c.size {
 		return fmt.Errorf("transport: send to invalid rank %d (size %d)", to, c.size)
 	}
-	if to == c.rank {
-		c.box.put(c.rank, tag, data)
-		return nil
+	if tag < 0 {
+		return fmt.Errorf("transport: negative tag %d is reserved", tag)
 	}
-	conn, err := c.peer(to)
-	if err != nil {
+	if c.done.Load() {
+		return fmt.Errorf("transport: send from rank %d: %w", c.rank, ErrClosed)
+	}
+	// Once this rank has learned of a job abort, sends fail too (the
+	// in-process transport gets this for free from the shared mailbox).
+	if err := c.box.abortedErr(); err != nil {
 		return err
 	}
-	buf := make([]byte, 12+len(data))
-	binary.LittleEndian.PutUint32(buf[0:], uint32(c.rank))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(tag))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(len(data)))
-	copy(buf[12:], data)
-	// Serialize writes to one peer so frames do not interleave.
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, err = conn.Write(buf)
-	return err
+	if to == c.rank {
+		return c.box.put(c.rank, tag, data)
+	}
+	return c.writeFrame(to, uint32(tag), data)
 }
 
 func (c *tcpConn) Recv(from, tag int) ([]byte, error) {
+	return c.RecvTimeout(from, tag, time.Duration(c.recvTimeout.Load()))
+}
+
+func (c *tcpConn) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error) {
 	if from < 0 || from >= c.size {
 		return nil, fmt.Errorf("transport: recv from invalid rank %d (size %d)", from, c.size)
 	}
-	return c.box.get(from, tag)
+	return c.box.get(from, tag, timeout)
+}
+
+// Abort cancels the job: the local mailbox is poisoned directly and every
+// peer is sent an abort control frame (best effort) so their pending
+// receives unblock too.
+func (c *tcpConn) Abort(cause error) {
+	err := abortError(cause)
+	c.box.abortWith(err)
+	msg := []byte(err.Error())
+	for to := 0; to < c.size; to++ {
+		if to == c.rank {
+			continue
+		}
+		_ = c.writeFrame(to, abortTag, msg)
+	}
 }
 
 func (c *tcpConn) Close() error {
-	c.mu.Lock()
-	if c.done {
-		c.mu.Unlock()
+	if c.done.Swap(true) {
 		return nil
 	}
-	c.done = true
-	for _, p := range c.peers {
-		if p != nil {
-			p.Close()
+	for i := range c.peers {
+		p := &c.peers[i]
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
 		}
+		p.mu.Unlock()
 	}
-	c.mu.Unlock()
 	c.box.close()
 	return c.listener.Close()
 }

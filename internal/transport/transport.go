@@ -2,32 +2,89 @@
 // ranks of a simulated cluster.  Two implementations share one interface:
 // an in-process transport (channel-backed mailboxes) used by the simulator
 // and tests, and a TCP loopback transport (stdlib net) that exercises real
-// sockets for the realcluster example and integration tests.
+// sockets for the realcluster example and integration tests.  A third,
+// Faulty, decorates either with seeded fault injection (see faulty.go).
 //
 // This package substitutes for the MPI transport layer in the paper's
-// runtime library.
+// runtime library.  Unlike MPI's default abort-on-failure semantics, every
+// receive can carry a deadline, and a cooperative cluster-wide abort
+// (Conn.Abort) unblocks all pending receives with ErrAborted — one failed
+// rank never deadlocks its peers.
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors distinguishing the transport failure modes.  Callers use
+// errors.Is: a wrapped ErrAborted means some rank cancelled the job, a
+// wrapped ErrTimeout means a receive deadline expired, a wrapped ErrClosed
+// means the endpoint was shut down.
+var (
+	// ErrAborted is returned from blocked operations after Abort.
+	ErrAborted = errors.New("transport: aborted")
+	// ErrTimeout is returned when a receive deadline expires.
+	ErrTimeout = errors.New("transport: receive deadline exceeded")
+	// ErrClosed is returned for operations on a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
 )
 
 // Conn is one rank's endpoint.  Sends are asynchronous (buffered);
-// receives block until a matching message (same sender and tag) arrives.
-// Message order is preserved per (sender, tag) pair, as in MPI.
+// receives block until a matching message (same sender and tag) arrives,
+// the deadline expires, the endpoint closes, or the job aborts.  Message
+// order is preserved per (sender, tag) pair, as in MPI.
 type Conn interface {
 	// Rank returns this endpoint's rank in [0, Size).
 	Rank() int
 	// Size returns the number of ranks.
 	Size() int
 	// Send delivers data to rank `to` under the given tag.  The data
-	// slice is owned by the transport after the call.
+	// slice is owned by the transport after the call.  Sending to a
+	// closed endpoint returns an error wrapping ErrClosed.
 	Send(to, tag int, data []byte) error
-	// Recv blocks for the next message from rank `from` with the tag.
+	// Recv blocks for the next message from rank `from` with the tag,
+	// bounded by the endpoint's default receive deadline (if set).
 	Recv(from, tag int) ([]byte, error)
+	// RecvTimeout is Recv with an explicit deadline; timeout <= 0 waits
+	// without a deadline.  Expiry returns an error wrapping ErrTimeout.
+	RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error)
+	// SetRecvTimeout sets the default deadline applied to Recv
+	// (0 = no deadline).  Safe for concurrent use.
+	SetRecvTimeout(d time.Duration)
+	// Abort cancels the whole job: every pending and future receive on
+	// every rank returns an error wrapping ErrAborted (carrying cause).
+	// Idempotent; the first cause wins.
+	Abort(cause error)
 	// Close releases the endpoint.
 	Close() error
+}
+
+// Network is a set of connected rank endpoints — the common constructor
+// surface of the in-process, TCP, and fault-injecting transports.
+type Network interface {
+	// Conn returns rank r's endpoint.
+	Conn(r int) Conn
+	// Size returns the number of ranks.
+	Size() int
+	// Abort cancels the job on every rank (see Conn.Abort).
+	Abort(cause error)
+	// Close shuts down all endpoints.
+	Close()
+}
+
+// abortError wraps a cause into an ErrAborted-matching error, idempotently.
+func abortError(cause error) error {
+	if cause == nil {
+		return ErrAborted
+	}
+	if errors.Is(cause, ErrAborted) {
+		return cause
+	}
+	return fmt.Errorf("%w: %v", ErrAborted, cause)
 }
 
 type msgKey struct {
@@ -40,6 +97,7 @@ type mailbox struct {
 	cond   *sync.Cond
 	queues map[msgKey][][]byte
 	closed bool
+	abort  error // non-nil once the job aborted; sticky, first cause wins
 }
 
 func newMailbox() *mailbox {
@@ -48,15 +106,31 @@ func newMailbox() *mailbox {
 	return m
 }
 
-func (m *mailbox) put(from, tag int, data []byte) {
+func (m *mailbox) put(from, tag int, data []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.abort != nil {
+		return m.abort
+	}
+	if m.closed {
+		return fmt.Errorf("transport: send from %d tag %d: %w", from, tag, ErrClosed)
+	}
 	k := msgKey{from, tag}
 	m.queues[k] = append(m.queues[k], data)
 	m.cond.Broadcast()
+	return nil
 }
 
-func (m *mailbox) get(from, tag int) ([]byte, error) {
+// get pops the next (from, tag) message.  timeout > 0 bounds the wait:
+// sync.Cond cannot time out on its own, so each bounded wait arms a wakeup
+// tick (time.AfterFunc broadcasting at the deadline) and the wait loop
+// rechecks the clock after every wakeup.
+func (m *mailbox) get(from, tag int, timeout time.Duration) ([]byte, error) {
+	var deadline time.Time
+	var tick *time.Timer
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := msgKey{from, tag}
@@ -70,8 +144,20 @@ func (m *mailbox) get(from, tag int) ([]byte, error) {
 			}
 			return data, nil
 		}
+		if m.abort != nil {
+			return nil, m.abort
+		}
 		if m.closed {
-			return nil, fmt.Errorf("transport: recv from %d tag %d on closed endpoint", from, tag)
+			return nil, fmt.Errorf("transport: recv from %d tag %d: %w", from, tag, ErrClosed)
+		}
+		if timeout > 0 {
+			if !time.Now().Before(deadline) {
+				return nil, fmt.Errorf("transport: recv from %d tag %d after %v: %w", from, tag, timeout, ErrTimeout)
+			}
+			if tick == nil {
+				tick = time.AfterFunc(time.Until(deadline), m.cond.Broadcast)
+				defer tick.Stop()
+			}
 		}
 		m.cond.Wait()
 	}
@@ -81,6 +167,23 @@ func (m *mailbox) close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.closed = true
+	m.cond.Broadcast()
+}
+
+// abortedErr reports the sticky abort error, nil before any abort.
+func (m *mailbox) abortedErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.abort
+}
+
+// abortWith marks the mailbox aborted (sticky) and wakes all waiters.
+func (m *mailbox) abortWith(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.abort == nil {
+		m.abort = err
+	}
 	m.cond.Broadcast()
 }
 
@@ -110,6 +213,18 @@ func NewInproc(n int) *InprocNetwork {
 // Conn returns rank r's endpoint.
 func (n *InprocNetwork) Conn(r int) Conn { return n.conns[r] }
 
+// Size returns the number of ranks.
+func (n *InprocNetwork) Size() int { return len(n.boxes) }
+
+// Abort cancels the job: every pending receive on every rank unblocks
+// with an error wrapping ErrAborted.
+func (n *InprocNetwork) Abort(cause error) {
+	err := abortError(cause)
+	for _, b := range n.boxes {
+		b.abortWith(err)
+	}
+}
+
 // Close shuts down all endpoints.
 func (n *InprocNetwork) Close() {
 	for _, b := range n.boxes {
@@ -118,27 +233,35 @@ func (n *InprocNetwork) Close() {
 }
 
 type inprocConn struct {
-	net  *InprocNetwork
-	rank int
+	net         *InprocNetwork
+	rank        int
+	recvTimeout atomic.Int64 // default Recv deadline in nanoseconds
 }
 
 func (c *inprocConn) Rank() int { return c.rank }
 func (c *inprocConn) Size() int { return len(c.net.boxes) }
 
+func (c *inprocConn) SetRecvTimeout(d time.Duration) { c.recvTimeout.Store(int64(d)) }
+
 func (c *inprocConn) Send(to, tag int, data []byte) error {
 	if to < 0 || to >= len(c.net.boxes) {
 		return fmt.Errorf("transport: send to invalid rank %d (size %d)", to, c.Size())
 	}
-	c.net.boxes[to].put(c.rank, tag, data)
-	return nil
+	return c.net.boxes[to].put(c.rank, tag, data)
 }
 
 func (c *inprocConn) Recv(from, tag int) ([]byte, error) {
+	return c.RecvTimeout(from, tag, time.Duration(c.recvTimeout.Load()))
+}
+
+func (c *inprocConn) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error) {
 	if from < 0 || from >= len(c.net.boxes) {
 		return nil, fmt.Errorf("transport: recv from invalid rank %d (size %d)", from, c.Size())
 	}
-	return c.net.boxes[c.rank].get(from, tag)
+	return c.net.boxes[c.rank].get(from, tag, timeout)
 }
+
+func (c *inprocConn) Abort(cause error) { c.net.Abort(cause) }
 
 func (c *inprocConn) Close() error {
 	c.net.boxes[c.rank].close()
