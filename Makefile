@@ -16,7 +16,10 @@ test:
 	go test -timeout 120s ./...
 
 race:
-	go test -race -timeout 120s ./internal/interp/ ./internal/core/ ./internal/comm/ ./internal/transport/
+	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/comm/ ./internal/transport/
 
+# Go benchmarks plus the engine microbenchmark (vm vs interp over the
+# evaluation suite), whose JSON report is checked in per run date.
 bench:
 	go test -bench=. -benchmem
+	go run ./cmd/cuccbench -json BENCH_$(shell date +%F).json

@@ -303,6 +303,46 @@ func BenchmarkInterpreter(b *testing.B) {
 	}
 }
 
+// BenchmarkEngines compares the two IR execution engines on every
+// evaluation-suite program at reduced scale: 1 node, a single worker,
+// natives disabled, so the measured wall time is pure engine speed.  The
+// register-machine VM is required to beat the tree-walking interpreter by
+// >=3x at W=1; `make bench` captures the numbers in a BENCH_<date>.json.
+func BenchmarkEngines(b *testing.B) {
+	engines := []struct {
+		name string
+		eng  cluster.Engine
+	}{{"vm", cluster.EngineVM}, {"interp", cluster.EngineInterp}}
+	progs := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
+	for _, p := range progs {
+		for _, e := range engines {
+			b.Run(p.Name+"/"+e.name, func(b *testing.B) {
+				c, err := cluster.New(cluster.Config{Nodes: 1, Machine: machine.Intel6226(), Net: simnet.IB100()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				inst, err := p.Build(c, p.Small)
+				if err != nil {
+					b.Fatal(err)
+				}
+				inst.Spec.UseInterp = true
+				sess := core.NewSession(c, p.Compiled)
+				sess.Host.Workers = 1
+				sess.Host.Engine = e.eng
+				blocks := inst.Spec.Grid.Count()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Launch(inst.Spec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(blocks)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+			})
+		}
+	}
+}
+
 // BenchmarkAnalysis measures the compiler analysis over the whole coverage
 // suite (34 kernels).
 func BenchmarkAnalysis(b *testing.B) {

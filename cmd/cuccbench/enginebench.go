@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/machine"
+	"cucc/internal/simnet"
+	"cucc/internal/suites"
+)
+
+// engineBenchResult is one (program, engine) timing row of the -json report.
+type engineBenchResult struct {
+	Program      string  `json:"program"`
+	Kernel       string  `json:"kernel"`
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers"`
+	Blocks       int     `json:"blocks"`
+	Iters        int     `json:"iters"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+}
+
+type engineBenchSpeedup struct {
+	Program      string  `json:"program"`
+	VMOverInterp float64 `json:"vm_over_interp"`
+}
+
+type engineBenchReport struct {
+	Date     string               `json:"date"`
+	Workers  int                  `json:"workers"`
+	Results  []engineBenchResult  `json:"results"`
+	Speedups []engineBenchSpeedup `json:"speedups"`
+}
+
+// writeEngineBench times every evaluation-suite program at Small scale on a
+// 1-node cluster under both IR engines (register-machine vm and reference
+// interpreter) and writes a JSON report.  The IR path is forced with
+// UseInterp so the native backends don't mask engine cost.
+func writeEngineBench(path string, workers int) error {
+	if workers <= 0 {
+		// Engine cost is a per-worker property; W=1 isolates it from
+		// pool scheduling.
+		workers = 1
+	}
+	engines := []cluster.Engine{cluster.EngineVM, cluster.EngineInterp}
+	progs := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
+
+	rep := engineBenchReport{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Workers: workers,
+	}
+	for _, p := range progs {
+		perEngine := map[cluster.Engine]float64{}
+		for _, eng := range engines {
+			res, err := timeEngine(p, eng, workers)
+			if err != nil {
+				return fmt.Errorf("engine bench %s/%s: %w", p.Name, eng, err)
+			}
+			rep.Results = append(rep.Results, res)
+			perEngine[eng] = float64(res.NsPerOp)
+			fmt.Printf("  %-16s %-7s %12d ns/op  %12.0f blocks/s\n",
+				p.Name, eng, res.NsPerOp, res.BlocksPerSec)
+		}
+		rep.Speedups = append(rep.Speedups, engineBenchSpeedup{
+			Program:      p.Name,
+			VMOverInterp: perEngine[cluster.EngineInterp] / perEngine[cluster.EngineVM],
+		})
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote engine benchmark to %s\n", path)
+	return nil
+}
+
+// timeEngine runs one program repeatedly under one engine until the sample
+// is long enough to trust (>=3 iterations and >=200ms of kernel time).
+func timeEngine(p *suites.Program, eng cluster.Engine, workers int) (engineBenchResult, error) {
+	c, err := cluster.New(cluster.Config{Nodes: 1, Machine: machine.Intel6226(), Net: simnet.IB100()})
+	if err != nil {
+		return engineBenchResult{}, err
+	}
+	defer c.Close()
+	inst, err := p.Build(c, p.Small)
+	if err != nil {
+		return engineBenchResult{}, err
+	}
+	inst.Spec.UseInterp = true
+	sess := core.NewSession(c, p.Compiled)
+	sess.Host.Workers = workers
+	sess.Host.Engine = eng
+	blocks := inst.Spec.Grid.Count()
+
+	// Warm up (compiles and caches the vm program, touches all buffers).
+	if _, err := sess.Launch(inst.Spec); err != nil {
+		return engineBenchResult{}, err
+	}
+	const minIters = 3
+	const minDur = 200 * time.Millisecond
+	iters := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for iters < minIters || elapsed < minDur {
+		if _, err := sess.Launch(inst.Spec); err != nil {
+			return engineBenchResult{}, err
+		}
+		iters++
+		elapsed = time.Since(start)
+	}
+	ns := elapsed.Nanoseconds() / int64(iters)
+	return engineBenchResult{
+		Program:      p.Name,
+		Kernel:       p.Kernel,
+		Engine:       eng.String(),
+		Workers:      workers,
+		Blocks:       blocks,
+		Iters:        iters,
+		NsPerOp:      ns,
+		BlocksPerSec: float64(blocks) * float64(iters) / elapsed.Seconds(),
+	}, nil
+}

@@ -27,6 +27,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write per-figure CSV data files into this directory")
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for really-executed experiments (0 = all CPUs)")
 	recvTimeout := flag.Duration("recv-timeout", 2*time.Minute, "transport receive deadline for really-executed experiments; a hung rank fails the sweep instead of wedging it (0 = no deadline)")
+	engine := flag.String("engine", "vm", "IR execution engine for really-executed experiments: vm (register machine) or interp (reference interpreter)")
+	jsonOut := flag.String("json", "", "instead of figures, run the engine microbenchmark (vm vs interp over the evaluation suite) and write a JSON report to this file")
 	flag.Parse()
 
 	// Sessions and clusters are created deep inside the experiment
@@ -34,6 +36,20 @@ func main() {
 	// plumbing.
 	core.DefaultWorkers = *workers
 	cluster.DefaultRecvTimeout = *recvTimeout
+	eng, err := cluster.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	core.DefaultEngine = eng
+
+	if *jsonOut != "" {
+		if err := writeEngineBench(*jsonOut, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *csvDir != "" {
 		if err := experiments.WriteCSVs(*csvDir, suites.All()); err != nil {

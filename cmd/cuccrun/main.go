@@ -36,8 +36,16 @@ func main() {
 	list := flag.Bool("list", false, "list available programs")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (-real runs)")
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for -real execution (0 = all CPUs)")
+	engine := flag.String("engine", "vm", "IR execution engine for -real runs: vm (register machine) or interp (reference interpreter)")
 	recvTimeout := flag.Duration("recv-timeout", time.Minute, "transport receive deadline; a hung rank fails the run instead of deadlocking it (0 = no deadline)")
 	flag.Parse()
+
+	eng, err := cluster.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	core.DefaultEngine = eng
 
 	all := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
 	if *list {

@@ -51,6 +51,9 @@ type Config struct {
 	// panics past the cap, catching accidental paper-scale allocations
 	// that should have used virtual buffers and Estimate.
 	MaxBytesPerNode int
+	// Engine selects the IR execution engine for sessions on this cluster
+	// that do not set one themselves (EngineDefault = inherit).
+	Engine Engine
 	// RecvTimeout bounds every transport receive, so a rank that stops
 	// participating in a collective surfaces as ErrTimeout instead of a
 	// deadlock.  0 selects DefaultRecvTimeout; negative disables the
@@ -144,6 +147,9 @@ func (c *Cluster) Machine() machine.CPU { return c.cfg.Machine }
 
 // Net returns the interconnect model.
 func (c *Cluster) Net() simnet.Model { return c.cfg.Net }
+
+// Engine returns the cluster-level IR engine preference.
+func (c *Cluster) Engine() Engine { return c.cfg.Engine }
 
 // Node returns node r.
 func (c *Cluster) Node(r int) *Node { return c.nodes[r] }
@@ -354,6 +360,13 @@ func (m *NodeMem) buf(param int) Buffer {
 
 // Len implements interp.Memory.
 func (m *NodeMem) Len(param int) int { return m.buf(param).Count }
+
+// RawBytes implements interp.RawMemory: the node's backing bytes for one
+// bound buffer, aliasing the same storage the typed accessors use.
+func (m *NodeMem) RawBytes(param int) []byte {
+	b := m.buf(param)
+	return m.node.mem[b.Off : b.Off+b.Bytes()]
+}
 
 // AtomicShard implements interp.AtomicMemory: locks live on the node, so
 // every memory view of the same node shares them.

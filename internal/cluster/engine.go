@@ -1,0 +1,45 @@
+package cluster
+
+import "fmt"
+
+// Engine selects which IR execution engine the runtime uses for kernels
+// without a native implementation.  The register-machine VM (internal/vm)
+// is the production engine; the tree-walking interpreter (internal/interp)
+// is retained as the semantic oracle for differential testing.
+type Engine uint8
+
+const (
+	// EngineDefault defers the choice to the next configuration layer
+	// (session -> cluster -> process default -> EngineVM).
+	EngineDefault Engine = iota
+	// EngineVM runs kernels on the compile-once register machine.
+	EngineVM
+	// EngineInterp runs kernels on the reference tree-walking interpreter.
+	EngineInterp
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineVM:
+		return "vm"
+	case EngineInterp:
+		return "interp"
+	default:
+		return "default"
+	}
+}
+
+// ParseEngine parses a -engine flag value.  The empty string selects
+// EngineDefault.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "default":
+		return EngineDefault, nil
+	case "vm":
+		return EngineVM, nil
+	case "interp":
+		return EngineInterp, nil
+	default:
+		return EngineDefault, fmt.Errorf("cluster: unknown engine %q (want vm or interp)", s)
+	}
+}

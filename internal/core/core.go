@@ -152,6 +152,12 @@ type ExecConfig struct {
 	// block range over (the CuPBoP-style block-to-thread transform).
 	// 0 selects DefaultWorkers, then runtime.NumCPU().
 	Workers int
+	// Engine selects the IR execution engine for kernels without a native
+	// implementation.  EngineDefault falls through to the cluster's
+	// configured engine, then DefaultEngine, then EngineVM.  Both engines
+	// produce bitwise-identical memory and Work counters; the interpreter
+	// is kept as the differential-testing oracle.
+	Engine cluster.Engine
 }
 
 // DefaultWorkers is the process-wide default worker-pool width used when a
@@ -159,6 +165,11 @@ type ExecConfig struct {
 // (cuccrun/cuccbench -workers) set it so sessions created deep inside
 // experiment sweeps inherit the flag.
 var DefaultWorkers int
+
+// DefaultEngine is the process-wide default IR engine used when neither the
+// session nor the cluster picks one.  CLI tools set it from -engine;
+// unset, the runtime uses the register-machine VM.
+var DefaultEngine cluster.Engine
 
 // EffectiveWorkers resolves the configured width to a concrete worker
 // count (>= 1).
@@ -219,6 +230,24 @@ type Session struct {
 // NewSession builds a session with default execution config.
 func NewSession(c *cluster.Cluster, p *Program) *Session {
 	return &Session{Cluster: c, Prog: p, Exec: machine.DefaultConfig()}
+}
+
+// EffectiveEngine resolves the layered engine preference (session, then
+// cluster, then process default) to a concrete engine; the register-machine
+// VM when nothing is configured.
+func (s *Session) EffectiveEngine() cluster.Engine {
+	if s.Host.Engine != cluster.EngineDefault {
+		return s.Host.Engine
+	}
+	if s.Cluster != nil {
+		if e := s.Cluster.Engine(); e != cluster.EngineDefault {
+			return e
+		}
+	}
+	if DefaultEngine != cluster.EngineDefault {
+		return DefaultEngine
+	}
+	return cluster.EngineVM
 }
 
 // launchState carries the resolved launch context.

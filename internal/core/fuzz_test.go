@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"cucc/internal/analysis"
+	"cucc/internal/cluster"
 	"cucc/internal/interp"
 	"cucc/internal/kir"
 )
@@ -120,7 +121,9 @@ func TestFuzzAnalysisClassification(t *testing.T) {
 
 // TestFuzzDistributedEquivalence executes random kernels (distributable
 // and fallback alike) on multi-node clusters and checks the memory matches
-// a single-node run bit for bit, under both remainder strategies.
+// a single-node run bit for bit, under both remainder strategies and both
+// IR engines (the single-node interpreter run is the oracle for all of
+// them).
 func TestFuzzDistributedEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(777))
 	ran := 0
@@ -136,7 +139,7 @@ func TestFuzzDistributedEquivalence(t *testing.T) {
 		block := 32
 		n := grid*block - rng.Intn(block)
 		outLen := (g.interleave + 2) * grid * block
-		run := func(nodes int, strategy RemainderStrategy) []byte {
+		run := func(nodes int, strategy RemainderStrategy, eng cluster.Engine) []byte {
 			c := newCluster(t, nodes)
 			out := c.Alloc(kir.F32, outLen)
 			idx := c.Alloc(kir.I32, grid*block)
@@ -147,6 +150,7 @@ func TestFuzzDistributedEquivalence(t *testing.T) {
 			c.WriteAllI32(idx, ids)
 			sess := NewSession(c, prog)
 			sess.Verify = true
+			sess.Host.Engine = eng
 			if _, err := sess.Launch(LaunchSpec{
 				Kernel:    "fuzzed",
 				Grid:      interp.Dim1(grid),
@@ -154,17 +158,23 @@ func TestFuzzDistributedEquivalence(t *testing.T) {
 				Args:      []Arg{BufArg(out), BufArg(idx), IntArg(int64(n)), IntArg(3)},
 				Remainder: strategy,
 			}); err != nil {
-				t.Fatalf("kernel %d (nodes=%d): %v\n%s", i, nodes, err, g.src)
+				t.Fatalf("kernel %d (nodes=%d, engine=%s): %v\n%s", i, nodes, eng, err, g.src)
 			}
 			snap := make([]byte, out.Bytes())
 			copy(snap, c.Region(0, out))
 			return snap
 		}
-		ref := run(1, RemainderCallback)
+		engines := []cluster.Engine{cluster.EngineInterp, cluster.EngineVM}
+		ref := run(1, RemainderCallback, cluster.EngineInterp)
+		if got := run(1, RemainderCallback, cluster.EngineVM); !bytes.Equal(got, ref) {
+			t.Fatalf("kernel %d: single-node vm differs from interpreter\n%s", i, g.src)
+		}
 		for _, nodes := range []int{2, 5} {
 			for _, strat := range []RemainderStrategy{RemainderCallback, RemainderImbalanced} {
-				if got := run(nodes, strat); !bytes.Equal(got, ref) {
-					t.Fatalf("kernel %d: nodes=%d strategy=%d differs from single-node\n%s", i, nodes, strat, g.src)
+				eng := engines[(i+nodes)%2]
+				if got := run(nodes, strat, eng); !bytes.Equal(got, ref) {
+					t.Fatalf("kernel %d: nodes=%d strategy=%d engine=%s differs from single-node\n%s",
+						i, nodes, strat, eng, g.src)
 				}
 			}
 		}

@@ -15,7 +15,15 @@ import (
 	"cucc/internal/kir"
 	"cucc/internal/machine"
 	"cucc/internal/transport"
+	"cucc/internal/vm"
 )
+
+// blockRunner is the executor seam shared by both IR engines: a compiled
+// (or prepared) kernel bound to one node's memory, executing one block per
+// call with worker-private scratch.
+type blockRunner interface {
+	ExecBlock(bx, by int) (interp.Work, error)
+}
 
 // Launch executes one kernel on the cluster using the three-phase workflow
 // when the kernel is Allgather distributable, and trivial replicated
@@ -330,32 +338,49 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 	mem := s.Cluster.Mem(rank, st.binds)
 	gdx := st.spec.Grid.X
 
-	// exec runs one linearized block and returns its cost-model work.
-	var exec func(l int) (machine.BlockWork, error)
+	// mkExec builds one per-worker block executor.  The IR path allocates
+	// worker-private runner state (launch validation, rounded scalar args,
+	// shared-memory arenas, VM register files) once here instead of once
+	// per block, so each pool worker must call it for its own executor.
+	var mkExec func() (func(l int) (machine.BlockWork, error), error)
 	if st.native != nil {
 		perBlock := st.native.BlockWork(st.argVals, st.spec.Grid, st.spec.Block)
-		exec = func(l int) (machine.BlockWork, error) {
+		exec := func(l int) (machine.BlockWork, error) {
 			bx, by := l%gdx, l/gdx
 			if err := st.native.RunBlock(mem, st.argVals, st.spec.Grid, st.spec.Block, bx, by); err != nil {
 				return machine.BlockWork{}, fmt.Errorf("kernel %s block (%d,%d): %w", st.kernel.Name, bx, by, err)
 			}
 			return perBlock, nil
 		}
+		mkExec = func() (func(l int) (machine.BlockWork, error), error) { return exec, nil }
 	} else {
-		l := &interp.Launch{
-			Kernel: st.kernel,
-			Grid:   st.spec.Grid,
-			Block:  st.spec.Block,
-			Args:   st.argVals,
-			Mem:    mem,
-		}
-		exec = func(li int) (machine.BlockWork, error) {
-			bx, by := li%gdx, li/gdx
-			w, err := interp.ExecBlock(l, bx, by)
-			if err != nil {
-				return machine.BlockWork{}, err
+		engine := s.EffectiveEngine()
+		mkExec = func() (func(l int) (machine.BlockWork, error), error) {
+			l := &interp.Launch{
+				Kernel: st.kernel,
+				Grid:   st.spec.Grid,
+				Block:  st.spec.Block,
+				Args:   st.argVals,
+				Mem:    mem,
 			}
-			return interpToBlockWork(w, st.spec.SIMDFraction), nil
+			var r blockRunner
+			var err error
+			if engine == cluster.EngineInterp {
+				r, err = interp.NewRunner(l)
+			} else {
+				r, err = vm.NewRunner(l)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return func(li int) (machine.BlockWork, error) {
+				bx, by := li%gdx, li/gdx
+				w, err := r.ExecBlock(bx, by)
+				if err != nil {
+					return machine.BlockWork{}, err
+				}
+				return interpToBlockWork(w, st.spec.SIMDFraction), nil
+			}, nil
 		}
 	}
 
@@ -367,6 +392,10 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 	works := make([]machine.BlockWork, n)
 	if workers == 1 {
 		// Fast path: no goroutine or scheduling overhead.
+		exec, err := mkExec()
+		if err != nil {
+			return machine.BlockWork{}, counts, err
+		}
 		for l := 0; l < n; l++ {
 			w, err := exec(lo + l)
 			if err != nil {
@@ -384,6 +413,12 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 			wg.Add(1)
 			go func(wk int) {
 				defer wg.Done()
+				exec, err := mkExec()
+				if err != nil {
+					errs[wk] = err
+					atomic.StoreInt32(&failed, 1)
+					return
+				}
 				for atomic.LoadInt32(&failed) == 0 {
 					l := int(atomic.AddInt64(&next, 1)) - 1
 					if l >= n {

@@ -98,6 +98,9 @@ func (h *HostMem) buf(param int) *HostBuffer {
 // Len implements Memory.
 func (h *HostMem) Len(param int) int { return h.buf(param).Count() }
 
+// RawBytes implements RawMemory.
+func (h *HostMem) RawBytes(param int) []byte { return h.buf(param).Data }
+
 // AtomicShard implements AtomicMemory.
 func (h *HostMem) AtomicShard(param, idx int) *sync.Mutex {
 	return h.atomics.Shard(param, idx)

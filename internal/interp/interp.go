@@ -67,6 +67,15 @@ type Memory interface {
 	Len(param int) int
 }
 
+// RawMemory is an optional fast path on Memory: implementations that can
+// expose a pointer parameter's raw little-endian backing bytes let engines
+// (internal/vm) access buffers directly instead of paying an interface
+// dispatch per element.  The slice must alias the same storage the typed
+// accessors read and write.
+type RawMemory interface {
+	RawBytes(param int) []byte
+}
+
 // Work accumulates the dynamic work of executed blocks.  Byte counts cover
 // global memory only; shared-memory traffic is tracked separately because it
 // stays on-node after migration.
@@ -114,23 +123,66 @@ var intrinsicFlops = map[kir.Intrinsic]int64{
 	kir.Tanh: 10, kir.MinI: 1, kir.MaxI: 1, kir.AbsI: 1,
 }
 
+// IntrinsicFlops returns the modeled flop cost of a math intrinsic.  It is
+// the shared accounting table for every execution engine: internal/vm bakes
+// these charges into its compiled programs so its Work counters stay
+// bit-identical to the interpreter's.
+func IntrinsicFlops(fn kir.Intrinsic) int64 { return intrinsicFlops[fn] }
+
+// Runner executes the blocks of one launch.  Launch validation, shared-array
+// allocation, and float32 rounding of scalar arguments happen once in
+// NewRunner instead of once per block; the scratch (local-variable slots and
+// shared arrays) is reused across the blocks the runner executes.
+//
+// A Runner is not safe for concurrent use: the intra-node worker pool gives
+// each worker its own Runner over the shared Launch.
+type Runner struct {
+	blk     blockCtx
+	hasSync bool
+	seq     threadCtx // sequential-path thread state, reused across blocks
+}
+
+// NewRunner validates the launch and builds a block runner for it.
+func NewRunner(l *Launch) (*Runner, error) {
+	if err := checkLaunch(l); err != nil {
+		return nil, err
+	}
+	r := &Runner{hasSync: l.Kernel.HasSync()}
+	r.blk.launch = l
+	r.blk.shared = allocShared(l.Kernel)
+	r.blk.args = roundArgs(l)
+	r.blk.atomicMem, _ = l.Mem.(AtomicMemory)
+	r.seq.blk = &r.blk
+	r.seq.slots = make([]Value, l.Kernel.NumSlots)
+	return r, nil
+}
+
 // ExecBlock executes one GPU block (bx, by) of the launch.  The returned
 // Work covers every thread of the block.
+func (r *Runner) ExecBlock(bx, by int) (Work, error) {
+	b := &r.blk
+	b.bx, b.by = bx, by
+	b.work = Work{}
+	for _, arr := range b.shared {
+		clear(arr)
+	}
+	if r.hasSync {
+		return b.runPhased()
+	}
+	return b.runSequential(&r.seq)
+}
+
+// ExecBlock executes one GPU block (bx, by) of the launch.  It is the
+// one-shot form of NewRunner + Runner.ExecBlock, kept for callers that
+// execute isolated blocks (the PGAS baseline, reference grids); block-range
+// executors should hold a Runner so validation and scratch allocation are
+// paid once per launch.
 func ExecBlock(l *Launch, bx, by int) (Work, error) {
-	if err := checkLaunch(l); err != nil {
+	r, err := NewRunner(l)
+	if err != nil {
 		return Work{}, err
 	}
-	blk := &blockCtx{
-		launch: l,
-		bx:     bx,
-		by:     by,
-		shared: allocShared(l.Kernel),
-	}
-	blk.atomicMem, _ = l.Mem.(AtomicMemory)
-	if l.Kernel.HasSync() {
-		return blk.runPhased()
-	}
-	return blk.runSequential()
+	return r.ExecBlock(bx, by)
 }
 
 func checkLaunch(l *Launch) error {
@@ -163,7 +215,11 @@ type blockCtx struct {
 	launch *Launch
 	bx, by int
 	shared map[string][]Value
-	work   Work
+	// args holds the scalar arguments with CUDA float parameters already
+	// rounded to single precision, computed once per launch (threads copy
+	// from it instead of re-rounding).
+	args []Value
+	work Work
 	// atomicMem is the launch memory's sharded atomic locking capability
 	// (nil when the backend does not provide one).  Global-memory atomics
 	// go through it so blocks executing concurrently on the same memory
@@ -196,36 +252,36 @@ const (
 
 func (b *blockCtx) newThread(tx, ty int) *threadCtx {
 	t := &threadCtx{blk: b, tx: tx, ty: ty, slots: make([]Value, b.launch.Kernel.NumSlots)}
-	initParamSlots(b.launch, t.slots)
+	copy(t.slots, b.args)
 	return t
 }
 
-// initParamSlots copies scalar arguments into the parameter slots, rounding
-// CUDA float parameters to single precision so interpreted arithmetic
-// matches the float32 native backends.
-func initParamSlots(l *Launch, slots []Value) {
-	copy(slots, l.Args[:len(l.Kernel.Params)])
+// roundArgs copies the scalar arguments, rounding CUDA float parameters to
+// single precision so interpreted arithmetic matches the float32 native
+// backends.  Computed once per launch; thread startup copies the result.
+func roundArgs(l *Launch) []Value {
+	args := make([]Value, len(l.Kernel.Params))
+	copy(args, l.Args[:len(l.Kernel.Params)])
 	for i, p := range l.Kernel.Params {
 		if !p.Pointer && p.Elem == kir.F32 {
-			slots[i].F = float64(float32(slots[i].F))
+			args[i].F = float64(float32(args[i].F))
 		}
 	}
+	return args
 }
 
 // runSequential executes all threads one after another (valid when the
-// kernel has no __syncthreads).
-func (b *blockCtx) runSequential() (Work, error) {
+// kernel has no __syncthreads), reusing t's slot storage across threads.
+func (b *blockCtx) runSequential(t *threadCtx) (Work, error) {
 	l := b.launch
-	t := &threadCtx{blk: b, slots: make([]Value, l.Kernel.NumSlots)}
+	t.work = Work{}
 	ydim := max(l.Block.Y, 1)
 	for ty := 0; ty < ydim; ty++ {
 		for tx := 0; tx < l.Block.X; tx++ {
 			t.tx, t.ty = tx, ty
 			t.iters = 0
-			for i := range t.slots {
-				t.slots[i] = Value{}
-			}
-			initParamSlots(l, t.slots)
+			clear(t.slots)
+			copy(t.slots, b.args)
 			if _, err := t.execBlock(l.Kernel.Body); err != nil {
 				return b.work, err
 			}

@@ -1,0 +1,211 @@
+// Package vm executes kernel IR through a compile-once register machine.
+//
+// Where internal/interp walks the kir.Expr/kir.Stmt trees with an interface
+// dispatch and an (Value, error) return per node, this package lowers a
+// kernel once into a flat instruction slice over two preallocated register
+// files (int64 and float64, mirroring the two fields of interp.Value) and
+// then dispatches it in a tight loop.  Structured control flow becomes
+// jumps; literals become registers preloaded from a constant pool; barrier
+// kernels run as cooperatively scheduled threads that suspend at opSync
+// instead of one goroutine per GPU thread.
+//
+// The interpreter remains the semantic oracle: for every kernel the VM must
+// produce bitwise-identical memory, identical Work counters, and the same
+// error behaviour.  Where the interpreter has a quirk (e.g. the float view
+// of an integer-typed operand is the Value's zero F field), the compiler
+// reproduces it exactly; diff_test.go enforces the equivalence on random
+// kernels.
+package vm
+
+import (
+	"sync"
+
+	"cucc/internal/kir"
+)
+
+// op enumerates the register-machine opcodes.  Work accounting is baked
+// into dispatch: every opcode charges exactly what the interpreter charges
+// for the corresponding tree node.
+type op uint8
+
+const (
+	opNop op = iota
+
+	// Control flow.  Jump targets are absolute instruction indices in imm.
+	opJmp  // pc = imm
+	opJzI  // if ri[a] == 0: pc = imm
+	opJnzI // if ri[a] != 0: pc = imm
+	opJzF  // if rf[a] == 0: pc = imm
+	opJnzF // if rf[a] != 0: pc = imm
+	opTick // charge one loop iteration against the thread budget
+	opSync // __syncthreads: suspend the thread until the barrier round ends
+	opRet  // thread is done
+	opErr  // fail with Program.errs[imm] (lowered from interp runtime errors)
+
+	// Moves (no work charged).
+	opMovI // ri[d] = ri[a]
+	opMovF // rf[d] = rf[a]
+
+	// Logical / cast helpers (no work charged, matching the interpreter).
+	opNotI   // ri[d] = bool(ri[a] == 0)
+	opNotF   // ri[d] = bool(rf[a] == 0)
+	opCastIF // rf[d] = float64(float32(ri[a]))
+	opCastFI // ri[d] = int64(rf[a])
+	opCastU8 // ri[d] = int64(byte(ri[a]))
+
+	// Integer ALU (IntOps++ each).
+	opNegI
+	opAddI
+	opSubI
+	opMulI
+	opDivI // errors on zero divisor
+	opRemI // errors on zero divisor
+	opAndI
+	opOrI
+	opXorI
+	opShlI // ri[a] << uint(ri[b]), Go over-shift semantics
+	opShrI
+	opLtI
+	opLeI
+	opGtI
+	opGeI
+	opEqI
+	opNeI
+
+	// Float ALU (Flops++ each; arithmetic rounds through float32 like the
+	// interpreter; comparisons write 0/1 into an int register).
+	opNegF
+	opAddF
+	opSubF
+	opMulF
+	opDivF
+	opLtF
+	opLeF
+	opGtF
+	opGeF
+	opEqF
+	opNeF
+
+	// Math intrinsics: rf[d] = f32(fn(rf[a][, rf[b]])) or integer forms;
+	// imm carries the modeled flop charge (interp.IntrinsicFlops).
+	opSqrt
+	opExp
+	opLog
+	opFabs
+	opFmin
+	opFmax
+	opPow
+	opSin
+	opCos
+	opTanh
+	opMinI
+	opMaxI
+	opAbsI
+
+	// Global memory: a = index register, b = parameter index.  Loads are
+	// typed by the Load node's type; stores by the parameter element type.
+	opLdGF  // rf[d] = Mem.LoadF32(b, ri[a]);  GlobalLoadBytes += 4
+	opLdGI  // ri[d] = Mem.LoadI32(b, ri[a]);  GlobalLoadBytes += 4
+	opLdGU8 // ri[d] = Mem.LoadU8(b, ri[a]);   GlobalLoadBytes += 1
+	opStGF  // Mem.StoreF32(b, ri[a], f32(rf[d])); GlobalStoreBytes += 4
+	opStGI  // Mem.StoreI32(b, ri[a], i32(ri[d])); GlobalStoreBytes += 4
+	opStGU8 // Mem.StoreU8(b, ri[a], byte(ri[d])); GlobalStoreBytes += 1
+
+	// Shared memory.  Shared cells mirror interp.Value pairs, so each array
+	// occupies the same [base, base+n) span in both arenas.  Loads: a =
+	// index, b = array id, imm = bytes to charge (the Load node's type size;
+	// the second load of a pair charges 0).  Store writes both fields: a =
+	// index, d = int value, b = float value, imm = array id.
+	opLdSI
+	opLdSF
+	opStS
+
+	// Atomic read-modify-write: a = index register, d = int value register,
+	// b = float value register, imm = parameter index (global) or array id
+	// (shared).  The element type comes from the parameter / array metadata.
+	opAtGAdd
+	opAtGMax
+	opAtSAdd
+	opAtSMax
+)
+
+// instr is one register-machine instruction.
+type instr struct {
+	op      op
+	d, a, b uint16
+	imm     int32
+}
+
+// Reserved integer registers 0..7 hold the CUDA special registers; a
+// BuiltinRef compiles to a direct register read (reg = 2*Builtin + Axis).
+const (
+	regTx = iota
+	regTy
+	regBx
+	regBy
+	regBdx
+	regBdy
+	regGdx
+	regGdy
+	numReservedI
+)
+
+// sharedMeta places one __shared__ array inside the shared arenas.
+type sharedMeta struct {
+	name    string
+	elem    kir.ScalarType
+	base, n int
+}
+
+// CompiledKernel is a kernel lowered to a register-machine program.  It is
+// immutable after Compile and safe to share across Runners and goroutines.
+//
+// Integer register layout: [0,8) CUDA builtins, [8, 8+NumSlots) variable
+// slots, then the int constant pool, then per-statement temporaries.  Float
+// registers: [0, NumSlots) variable slots, constants, temporaries.  A
+// variable slot spans one register in each file, mirroring interp.Value's
+// {I, F} pair, so the VM reproduces the interpreter's union semantics (the
+// inactive field of a value reads as zero) exactly.
+type CompiledKernel struct {
+	Kernel *kir.Kernel
+
+	code []instr
+	errs []string // opErr messages
+
+	constI []int64   // int constant pool, loaded at register ciBase
+	constF []float64 // float constant pool, loaded at register cfBase
+	ciBase int
+	cfBase int
+
+	numI, numF int // register file sizes
+
+	shared    []sharedMeta
+	sharedLen int // total elements across all shared arrays
+
+	hasSync bool
+}
+
+// NumInstructions returns the length of the compiled instruction stream.
+func (p *CompiledKernel) NumInstructions() int { return len(p.code) }
+
+// HasSync reports whether the program contains a __syncthreads barrier (and
+// therefore runs on the cooperative phased scheduler).
+func (p *CompiledKernel) HasSync() bool { return p.hasSync }
+
+// cache memoizes compilation per kernel identity: every launch of a kernel
+// across workers, nodes, and sessions reuses one program.
+var cache sync.Map // *kir.Kernel -> *CompiledKernel
+
+// CompileCached returns the compiled program for k, compiling at most once
+// per kernel identity for the life of the process.
+func CompileCached(k *kir.Kernel) (*CompiledKernel, error) {
+	if v, ok := cache.Load(k); ok {
+		return v.(*CompiledKernel), nil
+	}
+	p, err := Compile(k)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := cache.LoadOrStore(k, p)
+	return v.(*CompiledKernel), nil
+}
