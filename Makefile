@@ -16,10 +16,11 @@ test:
 	go test -timeout 120s ./...
 
 race:
-	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/comm/ ./internal/transport/
+	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/comm/ ./internal/transport/ ./internal/metrics/
 
 # Go benchmarks plus the engine microbenchmark (vm vs interp over the
-# evaluation suite), whose JSON report is checked in per run date.
+# evaluation suite), whose JSON report is checked in per run date,
+# alongside the metrics-registry snapshot of the same sweep.
 bench:
 	go test -bench=. -benchmem
-	go run ./cmd/cuccbench -json BENCH_$(shell date +%F).json
+	go run ./cmd/cuccbench -json BENCH_$(shell date +%F).json -metrics-out BENCH_$(shell date +%F).metrics.json

@@ -18,6 +18,7 @@ import (
 	"cucc/internal/core"
 	"cucc/internal/experiments"
 	"cucc/internal/machine"
+	"cucc/internal/metrics"
 	"cucc/internal/suites"
 )
 
@@ -29,6 +30,7 @@ func main() {
 	recvTimeout := flag.Duration("recv-timeout", 2*time.Minute, "transport receive deadline for really-executed experiments; a hung rank fails the sweep instead of wedging it (0 = no deadline)")
 	engine := flag.String("engine", "vm", "IR execution engine for really-executed experiments: vm (register machine) or interp (reference interpreter)")
 	jsonOut := flag.String("json", "", "instead of figures, run the engine microbenchmark (vm vs interp over the evaluation suite) and write a JSON report to this file")
+	metricsOut := flag.String("metrics-out", "", "enable the metrics registry for the whole run and write its JSON snapshot to this file")
 	flag.Parse()
 
 	// Sessions and clusters are created deep inside the experiment
@@ -42,6 +44,23 @@ func main() {
 		os.Exit(2)
 	}
 	core.DefaultEngine = eng
+	if *metricsOut != "" {
+		// Same mechanism: clusters built inside the sweeps inherit the
+		// process default registry.
+		reg := metrics.New()
+		metrics.SetDefault(reg)
+		defer func() {
+			data, err := reg.Snapshot().JSON()
+			if err == nil {
+				err = os.WriteFile(*metricsOut, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+		}()
+	}
 
 	if *jsonOut != "" {
 		if err := writeEngineBench(*jsonOut, *workers); err != nil {

@@ -20,6 +20,7 @@ import (
 	"cucc/internal/cluster"
 	"cucc/internal/core"
 	"cucc/internal/machine"
+	"cucc/internal/metrics"
 	"cucc/internal/pgas"
 	"cucc/internal/simnet"
 	"cucc/internal/suites"
@@ -38,6 +39,9 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for -real execution (0 = all CPUs)")
 	engine := flag.String("engine", "vm", "IR execution engine for -real runs: vm (register machine) or interp (reference interpreter)")
 	recvTimeout := flag.Duration("recv-timeout", time.Minute, "transport receive deadline; a hung rank fails the run instead of deadlocking it (0 = no deadline)")
+	showMetrics := flag.Bool("metrics", false, "enable the metrics registry and print its table after the run")
+	metricsOut := flag.String("metrics-out", "", "enable the metrics registry and write its JSON snapshot to this file")
+	metricsHTTP := flag.String("metrics-http", "", "serve /metrics and /debug/vars on this address (e.g. localhost:8090) for the duration of the run")
 	flag.Parse()
 
 	eng, err := cluster.ParseEngine(*engine)
@@ -46,6 +50,39 @@ func main() {
 		os.Exit(2)
 	}
 	core.DefaultEngine = eng
+
+	// Any metrics flag enables the process-wide registry; clusters and
+	// sessions pick it up via metrics.Default().
+	var reg *metrics.Registry
+	if *showMetrics || *metricsOut != "" || *metricsHTTP != "" {
+		reg = metrics.New()
+		metrics.SetDefault(reg)
+		defer func() {
+			if *showMetrics {
+				fmt.Print(reg.Snapshot().Table())
+			}
+			if *metricsOut != "" {
+				data, err := reg.Snapshot().JSON()
+				if err == nil {
+					err = os.WriteFile(*metricsOut, append(data, '\n'), 0o644)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+			}
+		}()
+	}
+	if *metricsHTTP != "" {
+		addr, stop, err := metrics.Serve(*metricsHTTP, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("metrics served on http://%s/metrics\n", addr)
+	}
 
 	all := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
 	if *list {

@@ -22,6 +22,7 @@ import (
 	"cucc/internal/interp"
 	"cucc/internal/kir"
 	"cucc/internal/machine"
+	"cucc/internal/metrics"
 	"cucc/internal/simnet"
 	"cucc/internal/transport"
 )
@@ -62,6 +63,14 @@ type Config struct {
 	// Fault, when non-nil, wraps the transport in the fault-injecting
 	// decorator (transport.Faulty) for chaos testing.
 	Fault *transport.FaultConfig
+	// Metrics, when non-nil, attaches the observability registry: the
+	// transport is wrapped in the metered decorator (outermost, above fault
+	// injection, so it observes exactly the operations the comm layer
+	// performs), the comm collectives record per-op counters into it, and
+	// cluster-level gauges (node count, heap bytes, injected-fault totals)
+	// are registered.  Nil falls back to metrics.Default(); when that is
+	// also nil, metrics are fully disabled and the transport is unwrapped.
+	Metrics *metrics.Registry
 }
 
 // DefaultRecvTimeout is the process-wide default receive deadline applied
@@ -75,6 +84,8 @@ type Cluster struct {
 	cfg     Config
 	nodes   []*Node
 	network transport.Network
+	faulty  *transport.FaultyNetwork // the fault layer, when configured
+	metrics *metrics.Registry
 	heapEnd int
 }
 
@@ -121,7 +132,17 @@ func New(cfg Config) (*Cluster, error) {
 		c.network = transport.NewInproc(cfg.Nodes)
 	}
 	if cfg.Fault != nil {
-		c.network = transport.NewFaulty(c.network, *cfg.Fault)
+		c.faulty = transport.NewFaulty(c.network, *cfg.Fault)
+		c.network = c.faulty
+	}
+	c.metrics = cfg.Metrics
+	if c.metrics == nil {
+		c.metrics = metrics.Default()
+	}
+	if c.metrics != nil {
+		// Outermost, so the meter sees the same operations comm performs.
+		c.network = transport.NewMetered(c.network, c.metrics)
+		c.registerGauges()
 	}
 	if to := cfg.RecvTimeout; to != 0 || DefaultRecvTimeout != 0 {
 		if to == 0 {
@@ -166,11 +187,31 @@ func (c *Cluster) Abort(cause error) { c.network.Abort(cause) }
 // Faults reports the injected-fault counters when the cluster was built
 // with Config.Fault (nil otherwise).
 func (c *Cluster) Faults() *transport.FaultStats {
-	if f, ok := c.network.(*transport.FaultyNetwork); ok {
-		st := f.Stats()
+	if c.faulty != nil {
+		st := c.faulty.Stats()
 		return &st
 	}
 	return nil
+}
+
+// Metrics returns the registry the cluster reports into (nil when metrics
+// are disabled).
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
+
+// registerGauges attaches cluster-level gauge functions: topology, heap
+// usage, and — under fault injection — the injected-fault totals by kind.
+func (c *Cluster) registerGauges() {
+	r := c.metrics
+	r.GaugeFunc("cluster.nodes", func() float64 { return float64(c.cfg.Nodes) })
+	r.GaugeFunc("cluster.heap_bytes_per_node", func() float64 { return float64(c.heapEnd) })
+	if c.faulty != nil {
+		r.GaugeFunc("transport.fault.drops", func() float64 { return float64(c.faulty.Stats().Drops) })
+		r.GaugeFunc("transport.fault.delays", func() float64 { return float64(c.faulty.Stats().Delays) })
+		r.GaugeFunc("transport.fault.duplicates", func() float64 { return float64(c.faulty.Stats().Duplicates) })
+		r.GaugeFunc("transport.fault.corruptions", func() float64 { return float64(c.faulty.Stats().Corruptions) })
+		r.GaugeFunc("transport.fault.send_failures", func() float64 { return float64(c.faulty.Stats().SendFailures) })
+		r.GaugeFunc("transport.fault.retries", func() float64 { return float64(c.faulty.Stats().Retries) })
+	}
 }
 
 // Close releases the cluster's transport.

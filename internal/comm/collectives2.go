@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"cucc/internal/transport"
 )
@@ -21,9 +22,9 @@ const (
 
 // Scatter splits root's data into Size() equal chunks and delivers chunk r
 // to rank r; returns this rank's chunk.
-func Scatter(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
+func Scatter(c transport.Conn, root int, data []byte) (chunkOut []byte, st Stats, err error) {
+	defer record(c, &opScatter, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	if c.Rank() == root {
 		if len(data)%n != 0 {
 			return nil, st, fmt.Errorf("comm: scatter payload %d not divisible by %d ranks", len(data), n)
@@ -56,9 +57,9 @@ func Scatter(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
 // Alltoall sends chunk r of this rank's buffer to rank r and returns the
 // received buffer (chunk r from rank r): the personalized exchange used by
 // redistribution strategies (e.g. distributed transpose).
-func Alltoall(c transport.Conn, data []byte) ([]byte, Stats, error) {
+func Alltoall(c transport.Conn, data []byte) (res []byte, st Stats, err error) {
+	defer record(c, &opAlltoall, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	if len(data)%n != 0 {
 		return nil, st, fmt.Errorf("comm: alltoall payload %d not divisible by %d ranks", len(data), n)
 	}
@@ -92,16 +93,20 @@ func Alltoall(c transport.Conn, data []byte) ([]byte, Stats, error) {
 
 // GatherBytes collects every rank's (equal-length) buffer at root, in rank
 // order; nil on non-roots.
-func GatherBytes(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
+func GatherBytes(c transport.Conn, root int, data []byte) (gathered []byte, st Stats, err error) {
+	defer record(c, &opGatherBytes, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	if c.Rank() != root {
 		out := make([]byte, len(data))
 		copy(out, data)
-		err := c.Send(root, tagGather, out)
+		// As in GatherF64: a failed send is not traffic, so count only after
+		// the transport accepted it.
+		if err := c.Send(root, tagGather, out); err != nil {
+			return nil, st, err
+		}
 		st.Msgs++
 		st.BytesSent += int64(len(data))
-		return nil, st, err
+		return nil, st, nil
 	}
 	out := make([]byte, n*len(data))
 	copy(out[root*len(data):], data)
@@ -125,9 +130,9 @@ func GatherBytes(c transport.Conn, root int, data []byte) ([]byte, Stats, error)
 // ReduceScatterSumF32 element-wise sums every rank's float32 vector and
 // scatters the result: rank r receives elements [r*len/n, (r+1)*len/n).
 // Implemented with the ring algorithm (n-1 steps, each reducing one chunk).
-func ReduceScatterSumF32(c transport.Conn, data []float32) ([]float32, Stats, error) {
+func ReduceScatterSumF32(c transport.Conn, data []float32) (res []float32, st Stats, err error) {
+	defer record(c, &opReduceScatter, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	if len(data)%n != 0 {
 		return nil, st, fmt.Errorf("comm: reduce-scatter length %d not divisible by %d ranks", len(data), n)
 	}

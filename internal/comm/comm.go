@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"cucc/internal/transport"
 )
@@ -51,22 +52,36 @@ func (s *Stats) recvd(data []byte) {
 	s.BytesRecvd += int64(len(data))
 }
 
-// Send is a tracked point-to-point send.
-func Send(c transport.Conn, to int, data []byte) (Stats, error) {
-	err := c.Send(to, tagP2P, data)
-	return Stats{Msgs: 1, BytesSent: int64(len(data))}, err
+// Send is a tracked point-to-point send.  A failed send counts nothing:
+// only messages the transport accepted appear in Stats.
+func Send(c transport.Conn, to int, data []byte) (st Stats, err error) {
+	defer record(c, &opP2PSend, time.Now(), &st, &err)
+	if err = c.Send(to, tagP2P, data); err != nil {
+		return st, err
+	}
+	st.Msgs = 1
+	st.BytesSent = int64(len(data))
+	return st, nil
 }
 
 // Recv is the matching point-to-point receive.
 func Recv(c transport.Conn, from int) ([]byte, error) {
-	return c.Recv(from, tagP2P)
+	var st Stats
+	var err error
+	defer record(c, &opP2PRecv, time.Now(), &st, &err)
+	var data []byte
+	data, err = c.Recv(from, tagP2P)
+	if err == nil {
+		st.recvd(data)
+	}
+	return data, err
 }
 
 // Barrier is a dissemination barrier: ceil(log2 N) rounds, each rank
 // signaling rank (r + 2^k) mod N.
-func Barrier(c transport.Conn) (Stats, error) {
+func Barrier(c transport.Conn) (st Stats, err error) {
+	defer record(c, &opBarrier, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	for dist := 1; dist < n; dist *= 2 {
 		to := (c.Rank() + dist) % n
 		from := (c.Rank() - dist + n) % n
@@ -84,9 +99,9 @@ func Barrier(c transport.Conn) (Stats, error) {
 
 // Bcast distributes root's data to every rank along a binomial tree and
 // returns the received copy.
-func Bcast(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
+func Bcast(c transport.Conn, root int, data []byte) (out []byte, st Stats, err error) {
+	defer record(c, &opBcast, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	if n == 1 {
 		return data, st, nil
 	}
@@ -126,9 +141,9 @@ func Bcast(c transport.Conn, root int, data []byte) ([]byte, Stats, error) {
 // AllgatherRing performs the balanced in-place ring Allgather: buf holds
 // Size() equal chunks of chunkBytes; on entry each rank's own chunk
 // (index Rank()) is valid; on exit all chunks are valid on every rank.
-func AllgatherRing(c transport.Conn, buf []byte, chunkBytes int) (Stats, error) {
+func AllgatherRing(c transport.Conn, buf []byte, chunkBytes int) (st Stats, err error) {
+	defer record(c, &opRing, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	if chunkBytes == 0 || n == 1 {
 		return st, nil
 	}
@@ -138,10 +153,15 @@ func AllgatherRing(c transport.Conn, buf []byte, chunkBytes int) (Stats, error) 
 	r := c.Rank()
 	right := (r + 1) % n
 	left := (r - 1 + n) % n
+	// One send arena per call instead of one allocation per ring step.  Each
+	// step sends its own arena slot — in-flight messages are owned by the
+	// transport, so slots are never reused, but the n-1 per-step allocations
+	// collapse into one.
+	arena := make([]byte, (n-1)*chunkBytes)
 	for step := 0; step < n-1; step++ {
 		sendChunk := (r - step + n) % n
 		recvChunk := (r - step - 1 + n) % n
-		out := make([]byte, chunkBytes)
+		out := arena[step*chunkBytes : (step+1)*chunkBytes]
 		copy(out, buf[sendChunk*chunkBytes:(sendChunk+1)*chunkBytes])
 		if err := c.Send(right, tagRing, out); err != nil {
 			return st, err
@@ -163,9 +183,9 @@ func AllgatherRing(c transport.Conn, buf []byte, chunkBytes int) (Stats, error) 
 
 // AllgatherVRing is the imbalanced (vector) ring Allgather: offs has
 // Size()+1 entries; rank i's chunk is buf[offs[i]:offs[i+1]].
-func AllgatherVRing(c transport.Conn, buf []byte, offs []int) (Stats, error) {
+func AllgatherVRing(c transport.Conn, buf []byte, offs []int) (st Stats, err error) {
+	defer record(c, &opVRing, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	if n == 1 {
 		return st, nil
 	}
@@ -190,11 +210,21 @@ func AllgatherVRing(c transport.Conn, buf []byte, offs []int) (Stats, error) {
 	r := c.Rank()
 	right := (r + 1) % n
 	left := (r - 1 + n) % n
+	// Send arena: one allocation sized to the call's total sent bytes (every
+	// chunk except the right neighbor's), sliced per step as in AllgatherRing.
+	arenaLen := 0
+	for step := 0; step < n-1; step++ {
+		sc := (r - step + n) % n
+		arenaLen += offs[sc+1] - offs[sc]
+	}
+	arena := make([]byte, arenaLen)
+	pos := 0
 	for step := 0; step < n-1; step++ {
 		sendChunk := (r - step + n) % n
 		recvChunk := (r - step - 1 + n) % n
 		chunk := buf[offs[sendChunk]:offs[sendChunk+1]]
-		out := make([]byte, len(chunk))
+		out := arena[pos : pos+len(chunk)]
+		pos += len(chunk)
 		copy(out, chunk)
 		if err := c.Send(right, tagRing, out); err != nil {
 			return st, err
@@ -230,9 +260,8 @@ func AllgatherOutOfPlace(c transport.Conn, in, out []byte) (Stats, error) {
 
 // AllgatherRecDouble is the recursive-doubling Allgather for power-of-two
 // rank counts (ablation partner of the ring algorithm).
-func AllgatherRecDouble(c transport.Conn, buf []byte, chunkBytes int) (Stats, error) {
+func AllgatherRecDouble(c transport.Conn, buf []byte, chunkBytes int) (st Stats, err error) {
 	n := c.Size()
-	var st Stats
 	if chunkBytes == 0 || n == 1 {
 		return st, nil
 	}
@@ -242,15 +271,22 @@ func AllgatherRecDouble(c transport.Conn, buf []byte, chunkBytes int) (Stats, er
 		return st, fmt.Errorf("comm: allgather buffer is %d bytes, want %d chunks of %d", len(buf), n, chunkBytes)
 	}
 	if n&(n-1) != 0 {
-		return AllgatherRing(c, buf, chunkBytes) // fallback
+		// The fallback records its own metrics (as allgather_ring), so the
+		// delegation is not double-counted.
+		return AllgatherRing(c, buf, chunkBytes)
 	}
+	defer record(c, &opRecDouble, time.Now(), &st, &err)
 	r := c.Rank()
+	// Send arena: the doubling rounds send 1+2+...+n/2 = n-1 chunks total.
+	arena := make([]byte, (n-1)*chunkBytes)
+	pos := 0
 	// At round k the rank owns the 2^k chunks of its aligned group.
 	for dist := 1; dist < n; dist *= 2 {
 		peer := r ^ dist
 		groupStart := (r / dist) * dist
 		own := buf[groupStart*chunkBytes : (groupStart+dist)*chunkBytes]
-		out := make([]byte, len(own))
+		out := arena[pos : pos+len(own)]
+		pos += len(own)
 		copy(out, own)
 		if err := c.Send(peer, tagRing, out); err != nil {
 			return st, err
@@ -270,9 +306,9 @@ func AllgatherRecDouble(c transport.Conn, buf []byte, chunkBytes int) (Stats, er
 
 // AllReduceMaxF64 returns the maximum of v across all ranks (used for
 // simulated-clock synchronization at collective boundaries).
-func AllReduceMaxF64(c transport.Conn, v float64) (float64, Stats, error) {
+func AllReduceMaxF64(c transport.Conn, v float64) (out float64, st Stats, err error) {
+	defer record(c, &opAllReduceMax, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	for dist := 1; dist < n; dist *= 2 {
 		peer := c.Rank() ^ dist
 		if peer >= n {
@@ -339,18 +375,23 @@ func AllReduceMaxF64(c transport.Conn, v float64) (float64, Stats, error) {
 }
 
 // GatherF64 collects one float64 from every rank at root (nil elsewhere).
-func GatherF64(c transport.Conn, root int, v float64) ([]float64, Stats, error) {
+func GatherF64(c transport.Conn, root int, v float64) (vals []float64, st Stats, err error) {
+	defer record(c, &opGatherF64, time.Now(), &st, &err)
 	n := c.Size()
-	var st Stats
 	if c.Rank() != root {
 		out := make([]byte, 8)
 		binary.LittleEndian.PutUint64(out, math.Float64bits(v))
-		err := c.Send(root, tagGather, out)
+		// Count only sends the transport accepted; a failed send must not
+		// appear as traffic (the accounting stays symmetric with the root's
+		// receive count, matching Barrier/Bcast/AllgatherRing).
+		if err := c.Send(root, tagGather, out); err != nil {
+			return nil, st, err
+		}
 		st.Msgs++
 		st.BytesSent += 8
-		return nil, st, err
+		return nil, st, nil
 	}
-	vals := make([]float64, n)
+	vals = make([]float64, n)
 	vals[root] = v
 	for r := 0; r < n; r++ {
 		if r == root {

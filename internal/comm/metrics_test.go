@@ -1,0 +1,265 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cucc/internal/metrics"
+	"cucc/internal/transport"
+)
+
+// opCase is one collective invocation shared by the failure and
+// cross-check tables below.
+type opCase struct {
+	name string
+	op   *opNames
+	run  func(c transport.Conn, n, chunk int) (Stats, error)
+}
+
+func opCollectiveCases() []opCase {
+	return []opCase{
+		{"Barrier", &opBarrier, func(c transport.Conn, n, chunk int) (Stats, error) {
+			return Barrier(c)
+		}},
+		{"Bcast", &opBcast, func(c transport.Conn, n, chunk int) (Stats, error) {
+			var data []byte
+			if c.Rank() == 0 {
+				data = chunkFor(0, chunk)
+			}
+			_, st, err := Bcast(c, 0, data)
+			return st, err
+		}},
+		{"AllgatherRing", &opRing, func(c transport.Conn, n, chunk int) (Stats, error) {
+			buf := make([]byte, n*chunk)
+			copy(buf[c.Rank()*chunk:], chunkFor(c.Rank(), chunk))
+			return AllgatherRing(c, buf, chunk)
+		}},
+		{"AllgatherVRing", &opVRing, func(c transport.Conn, n, chunk int) (Stats, error) {
+			offs := make([]int, n+1)
+			for r := 0; r < n; r++ {
+				offs[r+1] = offs[r] + (r+1)*8
+			}
+			buf := make([]byte, offs[n])
+			return AllgatherVRing(c, buf, offs)
+		}},
+		{"AllReduceMaxF64", &opAllReduceMax, func(c transport.Conn, n, chunk int) (Stats, error) {
+			_, st, err := AllReduceMaxF64(c, float64(c.Rank()))
+			return st, err
+		}},
+		{"GatherF64", &opGatherF64, func(c transport.Conn, n, chunk int) (Stats, error) {
+			_, st, err := GatherF64(c, 1, float64(c.Rank()))
+			return st, err
+		}},
+		{"Scatter", &opScatter, func(c transport.Conn, n, chunk int) (Stats, error) {
+			var data []byte
+			if c.Rank() == 0 {
+				data = make([]byte, n*chunk)
+			}
+			_, st, err := Scatter(c, 0, data)
+			return st, err
+		}},
+		{"Alltoall", &opAlltoall, func(c transport.Conn, n, chunk int) (Stats, error) {
+			_, st, err := Alltoall(c, make([]byte, n*chunk))
+			return st, err
+		}},
+		{"GatherBytes", &opGatherBytes, func(c transport.Conn, n, chunk int) (Stats, error) {
+			_, st, err := GatherBytes(c, 0, chunkFor(c.Rank(), chunk))
+			return st, err
+		}},
+		{"ReduceScatterSumF32", &opReduceScatter, func(c transport.Conn, n, chunk int) (Stats, error) {
+			_, st, err := ReduceScatterSumF32(c, make([]float32, n*8))
+			return st, err
+		}},
+	}
+}
+
+// TestSendFailureSymmetricAccounting: when the transport rejects every
+// send, no collective may count phantom traffic — summed over the ranks the
+// Stats must stay symmetric (Msgs==Recvs, BytesSent==BytesRecvd; here all
+// zero, since nothing was delivered).  GatherF64 and GatherBytes used to
+// count the non-root send before checking its error, breaking the
+// invariant exactly here.
+func TestSendFailureSymmetricAccounting(t *testing.T) {
+	const n, chunk = 4, 32
+	for _, tc := range opCollectiveCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			net := transport.NewFaulty(transport.NewInproc(n),
+				transport.FaultConfig{Seed: 11, SendFail: 1.0, RetryBackoff: time.Microsecond})
+			defer net.Close()
+			stats := make([]Stats, n)
+			failures := 0
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for r := 0; r < n; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					c := net.Conn(r)
+					// Ranks whose peer's send failed would otherwise block
+					// forever; a deadline turns the hang into ErrTimeout.
+					c.SetRecvTimeout(200 * time.Millisecond)
+					st, err := tc.run(c, n, chunk)
+					mu.Lock()
+					stats[r] = st
+					if err != nil {
+						failures++
+					}
+					mu.Unlock()
+				}(r)
+			}
+			wg.Wait()
+			if failures == 0 {
+				t.Fatal("no rank failed despite SendFail=1.0")
+			}
+			var total Stats
+			for _, st := range stats {
+				total.Add(st)
+			}
+			if total.Msgs != total.Recvs {
+				t.Errorf("%d msgs counted as sent but %d received", total.Msgs, total.Recvs)
+			}
+			if total.BytesSent != total.BytesRecvd {
+				t.Errorf("%d bytes counted as sent but %d received", total.BytesSent, total.BytesRecvd)
+			}
+			if total.Msgs != 0 {
+				t.Errorf("counted %d msgs although every send failed", total.Msgs)
+			}
+		})
+	}
+}
+
+// TestRegistryCrossCheck: over a metered transport, the per-collective
+// registry counters must equal the summed per-rank Stats, and the
+// transport-level counters (an independent ground truth recorded below the
+// comm layer) must agree with both.
+func TestRegistryCrossCheck(t *testing.T) {
+	const n, chunk = 5, 32
+	for _, tc := range opCollectiveCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.New()
+			net := transport.NewMetered(transport.NewInproc(n), reg)
+			defer net.Close()
+			stats := make([]Stats, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for r := 0; r < n; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					stats[r], errs[r] = tc.run(net.Conn(r), n, chunk)
+				}(r)
+			}
+			wg.Wait()
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+			}
+			var total Stats
+			for _, st := range stats {
+				total.Add(st)
+			}
+			s := reg.Snapshot()
+			if got := s.Counters[tc.op.calls]; got != n {
+				t.Errorf("%s = %d, want %d", tc.op.calls, got, n)
+			}
+			check := func(name string, want int64) {
+				if got := s.Counters[name]; got != want {
+					t.Errorf("%s = %d, want %d (summed Stats)", name, got, want)
+				}
+			}
+			check(tc.op.msgs, total.Msgs)
+			check(tc.op.bytesSent, total.BytesSent)
+			check(tc.op.recvs, total.Recvs)
+			check(tc.op.bytesRecvd, total.BytesRecvd)
+			// Transport ground truth: only this collective ran, so its
+			// traffic is the network's entire traffic.
+			check(transport.MetricSendMsgs, total.Msgs)
+			check(transport.MetricSendBytes, total.BytesSent)
+			check(transport.MetricRecvMsgs, total.Recvs)
+			check(transport.MetricRecvBytes, total.BytesRecvd)
+			if s.Counters[tc.op.errors] != 0 {
+				t.Errorf("%s = %d, want 0", tc.op.errors, s.Counters[tc.op.errors])
+			}
+		})
+	}
+}
+
+// TestDelegatingWrappersRecordOnce: AllReduceSumF32 delegates to
+// ReduceScatterSumF32 + AllgatherRing and must not record an entry of its
+// own — otherwise summed comm.* counters would double the transport totals.
+func TestDelegatingWrappersRecordOnce(t *testing.T) {
+	const n = 4
+	reg := metrics.New()
+	net := transport.NewMetered(transport.NewInproc(n), reg)
+	defer net.Close()
+	var wg sync.WaitGroup
+	stats := make([]Stats, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, st, err := AllReduceSumF32(net.Conn(r), make([]float32, n*4))
+			if err != nil {
+				panic(err)
+			}
+			stats[r] = st
+		}(r)
+	}
+	wg.Wait()
+	var total Stats
+	for _, st := range stats {
+		total.Add(st)
+	}
+	s := reg.Snapshot()
+	commMsgs := s.Counters[opReduceScatter.msgs] + s.Counters[opRing.msgs]
+	if commMsgs != total.Msgs {
+		t.Errorf("comm.* msgs = %d, want %d (summed Stats)", commMsgs, total.Msgs)
+	}
+	if got := s.Counters[transport.MetricSendMsgs]; got != total.Msgs {
+		t.Errorf("transport msgs = %d, want %d", got, total.Msgs)
+	}
+}
+
+// benchRing exercises one of the ring allgathers across n persistent rank
+// goroutines, reporting allocations: the send path must stay at one arena
+// allocation per call, not one buffer per ring step (the regression this
+// benchmark guards).
+func benchRing(b *testing.B, vring bool) {
+	const n, chunk = 8, 4096
+	net := transport.NewInproc(n)
+	defer net.Close()
+	offs := make([]int, n+1)
+	for r := 0; r < n; r++ {
+		offs[r+1] = offs[r] + chunk
+	}
+	bufs := make([][]byte, n)
+	for r := range bufs {
+		bufs[r] = make([]byte, n*chunk)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				var err error
+				if vring {
+					_, err = AllgatherVRing(net.Conn(r), bufs[r], offs)
+				} else {
+					_, err = AllgatherRing(net.Conn(r), bufs[r], chunk)
+				}
+				if err != nil {
+					b.Error(err)
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkAllgatherRing(b *testing.B)  { benchRing(b, false) }
+func BenchmarkAllgatherVRing(b *testing.B) { benchRing(b, true) }

@@ -23,6 +23,7 @@ import (
 	"cucc/internal/kir"
 	"cucc/internal/lang"
 	"cucc/internal/machine"
+	"cucc/internal/metrics"
 	"cucc/internal/trace"
 )
 
@@ -225,6 +226,11 @@ type Session struct {
 	// Trace, when non-nil, records a simulated-time timeline of every
 	// launch (see internal/trace).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, is the registry launches report into; nil
+	// falls back to the cluster's registry, then metrics.Default().
+	// Recording never changes a simulated figure or the computed data —
+	// the suites-level equivalence test enforces it.
+	Metrics *metrics.Registry
 }
 
 // NewSession builds a session with default execution config.

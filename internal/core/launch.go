@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cucc/internal/trace"
 
@@ -29,7 +30,19 @@ type blockRunner interface {
 // when the kernel is Allgather distributable, and trivial replicated
 // execution otherwise.  It returns simulated-time statistics; the data in
 // the cluster's node memories is really computed and really synchronized.
-func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
+func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
+	if reg := s.registry(); reg != nil {
+		registerVMGauges(reg)
+		defer func(start time.Time) {
+			reg.Counter(MetricLaunches).Inc()
+			reg.Histogram(MetricLaunchWallSec).Observe(time.Since(start).Seconds())
+			if err != nil {
+				reg.Counter(MetricLaunchErrors).Inc()
+			} else if stats != nil {
+				reg.Histogram(MetricLaunchSimSec).Observe(stats.TotalSec)
+			}
+		}(time.Now())
+	}
 	st, err := s.resolve(spec)
 	if err != nil {
 		return nil, err
@@ -46,10 +59,11 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 		distributable = false
 	}
 
-	stats := &Stats{Work: machine.BlockWork{}}
+	stats = &Stats{Work: machine.BlockWork{}}
 	startClock := c.MaxClock()
 
 	if !distributable {
+		s.registry().Counter(MetricLaunchesTrivial).Inc()
 		if err := s.runTrivial(st, stats); err != nil {
 			return nil, err
 		}
@@ -70,6 +84,7 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 	part := partitionBlocks(totalBlocks, tail, n, spec.Remainder)
 	callbacks := totalBlocks - part.distEnd
 	stats.Distributed = true
+	s.registry().Counter(MetricLaunchesDistributed).Inc()
 	stats.BlocksByNode = append([]int(nil), part.counts...)
 	stats.BlocksPerNode = maxCount(part.counts)
 	stats.CallbackBlocks = callbacks
@@ -85,6 +100,8 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 	workPerNode := make([]machine.BlockWork, n)
 	workerCounts := make([][]int, n)
 	if part.distEnd > 0 {
+		reg := s.registry()
+		wallStart := time.Now()
 		err := c.RunParallel(func(rank int, _ transport.Conn) error {
 			lo := part.starts[rank]
 			w, wc, err := s.runBlocks(st, rank, lo, lo+part.counts[rank])
@@ -95,6 +112,7 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 			workerCounts[rank] = wc
 			return nil
 		})
+		reg.Histogram(MetricPartialWallSec).Observe(time.Since(wallStart).Seconds())
 		if err != nil {
 			s.emitFailure(st.kernel.Name, err)
 			return nil, err
@@ -111,6 +129,8 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 				Phase: trace.PhasePartial, Kernel: st.kernel.Name,
 				Detail: fmt.Sprintf("%d blocks", cnt)})
 			s.emitWorkerSpans(c.Node(rank).Clock, dt, rank, st.kernel.Name, workerCounts[rank])
+			reg.Histogram(MetricPartialSimSec).Observe(dt)
+			recordWorkerCounts(reg, workerCounts[rank])
 			c.Node(rank).Clock += dt
 			if rank == 0 {
 				stats.Phase1Sec = dt
@@ -183,11 +203,14 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 	c.SyncClocksMax(commSec)
 	stats.CommSec = commSec
 	stats.CommMsgs = commMsgs
+	s.registry().Histogram(MetricAllgatherSimSec).Observe(commSec)
 
 	// --- Phase 3: callback block execution on every node ---
 	if callbacks > 0 {
+		reg := s.registry()
 		cbWork := make([]machine.BlockWork, n)
 		cbCounts := make([][]int, n)
+		wallStart := time.Now()
 		err := c.RunParallel(func(rank int, _ transport.Conn) error {
 			w, wc, err := s.runBlocks(st, rank, part.distEnd, totalBlocks)
 			if err != nil {
@@ -197,6 +220,7 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 			cbCounts[rank] = wc
 			return nil
 		})
+		reg.Histogram(MetricCallbackWallSec).Observe(time.Since(wallStart).Seconds())
 		if err != nil {
 			s.emitFailure(st.kernel.Name, err)
 			return nil, err
@@ -208,6 +232,8 @@ func (s *Session) Launch(spec LaunchSpec) (*Stats, error) {
 				Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
 				Detail: fmt.Sprintf("%d blocks", callbacks)})
 			s.emitWorkerSpans(c.Node(rank).Clock, dt, rank, st.kernel.Name, cbCounts[rank])
+			reg.Histogram(MetricCallbackSimSec).Observe(dt)
+			recordWorkerCounts(reg, cbCounts[rank])
 			c.Node(rank).Clock += dt
 			if rank == 0 {
 				stats.CallbackSec = dt
@@ -290,6 +316,8 @@ func (s *Session) runTrivial(st *launchState, stats *Stats) error {
 	stats.CallbackBlocks = total
 	works := make([]machine.BlockWork, c.N())
 	wkCounts := make([][]int, c.N())
+	reg := s.registry()
+	wallStart := time.Now()
 	err := c.RunParallel(func(rank int, _ transport.Conn) error {
 		w, wc, err := s.runBlocks(st, rank, 0, total)
 		if err != nil {
@@ -299,6 +327,7 @@ func (s *Session) runTrivial(st *launchState, stats *Stats) error {
 		wkCounts[rank] = wc
 		return nil
 	})
+	reg.Histogram(MetricCallbackWallSec).Observe(time.Since(wallStart).Seconds())
 	if err != nil {
 		s.emitFailure(st.kernel.Name, err)
 		return err
@@ -310,6 +339,8 @@ func (s *Session) runTrivial(st *launchState, stats *Stats) error {
 			Node: rank, Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
 			Detail: fmt.Sprintf("trivial: all %d blocks", total)})
 		s.emitWorkerSpans(c.Node(rank).Clock+KernelLaunchOverheadSec, dt, rank, st.kernel.Name, wkCounts[rank])
+		reg.Histogram(MetricCallbackSimSec).Observe(dt)
+		recordWorkerCounts(reg, wkCounts[rank])
 		c.Node(rank).Clock += dt + KernelLaunchOverheadSec
 		if rank == 0 {
 			stats.CallbackSec = dt
@@ -326,10 +357,14 @@ func (s *Session) runTrivial(st *launchState, stats *Stats) error {
 //
 // The range is fanned over Session.Host.EffectiveWorkers() goroutines (the
 // CuPBoP-style block-to-thread transform executing migrated GPU blocks
-// across the node's CPU cores).  Blocks are claimed dynamically off a shared
-// counter, but per-block work is aggregated in block-index order, so the
-// returned BlockWork — and every simulated-time figure derived from it — is
-// bitwise identical to the single-worker (sequential) execution.
+// across the node's CPU cores).  Assignment is static block-cyclic — worker
+// w executes blocks lo+w, lo+w+W, … — so the per-worker block counts (and
+// the PhaseWorker trace spans derived from them) are a pure function of the
+// range and pool width, never of goroutine scheduling; identical runs
+// export identical traces.  Per-block work is aggregated in block-index
+// order, so the returned BlockWork — and every simulated-time figure
+// derived from it — is bitwise identical to the single-worker (sequential)
+// execution.
 func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWork, []int, error) {
 	n := hi - lo
 	if n <= 0 {
@@ -343,6 +378,7 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 	// shared-memory arenas, VM register files) once here instead of once
 	// per block, so each pool worker must call it for its own executor.
 	var mkExec func() (func(l int) (machine.BlockWork, error), error)
+	blockMetric := MetricBlocksNative
 	if st.native != nil {
 		perBlock := st.native.BlockWork(st.argVals, st.spec.Grid, st.spec.Block)
 		exec := func(l int) (machine.BlockWork, error) {
@@ -355,6 +391,11 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 		mkExec = func() (func(l int) (machine.BlockWork, error), error) { return exec, nil }
 	} else {
 		engine := s.EffectiveEngine()
+		if engine == cluster.EngineInterp {
+			blockMetric = MetricBlocksInterp
+		} else {
+			blockMetric = MetricBlocksVM
+		}
 		mkExec = func() (func(l int) (machine.BlockWork, error), error) {
 			l := &interp.Launch{
 				Kernel: st.kernel,
@@ -405,7 +446,6 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 		}
 		counts[0] = n
 	} else {
-		var next int64
 		var failed int32
 		errs := make([]error, workers)
 		var wg sync.WaitGroup
@@ -419,9 +459,8 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 					atomic.StoreInt32(&failed, 1)
 					return
 				}
-				for atomic.LoadInt32(&failed) == 0 {
-					l := int(atomic.AddInt64(&next, 1)) - 1
-					if l >= n {
+				for l := wk; l < n; l += workers {
+					if atomic.LoadInt32(&failed) != 0 {
 						return
 					}
 					w, err := exec(lo + l)
@@ -449,6 +488,7 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 	for i := range works {
 		total.Add(works[i])
 	}
+	s.registry().Counter(blockMetric).Add(int64(n))
 	return total, counts, nil
 }
 

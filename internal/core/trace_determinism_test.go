@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/trace"
+)
+
+// traceOneRun executes one tail-divergent multi-node launch with a wide
+// worker pool and returns the exported Chrome trace.
+func traceOneRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	prog := MustCompile(workerScaleSrc)
+	c := newCluster(t, 3)
+	src := c.Alloc(kir.F32, 13*64)
+	dst := c.Alloc(kir.F32, 13*64)
+	vals := make([]float32, 13*64)
+	for i := range vals {
+		vals[i] = float32(i % 101)
+	}
+	if err := c.WriteAllF32(src, vals); err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(c, prog)
+	sess.Host.Workers = workers
+	rec := trace.New()
+	sess.Trace = rec
+	if _, err := sess.Launch(LaunchSpec{
+		Kernel: "scale",
+		Grid:   interp.Dim1(13),
+		Block:  interp.Dim1(64),
+		Args:   []Arg{BufArg(src), BufArg(dst), IntArg(13*64 - 5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rec.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestTraceDeterministicAcrossRuns: two identical multi-worker runs must
+// export byte-identical Chrome traces.  This needs both halves of the
+// determinism work: the static block-cyclic worker assignment (per-worker
+// block counts independent of goroutine scheduling) and the full sort key
+// in trace.Events (export order independent of event insertion order).
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	first := traceOneRun(t, 4)
+	for i := 0; i < 3; i++ {
+		if again := traceOneRun(t, 4); !bytes.Equal(first, again) {
+			t.Fatalf("run %d produced a different trace (%d vs %d bytes)", i+2, len(again), len(first))
+		}
+	}
+}

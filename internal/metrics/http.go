@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+)
+
+// ServeHTTP implements http.Handler: the deterministic text table by
+// default, the JSON snapshot with ?format=json.  A nil registry serves an
+// empty snapshot.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	s := r.Snapshot()
+	if req.URL.Query().Get("format") == "json" {
+		data, err := s.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(s.Table()))
+}
+
+// Publish exposes the registry under the given expvar name (snapshot
+// evaluated per read, visible on /debug/vars).  Publishing the same name
+// twice is a no-op instead of the expvar panic.
+func (r *Registry) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Serve starts an HTTP listener exposing the registry on /metrics and the
+// expvar variables on /debug/vars, returning the bound address and a stop
+// function.  This is the opt-in live-inspection endpoint behind the CLI
+// -metrics-http flag; errors after startup are ignored (the endpoint is
+// diagnostic, never load-bearing).
+func Serve(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	r.Publish("cucc")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestCounterStripes(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if r.Counter("x") != c {
+		t.Error("Counter must return the same handle for one name")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", got)
+	}
+	r.GaugeFunc("fn", func() float64 { return 7 })
+	if got := r.Snapshot().Gauges["fn"]; got != 7 {
+		t.Errorf("gauge func = %g, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	for _, v := range []float64{1e-9, 0.001, 0.5, 1, 100, 0, -3, math.NaN()} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	var bucketSum int64
+	for i, b := range s.Buckets {
+		bucketSum += b.Count
+		if i > 0 && s.Buckets[i-1].UpperBound >= b.UpperBound {
+			t.Error("buckets not in increasing bound order")
+		}
+	}
+	if bucketSum != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", bucketSum, s.Count)
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for exp := -40; exp < 44; exp++ {
+		idx := bucketIndex(math.Ldexp(1.5, exp))
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at 2^%d: %d < %d", exp, idx, prev)
+		}
+		prev = idx
+	}
+	// Every value must land in a bucket whose bound covers it.
+	for _, v := range []float64{1e-12, 3e-9, 0.02, 1, 7.5, 1e9} {
+		i := bucketIndex(v)
+		if ub := bucketUpperBound(i); v > ub && i != numBuckets-1 {
+			t.Errorf("value %g above its bucket bound %g", v, ub)
+		}
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(10)
+	r.Histogram("h").Observe(0.5)
+	before := r.Snapshot()
+	r.Counter("c").Add(5)
+	r.Histogram("h").Observe(0.5)
+	r.Histogram("h").Observe(2)
+	d := r.Snapshot().Delta(before)
+	if d.Counters["c"] != 5 {
+		t.Errorf("counter delta = %d, want 5", d.Counters["c"])
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 2 || hd.Sum != 2.5 {
+		t.Errorf("histogram delta = %+v, want count 2 sum 2.5", hd)
+	}
+}
+
+func TestDeterministicRenderings(t *testing.T) {
+	build := func() *Registry {
+		r := New()
+		// Insert in different orders across the two registries.
+		names := []string{"z.last", "a.first", "m.mid"}
+		for _, n := range names {
+			r.Counter(n).Add(3)
+			r.Gauge("g." + n).Set(1.25)
+			r.Histogram("h." + n).Observe(0.25)
+		}
+		return r
+	}
+	a, b := build(), build()
+	aj, err := a.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Error("JSON renderings of equal registries differ")
+	}
+	if a.Snapshot().Table() != b.Snapshot().Table() {
+		t.Error("Table renderings of equal registries differ")
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(1)
+	r.GaugeFunc("f", func() float64 { return 1 })
+	r.Histogram("h").Observe(1)
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+	if s.Table() != "" {
+		t.Error("nil registry table not empty")
+	}
+}
+
+// TestConcurrentWrites is the race-gate coverage: many goroutines hammering
+// the same names through every metric kind plus concurrent snapshots.
+func TestConcurrentWrites(t *testing.T) {
+	r := New()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist")
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				r.Counter(fmt.Sprintf("k%d", i%7)).Add(1)
+				h.Observe(float64(i) * 1e-6)
+				r.Gauge("g").Set(float64(w))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Snapshot().Histograms["hist"].Count; got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001) // all in one bucket
+	}
+	hv := r.Snapshot().Histograms["h"]
+	p50 := hv.Quantile(0.5)
+	if p50 < 0.001 || p50 > 0.002 {
+		t.Errorf("p50 = %g, want the 0.001 bucket bound", p50)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := New()
+	r.Counter("served").Add(9)
+	addr, stop, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte("served")) {
+		t.Errorf("metrics endpoint missing counter: %q", body)
+	}
+	resp, err = http.Get("http://" + addr + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte(`"served": 9`)) {
+		t.Errorf("json endpoint missing counter: %q", body)
+	}
+}
+
+// BenchmarkCounterAdd measures the enabled hot path (striped atomic add).
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+// BenchmarkCounterAddDisabled measures the disabled hot path (nil handle).
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkHistogramObserve measures the histogram hot path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i) * 1e-7)
+	}
+}

@@ -58,13 +58,34 @@ func (r *Recorder) Add(ev Event) {
 	r.events = append(r.events, ev)
 }
 
-// Events returns a copy of the recorded events sorted by start time.
+// Events returns a copy of the recorded events sorted by start time, with
+// ties broken by (Node, Phase, Kernel, Detail).  Events arrive in goroutine
+// scheduling order, and many share a simulated start time (every rank's
+// partial phase starts at 0), so sorting by StartSec alone would leave the
+// export order — and hence the serialized trace — nondeterministic across
+// identical runs.  The full key makes the order a pure function of the
+// recorded set.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Event, len(r.events))
 	copy(out, r.events)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].StartSec < out[j].StartSec })
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.StartSec != b.StartSec {
+			return a.StartSec < b.StartSec
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		return a.Detail < b.Detail
+	})
 	return out
 }
 

@@ -26,6 +26,45 @@ func TestEventsSorted(t *testing.T) {
 	}
 }
 
+// TestEventsTieBreakDeterministic: events sharing a start time sort by
+// (Node, Phase, Kernel, Detail), so insertion order — which follows
+// goroutine scheduling during a run — never leaks into the export.
+func TestEventsTieBreakDeterministic(t *testing.T) {
+	evs := []Event{
+		{StartSec: 1, Node: 2, Phase: PhasePartial, Kernel: "k"},
+		{StartSec: 1, Node: 0, Phase: PhaseWorker, Kernel: "k", Detail: "worker 1/4: 2 blocks"},
+		{StartSec: 1, Node: 0, Phase: PhaseWorker, Kernel: "k", Detail: "worker 0/4: 2 blocks"},
+		{StartSec: 1, Node: 0, Phase: PhasePartial, Kernel: "k"},
+		{StartSec: 0.5, Node: 9, Phase: PhaseLaunch, Kernel: "k"},
+	}
+	// Insert in two different orders; exports must be byte-identical.
+	a, b := New(), New()
+	for _, ev := range evs {
+		a.Add(ev)
+	}
+	for i := len(evs) - 1; i >= 0; i-- {
+		b.Add(evs[i])
+	}
+	ja, err := a.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Errorf("export depends on insertion order:\n%s\nvs\n%s", ja, jb)
+	}
+	got := a.Events()
+	want := []Event{evs[4], evs[3], evs[2], evs[1], evs[0]}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestChromeTraceFormat(t *testing.T) {
 	raw, err := sample().ChromeTrace()
 	if err != nil {

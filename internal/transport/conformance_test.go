@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"cucc/internal/metrics"
 )
 
 // The conformance suite runs one set of behavioural tests against every
@@ -37,6 +39,11 @@ func conformanceFactories() []conformanceFactory {
 		{"faulty-inproc", func(t *testing.T, n int) Network { return NewFaulty(newInproc(t, n), FaultConfig{Seed: 1}) }},
 		{"faulty-tcp", func(t *testing.T, n int) Network { return NewFaulty(newTCP(t, n), FaultConfig{Seed: 2}) }},
 		{"faulty-delay-dup", func(t *testing.T, n int) Network { return NewFaulty(newInproc(t, n), chaos) }},
+		{"metered-inproc", func(t *testing.T, n int) Network { return NewMetered(newInproc(t, n), metrics.New()) }},
+		{"metered-nil-reg", func(t *testing.T, n int) Network { return NewMetered(newInproc(t, n), nil) }},
+		{"metered-faulty", func(t *testing.T, n int) Network {
+			return NewMetered(NewFaulty(newInproc(t, n), chaos), metrics.New())
+		}},
 	}
 }
 

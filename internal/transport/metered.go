@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"errors"
+	"time"
+
+	"cucc/internal/metrics"
+)
+
+// Metric names recorded by the metered transport decorator.  These count at
+// the transport surface the collectives actually use, independently of the
+// comm-layer Stats accounting — the cross-check that catches asymmetric
+// collective bookkeeping (a send counted by comm that the transport never
+// delivered, or vice versa).
+const (
+	MetricSendMsgs     = "transport.send.msgs"
+	MetricSendBytes    = "transport.send.bytes"
+	MetricSendErrors   = "transport.send.errors"
+	MetricRecvMsgs     = "transport.recv.msgs"
+	MetricRecvBytes    = "transport.recv.bytes"
+	MetricRecvTimeouts = "transport.recv.timeouts"
+	MetricRecvAborts   = "transport.recv.aborts"
+	MetricRecvErrors   = "transport.recv.errors"
+	MetricRecvWaitSec  = "transport.recv.wait_seconds"
+)
+
+// MeteredNetwork decorates a Network with registry instrumentation: counts
+// of successful sends/receives and their payload bytes, error counts split
+// by kind (timeout, abort, other), and a histogram of receive wait times.
+//
+// Only *successful* operations count toward msgs/bytes, matching the
+// comm.Stats convention, so summed over a completed collective the
+// transport counters equal the summed per-rank Stats.  The decorator is
+// applied outermost (above fault injection), so it observes exactly the
+// operations — and payload sizes — the comm layer performs.
+type MeteredNetwork struct {
+	inner Network
+	reg   *metrics.Registry
+	conns []*meteredConn
+}
+
+// meteredCounters are the pre-resolved handles shared by all conns of one
+// network; resolving once keeps the per-message path allocation- and
+// lock-free.
+type meteredCounters struct {
+	sendMsgs, sendBytes, sendErrs      *metrics.Counter
+	recvMsgs, recvBytes                *metrics.Counter
+	recvTimeouts, recvAborts, recvErrs *metrics.Counter
+	recvWait                           *metrics.Histogram
+}
+
+// NewMetered wraps a network with metrics instrumentation.  A nil registry
+// yields a pass-through decorator whose per-message cost is a nil check.
+func NewMetered(inner Network, reg *metrics.Registry) *MeteredNetwork {
+	m := &MeteredNetwork{inner: inner, reg: reg, conns: make([]*meteredConn, inner.Size())}
+	ctrs := &meteredCounters{
+		sendMsgs:     reg.Counter(MetricSendMsgs),
+		sendBytes:    reg.Counter(MetricSendBytes),
+		sendErrs:     reg.Counter(MetricSendErrors),
+		recvMsgs:     reg.Counter(MetricRecvMsgs),
+		recvBytes:    reg.Counter(MetricRecvBytes),
+		recvTimeouts: reg.Counter(MetricRecvTimeouts),
+		recvAborts:   reg.Counter(MetricRecvAborts),
+		recvErrs:     reg.Counter(MetricRecvErrors),
+		recvWait:     reg.Histogram(MetricRecvWaitSec),
+	}
+	for r := range m.conns {
+		m.conns[r] = &meteredConn{inner: inner.Conn(r), reg: reg, c: ctrs}
+	}
+	return m
+}
+
+// Conn returns rank r's instrumented endpoint.
+func (m *MeteredNetwork) Conn(r int) Conn { return m.conns[r] }
+
+// Size returns the number of ranks.
+func (m *MeteredNetwork) Size() int { return m.inner.Size() }
+
+// Abort cancels the job on every rank.
+func (m *MeteredNetwork) Abort(cause error) { m.inner.Abort(cause) }
+
+// Close shuts down the inner network.
+func (m *MeteredNetwork) Close() { m.inner.Close() }
+
+type meteredConn struct {
+	inner Conn
+	reg   *metrics.Registry
+	c     *meteredCounters
+}
+
+// MetricsRegistry exposes the registry to higher layers (the comm package
+// type-asserts for it to attach per-collective metrics).
+func (c *meteredConn) MetricsRegistry() *metrics.Registry { return c.reg }
+
+func (c *meteredConn) Rank() int                      { return c.inner.Rank() }
+func (c *meteredConn) Size() int                      { return c.inner.Size() }
+func (c *meteredConn) SetRecvTimeout(d time.Duration) { c.inner.SetRecvTimeout(d) }
+func (c *meteredConn) Abort(cause error)              { c.inner.Abort(cause) }
+func (c *meteredConn) Close() error                   { return c.inner.Close() }
+
+func (c *meteredConn) Send(to, tag int, data []byte) error {
+	err := c.inner.Send(to, tag, data)
+	if err != nil {
+		c.c.sendErrs.Add(1)
+		return err
+	}
+	c.c.sendMsgs.Add(1)
+	c.c.sendBytes.Add(int64(len(data)))
+	return nil
+}
+
+func (c *meteredConn) Recv(from, tag int) ([]byte, error) {
+	return c.recv(from, tag, func() ([]byte, error) { return c.inner.Recv(from, tag) })
+}
+
+func (c *meteredConn) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error) {
+	return c.recv(from, tag, func() ([]byte, error) { return c.inner.RecvTimeout(from, tag, timeout) })
+}
+
+func (c *meteredConn) recv(from, tag int, next func() ([]byte, error)) ([]byte, error) {
+	start := time.Now()
+	data, err := next()
+	c.c.recvWait.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		c.c.recvMsgs.Add(1)
+		c.c.recvBytes.Add(int64(len(data)))
+	case errors.Is(err, ErrAborted):
+		c.c.recvAborts.Add(1)
+	case errors.Is(err, ErrTimeout):
+		c.c.recvTimeouts.Add(1)
+	default:
+		c.c.recvErrs.Add(1)
+	}
+	return data, err
+}
+
+// registryCarrier is what RegistryOf looks for on a Conn.
+type registryCarrier interface {
+	MetricsRegistry() *metrics.Registry
+}
+
+// RegistryOf returns the metrics registry attached to a conn by the
+// metered decorator, or nil when the conn is unmetered — the hook higher
+// layers (comm) use to record per-collective metrics without changing
+// their signatures.
+func RegistryOf(c Conn) *metrics.Registry {
+	if rc, ok := c.(registryCarrier); ok {
+		return rc.MetricsRegistry()
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cucc/internal/metrics"
+)
+
+// TestMeteredCounts: successful sends and receives count messages and
+// payload bytes; cluster-wide the two sides agree.
+func TestMeteredCounts(t *testing.T) {
+	reg := metrics.New()
+	net := NewMetered(NewInproc(2), reg)
+	defer net.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := net.Conn(0).Send(1, 3, make([]byte, 10)); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := net.Conn(1).Recv(0, 3); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	s := reg.Snapshot()
+	if s.Counters[MetricSendMsgs] != 5 || s.Counters[MetricSendBytes] != 50 {
+		t.Errorf("send counters = %d msgs / %d bytes, want 5/50",
+			s.Counters[MetricSendMsgs], s.Counters[MetricSendBytes])
+	}
+	if s.Counters[MetricRecvMsgs] != 5 || s.Counters[MetricRecvBytes] != 50 {
+		t.Errorf("recv counters = %d msgs / %d bytes, want 5/50",
+			s.Counters[MetricRecvMsgs], s.Counters[MetricRecvBytes])
+	}
+	if s.Histograms[MetricRecvWaitSec].Count != 5 {
+		t.Errorf("recv wait samples = %d, want 5", s.Histograms[MetricRecvWaitSec].Count)
+	}
+}
+
+// TestMeteredErrorKinds: timeouts, aborts, and send failures land in their
+// dedicated counters, not in msgs.
+func TestMeteredErrorKinds(t *testing.T) {
+	reg := metrics.New()
+	net := NewMetered(NewInproc(2), reg)
+	if _, err := net.Conn(0).RecvTimeout(1, 1, time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	net.Abort(errors.New("boom"))
+	if _, err := net.Conn(0).Recv(1, 1); !errors.Is(err, ErrAborted) {
+		t.Fatalf("want abort, got %v", err)
+	}
+	if err := net.Conn(0).Send(1, 1, []byte("x")); err == nil {
+		t.Fatal("send after abort should fail")
+	}
+	net.Close()
+	s := reg.Snapshot()
+	if s.Counters[MetricRecvTimeouts] != 1 {
+		t.Errorf("timeouts = %d, want 1", s.Counters[MetricRecvTimeouts])
+	}
+	if s.Counters[MetricRecvAborts] != 1 {
+		t.Errorf("aborts = %d, want 1", s.Counters[MetricRecvAborts])
+	}
+	if s.Counters[MetricSendErrors] != 1 {
+		t.Errorf("send errors = %d, want 1", s.Counters[MetricSendErrors])
+	}
+	if s.Counters[MetricSendMsgs] != 0 || s.Counters[MetricRecvMsgs] != 0 {
+		t.Error("failed operations must not count as messages")
+	}
+}
+
+// TestMeteredFailedSendsNotCounted: with fault injection exhausting its
+// retry budget beneath the meter, the failed send counts as an error and
+// never as a message — the transport-level ground truth the comm accounting
+// is cross-checked against.
+func TestMeteredFailedSendsNotCounted(t *testing.T) {
+	reg := metrics.New()
+	net := NewMetered(NewFaulty(NewInproc(2), FaultConfig{Seed: 3, SendFail: 1.0, RetryBackoff: time.Microsecond}), reg)
+	defer net.Close()
+	if err := net.Conn(0).Send(1, 1, []byte("payload")); !errors.Is(err, ErrTransient) {
+		t.Fatalf("want transient failure, got %v", err)
+	}
+	s := reg.Snapshot()
+	if s.Counters[MetricSendMsgs] != 0 || s.Counters[MetricSendBytes] != 0 {
+		t.Errorf("failed send counted: %d msgs / %d bytes", s.Counters[MetricSendMsgs], s.Counters[MetricSendBytes])
+	}
+	if s.Counters[MetricSendErrors] != 1 {
+		t.Errorf("send errors = %d, want 1", s.Counters[MetricSendErrors])
+	}
+}
+
+func TestRegistryOf(t *testing.T) {
+	reg := metrics.New()
+	metered := NewMetered(NewInproc(1), reg)
+	if got := RegistryOf(metered.Conn(0)); got != reg {
+		t.Error("RegistryOf must return the attached registry")
+	}
+	if got := RegistryOf(NewInproc(1).Conn(0)); got != nil {
+		t.Error("RegistryOf on an unmetered conn must be nil")
+	}
+	if got := RegistryOf(NewMetered(NewInproc(1), nil).Conn(0)); got != nil {
+		t.Error("RegistryOf with a nil registry must be nil")
+	}
+}

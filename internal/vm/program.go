@@ -19,6 +19,8 @@ package vm
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cucc/internal/kir"
 )
@@ -196,13 +198,46 @@ func (p *CompiledKernel) HasSync() bool { return p.hasSync }
 // across workers, nodes, and sessions reuses one program.
 var cache sync.Map // *kir.Kernel -> *CompiledKernel
 
+// Compile-cache accounting.  The counters are always-on atomics (cheap
+// enough to not warrant a registry dependency in the VM); the metrics layer
+// bridges them into a registry as gauge functions (see RegisterMetrics in
+// internal/core).
+var (
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	compileNanos atomic.Int64
+)
+
+// CacheStats reports the compile cache's cumulative behaviour.
+type CacheStats struct {
+	// Hits and Misses count CompileCached lookups; a miss includes the
+	// compile it triggered (losers of a concurrent LoadOrStore race count
+	// as misses too — they compiled, even if their program was discarded).
+	Hits, Misses int64
+	// CompileSeconds is the total wall time spent inside Compile.
+	CompileSeconds float64
+}
+
+// ReadCacheStats returns the current compile-cache counters.
+func ReadCacheStats() CacheStats {
+	return CacheStats{
+		Hits:           cacheHits.Load(),
+		Misses:         cacheMisses.Load(),
+		CompileSeconds: float64(compileNanos.Load()) / 1e9,
+	}
+}
+
 // CompileCached returns the compiled program for k, compiling at most once
 // per kernel identity for the life of the process.
 func CompileCached(k *kir.Kernel) (*CompiledKernel, error) {
 	if v, ok := cache.Load(k); ok {
+		cacheHits.Add(1)
 		return v.(*CompiledKernel), nil
 	}
+	cacheMisses.Add(1)
+	start := time.Now()
 	p, err := Compile(k)
+	compileNanos.Add(time.Since(start).Nanoseconds())
 	if err != nil {
 		return nil, err
 	}
