@@ -1,6 +1,6 @@
 # Tier-1 gate: everything `make check` runs must stay green.  CI and
 # pre-merge checks use this target; see ROADMAP.md.
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench prof bench-compare
 
 check: build vet test race
 
@@ -16,7 +16,25 @@ test:
 	go test -timeout 120s ./...
 
 race:
-	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/comm/ ./internal/transport/ ./internal/metrics/
+	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/comm/ ./internal/transport/ ./internal/metrics/ ./internal/trace/ ./internal/prof/
+
+# Run-and-diagnose the evaluation suite: critical path, stragglers, and
+# what-if estimates per program, plus the VM opcode profile of one kernel.
+prof:
+	go run ./cmd/cuccprof -suite -nodes 4
+	go run ./cmd/cuccprof -prog FIR -nodes 4 -vmprofile
+
+# Diff the two newest checked-in engine-benchmark reports; fails (exit 1)
+# on any >10% ns/op regression.  A no-op until two reports exist.
+bench-compare:
+	@files=$$(ls -t BENCH_*.json 2>/dev/null | grep -v metrics | head -2); \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then \
+		echo "bench-compare: need two BENCH_*.json reports, have $$#"; \
+	else \
+		echo "comparing $$2 (old) vs $$1 (new)"; \
+		go run ./cmd/cuccprof -compare -threshold 0.10 "$$2" "$$1"; \
+	fi
 
 # Go benchmarks plus the engine microbenchmark (vm vs interp over the
 # evaluation suite), whose JSON report is checked in per run date,

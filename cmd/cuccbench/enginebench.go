@@ -9,6 +9,7 @@ import (
 	"cucc/internal/cluster"
 	"cucc/internal/core"
 	"cucc/internal/machine"
+	"cucc/internal/prof"
 	"cucc/internal/simnet"
 	"cucc/internal/suites"
 )
@@ -31,10 +32,15 @@ type engineBenchSpeedup struct {
 }
 
 type engineBenchReport struct {
-	Date     string               `json:"date"`
-	Workers  int                  `json:"workers"`
-	Results  []engineBenchResult  `json:"results"`
-	Speedups []engineBenchSpeedup `json:"speedups"`
+	// SchemaVersion and Config let cuccprof -compare refuse diffs between
+	// reports produced under different run configurations (see
+	// prof.CompareBench); bump the version when the row format changes.
+	SchemaVersion int                  `json:"schema_version"`
+	Date          string               `json:"date"`
+	Workers       int                  `json:"workers"`
+	Config        prof.BenchConfig     `json:"config"`
+	Results       []engineBenchResult  `json:"results"`
+	Speedups      []engineBenchSpeedup `json:"speedups"`
 }
 
 // writeEngineBench times every evaluation-suite program at Small scale on a
@@ -51,8 +57,15 @@ func writeEngineBench(path string, workers int) error {
 	progs := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
 
 	rep := engineBenchReport{
-		Date:    time.Now().UTC().Format("2006-01-02"),
-		Workers: workers,
+		SchemaVersion: prof.BenchSchemaVersion,
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		Workers:       workers,
+		Config: prof.BenchConfig{
+			Engines: []string{cluster.EngineVM.String(), cluster.EngineInterp.String()},
+			Workers: workers,
+			Nodes:   1, // timeEngine always runs single-node
+			// FaultSeed stays 0: the engine bench never injects faults.
+		},
 	}
 	for _, p := range progs {
 		perEngine := map[cluster.Engine]float64{}

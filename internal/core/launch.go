@@ -34,6 +34,7 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 	if reg := s.registry(); reg != nil {
 		registerVMGauges(reg)
 		defer func(start time.Time) {
+			registerVMProfileGauges(reg)
 			reg.Counter(MetricLaunches).Inc()
 			reg.Histogram(MetricLaunchWallSec).Observe(time.Since(start).Seconds())
 			if err != nil {

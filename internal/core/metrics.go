@@ -55,6 +55,20 @@ func registerVMGauges(r *metrics.Registry) {
 	r.GaugeFunc("vm.compile.seconds", func() float64 { return vm.ReadCacheStats().CompileSeconds })
 }
 
+// registerVMProfileGauges bridges the opt-in VM opcode profiler into the
+// registry: one gauge per profiled kernel for the dynamic instruction
+// count, plus one per executed opcode.  Runs after a launch (not before)
+// so the kernels profiled during it are visible; GaugeFunc replaces, so
+// per-launch re-registration is idempotent.  No-op while profiling is off.
+func registerVMProfileGauges(r *metrics.Registry) {
+	if !vm.ProfilingEnabled() {
+		return
+	}
+	for name, fn := range vm.ProfileGauges() {
+		r.GaugeFunc(name, fn)
+	}
+}
+
 // recordWorkerCounts observes the per-worker block counts of one node-phase
 // and the pool's balance ratio (1.0 = every worker executed the same block
 // count as the busiest one).  Single-worker pools record nothing, matching

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/metrics"
+	"cucc/internal/vm"
+)
+
+// TestVMProfileGaugesBridged: with profiling on, a launch through the VM
+// engine publishes vm.profile.* gauges into the session's registry; with
+// profiling off, no such gauges appear.
+func TestVMProfileGaugesBridged(t *testing.T) {
+	run := func(profiling bool) metrics.Snapshot {
+		if profiling {
+			vm.SetProfiling(true)
+			vm.ResetProfiles()
+			defer func() {
+				vm.SetProfiling(false)
+				vm.ResetProfiles()
+			}()
+		}
+		prog, err := Compile(vecCopySrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := newCluster(t, 2)
+		const N = 1200
+		src := c.Alloc(kir.U8, N)
+		dest := c.Alloc(kir.U8, N)
+		sess := NewSession(c, prog)
+		sess.Metrics = metrics.New()
+		_, err = sess.Launch(LaunchSpec{
+			Kernel:    "vec_copy",
+			Grid:      interp.Dim1(5),
+			Block:     interp.Dim1(256),
+			Args:      []Arg{BufArg(src), BufArg(dest), IntArg(N)},
+			UseInterp: true, // keep the IR path (where the profiler lives)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess.Metrics.Snapshot()
+	}
+
+	snap := run(true)
+	if got := snap.Gauges["vm.profile.vec_copy.instructions"]; got <= 0 {
+		t.Errorf("vm.profile.vec_copy.instructions = %g, want > 0", got)
+	}
+	found := false
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "vm.profile.vec_copy.op.") && v > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no per-opcode vm.profile gauges in the registry")
+	}
+
+	off := run(false)
+	for name := range off.Gauges {
+		if strings.HasPrefix(name, "vm.profile.") {
+			t.Errorf("profiling disabled but gauge %s registered", name)
+		}
+	}
+}

@@ -388,6 +388,19 @@ func (s Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
+// ParseSnapshot loads a snapshot serialized by JSON — the input side of
+// offline snapshot comparison (cuccprof -compare).
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: not a snapshot: %w", err)
+	}
+	if s.Counters == nil && s.Gauges == nil && s.Histograms == nil {
+		return Snapshot{}, fmt.Errorf("metrics: JSON has none of counters/gauges/histograms")
+	}
+	return s, nil
+}
+
 // Table renders the snapshot as a deterministic text table: metrics sorted
 // by name within kind, histograms summarized as count/sum/mean/p50/p99.
 func (s Snapshot) Table() string {

@@ -1,0 +1,282 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cucc/internal/metrics"
+)
+
+// BenchSchemaVersion is the engine-benchmark report schema cuccprof
+// understands.  Version 0 is the pre-schema legacy format (no schema_version
+// or config block); comparisons involving a legacy report proceed with a
+// warning instead of a refusal, since the row format is unchanged.
+const BenchSchemaVersion = 1
+
+// BenchConfig pins the run configuration a benchmark report was produced
+// under.  Two reports with differing configs measure different things, so
+// CompareBench refuses to diff them.
+type BenchConfig struct {
+	Engines   []string `json:"engines"`
+	Workers   int      `json:"workers"`
+	Nodes     int      `json:"nodes"`
+	FaultSeed int64    `json:"fault_seed"`
+}
+
+// BenchResult mirrors one (program, engine) row of a cuccbench -json report.
+type BenchResult struct {
+	Program      string  `json:"program"`
+	Kernel       string  `json:"kernel"`
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers"`
+	Blocks       int     `json:"blocks"`
+	Iters        int     `json:"iters"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+}
+
+// BenchReport mirrors the cuccbench -json engine-benchmark report.
+type BenchReport struct {
+	SchemaVersion int          `json:"schema_version"`
+	Date          string       `json:"date"`
+	Workers       int          `json:"workers"`
+	Config        *BenchConfig `json:"config,omitempty"`
+	Results       []BenchResult `json:"results"`
+}
+
+// ParseBenchReport loads a cuccbench -json report.
+func ParseBenchReport(data []byte) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("prof: not a bench report: %w", err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("prof: bench report has no results")
+	}
+	if rep.SchemaVersion > BenchSchemaVersion {
+		return nil, fmt.Errorf("prof: bench report schema v%d is newer than this tool understands (v%d)",
+			rep.SchemaVersion, BenchSchemaVersion)
+	}
+	return &rep, nil
+}
+
+// CompareRow is one matched key across two reports.
+type CompareRow struct {
+	Key string `json:"key"`
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// DeltaFrac is (new-old)/old; positive means the figure grew.
+	DeltaFrac float64 `json:"delta_frac"`
+	// Regression marks growth beyond the comparison threshold in a
+	// figure where growth is bad (ns/op, simulated seconds).
+	Regression bool `json:"regression"`
+}
+
+// Comparison is the diff of two reports (bench or metrics).
+type Comparison struct {
+	Kind      string       `json:"kind"` // "bench" or "metrics"
+	Threshold float64      `json:"threshold"`
+	Rows      []CompareRow `json:"rows"`
+	// OnlyOld / OnlyNew list keys present in one report but not the other.
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+	// Warnings carries non-fatal caveats (e.g. legacy schema).
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// Regressions counts the rows flagged as regressions.
+func (c *Comparison) Regressions() int {
+	n := 0
+	for _, r := range c.Rows {
+		if r.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// CompareBench diffs two engine-benchmark reports keyed by
+// (program, engine).  threshold is the fractional ns/op growth tolerated
+// before a row counts as a regression (0.10 = 10%).  Reports with differing
+// schema versions or run configs are refused — the numbers would not be
+// comparable.
+func CompareBench(old, new *BenchReport, threshold float64) (*Comparison, error) {
+	if old.SchemaVersion != new.SchemaVersion && old.SchemaVersion != 0 && new.SchemaVersion != 0 {
+		return nil, fmt.Errorf("prof: schema version mismatch: old v%d vs new v%d",
+			old.SchemaVersion, new.SchemaVersion)
+	}
+	if err := configMismatch(old, new); err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{Kind: "bench", Threshold: threshold}
+	if old.SchemaVersion == 0 || new.SchemaVersion == 0 {
+		cmp.Warnings = append(cmp.Warnings,
+			"one report predates schema_version: run config not cross-checked")
+	}
+	key := func(r BenchResult) string { return r.Program + "/" + r.Engine }
+	oldBy := map[string]BenchResult{}
+	for _, r := range old.Results {
+		oldBy[key(r)] = r
+	}
+	seen := map[string]bool{}
+	for _, nr := range new.Results {
+		k := key(nr)
+		seen[k] = true
+		or, ok := oldBy[k]
+		if !ok {
+			cmp.OnlyNew = append(cmp.OnlyNew, k)
+			continue
+		}
+		row := CompareRow{Key: k, Old: float64(or.NsPerOp), New: float64(nr.NsPerOp)}
+		if or.NsPerOp > 0 {
+			row.DeltaFrac = (row.New - row.Old) / row.Old
+		}
+		row.Regression = row.DeltaFrac > threshold
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	for k := range oldBy {
+		if !seen[k] {
+			cmp.OnlyOld = append(cmp.OnlyOld, k)
+		}
+	}
+	cmp.sortRows()
+	return cmp, nil
+}
+
+func configMismatch(old, new *BenchReport) error {
+	a, b := old.Config, new.Config
+	if a == nil || b == nil {
+		return nil // legacy report: nothing to cross-check
+	}
+	var diffs []string
+	if strings.Join(a.Engines, ",") != strings.Join(b.Engines, ",") {
+		diffs = append(diffs, fmt.Sprintf("engines %v vs %v", a.Engines, b.Engines))
+	}
+	if a.Workers != b.Workers {
+		diffs = append(diffs, fmt.Sprintf("workers %d vs %d", a.Workers, b.Workers))
+	}
+	if a.Nodes != b.Nodes {
+		diffs = append(diffs, fmt.Sprintf("nodes %d vs %d", a.Nodes, b.Nodes))
+	}
+	if a.FaultSeed != b.FaultSeed {
+		diffs = append(diffs, fmt.Sprintf("fault seed %d vs %d", a.FaultSeed, b.FaultSeed))
+	}
+	if len(diffs) > 0 {
+		return fmt.Errorf("prof: run configs differ (%s): refusing to compare", strings.Join(diffs, "; "))
+	}
+	return nil
+}
+
+// CompareMetrics diffs two metrics snapshots (counters and gauges by name;
+// histograms by count and sum).  Rows whose value moved by more than
+// threshold in either direction are included; growth in time-like figures
+// (names containing "seconds" or "nanos") beyond the threshold counts as a
+// regression.
+func CompareMetrics(old, new metrics.Snapshot, threshold float64) *Comparison {
+	cmp := &Comparison{Kind: "metrics", Threshold: threshold}
+	oldVals, newVals := flattenSnapshot(old), flattenSnapshot(new)
+	seen := map[string]bool{}
+	for k, nv := range newVals {
+		seen[k] = true
+		ov, ok := oldVals[k]
+		if !ok {
+			cmp.OnlyNew = append(cmp.OnlyNew, k)
+			continue
+		}
+		row := CompareRow{Key: k, Old: ov, New: nv}
+		switch {
+		case ov != 0:
+			row.DeltaFrac = (nv - ov) / math.Abs(ov)
+		case nv != 0:
+			row.DeltaFrac = math.Inf(1)
+		}
+		if math.Abs(row.DeltaFrac) <= threshold {
+			continue
+		}
+		row.Regression = row.DeltaFrac > threshold && timeLike(k)
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	for k := range oldVals {
+		if !seen[k] {
+			cmp.OnlyOld = append(cmp.OnlyOld, k)
+		}
+	}
+	cmp.sortRows()
+	return cmp
+}
+
+func timeLike(name string) bool {
+	return strings.Contains(name, "seconds") || strings.Contains(name, "nanos")
+}
+
+// flattenSnapshot reduces a snapshot to comparable scalars: counters and
+// gauges as-is; each histogram contributes its count and sum.
+func flattenSnapshot(s metrics.Snapshot) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range s.Counters {
+		out[k] = float64(v)
+	}
+	for k, v := range s.Gauges {
+		out[k] = v
+	}
+	for k, h := range s.Histograms {
+		out[k+".count"] = float64(h.Count)
+		out[k+".sum"] = h.Sum
+	}
+	return out
+}
+
+func (c *Comparison) sortRows() {
+	// Worst regressions first, then by key for determinism.
+	sort.SliceStable(c.Rows, func(i, j int) bool {
+		a, b := c.Rows[i], c.Rows[j]
+		if a.Regression != b.Regression {
+			return a.Regression
+		}
+		if a.DeltaFrac != b.DeltaFrac {
+			return a.DeltaFrac > b.DeltaFrac
+		}
+		return a.Key < b.Key
+	})
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+}
+
+// JSON serializes the comparison.
+func (c *Comparison) JSON() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// Table renders the comparison for terminals.
+func (c *Comparison) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s comparison (threshold %.0f%%) ===\n", c.Kind, c.Threshold*100)
+	for _, w := range c.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	if len(c.Rows) == 0 {
+		b.WriteString("no differences beyond threshold\n")
+	} else {
+		fmt.Fprintf(&b, "%-40s %15s %15s %9s\n", "key", "old", "new", "delta")
+		for _, r := range c.Rows {
+			tag := ""
+			if r.Regression {
+				tag = "  REGRESSION"
+			}
+			fmt.Fprintf(&b, "%-40s %15.4g %15.4g %+8.1f%%%s\n", r.Key, r.Old, r.New, r.DeltaFrac*100, tag)
+		}
+	}
+	if len(c.OnlyOld) > 0 {
+		fmt.Fprintf(&b, "only in old: %s\n", strings.Join(c.OnlyOld, ", "))
+	}
+	if len(c.OnlyNew) > 0 {
+		fmt.Fprintf(&b, "only in new: %s\n", strings.Join(c.OnlyNew, ", "))
+	}
+	if n := c.Regressions(); n > 0 {
+		fmt.Fprintf(&b, "%d regression(s) beyond %.0f%%\n", n, c.Threshold*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+
+	"cucc/internal/metrics"
+)
+
+func benchReport(ns map[string]int64, cfg *BenchConfig, schema int) *BenchReport {
+	rep := &BenchReport{SchemaVersion: schema, Date: "2026-08-05", Workers: 1, Config: cfg}
+	for k, v := range ns {
+		parts := strings.SplitN(k, "/", 2)
+		rep.Results = append(rep.Results, BenchResult{
+			Program: parts[0], Engine: parts[1], NsPerOp: v,
+		})
+	}
+	return rep
+}
+
+func TestCompareBenchFlagsRegression(t *testing.T) {
+	cfg := &BenchConfig{Engines: []string{"vm", "interp"}, Workers: 1, Nodes: 1}
+	old := benchReport(map[string]int64{"VecAdd/vm": 1000, "VecAdd/interp": 4000}, cfg, 1)
+	new := benchReport(map[string]int64{"VecAdd/vm": 1200, "VecAdd/interp": 4100}, cfg, 1)
+	cmp, err := CompareBench(old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmp.Regressions(); got != 1 {
+		t.Fatalf("regressions = %d, want 1 (rows: %+v)", got, cmp.Rows)
+	}
+	// Worst first: the +20% vm row leads.
+	if cmp.Rows[0].Key != "VecAdd/vm" || !cmp.Rows[0].Regression {
+		t.Errorf("rows[0] = %+v, want VecAdd/vm regression", cmp.Rows[0])
+	}
+	if !strings.Contains(cmp.Table(), "REGRESSION") {
+		t.Error("table does not mark the regression")
+	}
+}
+
+func TestCompareBenchWithinThreshold(t *testing.T) {
+	old := benchReport(map[string]int64{"VecAdd/vm": 1000}, nil, 0)
+	new := benchReport(map[string]int64{"VecAdd/vm": 1050}, nil, 0)
+	cmp, err := CompareBench(old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Regressions() != 0 {
+		t.Errorf("5%% growth flagged at 10%% threshold: %+v", cmp.Rows)
+	}
+	// A legacy (v0) comparison proceeds but warns.
+	if len(cmp.Warnings) == 0 {
+		t.Error("no warning for schema-less reports")
+	}
+}
+
+func TestCompareBenchRefusesConfigMismatch(t *testing.T) {
+	a := benchReport(map[string]int64{"VecAdd/vm": 1000},
+		&BenchConfig{Engines: []string{"vm"}, Workers: 1, Nodes: 1}, 1)
+	b := benchReport(map[string]int64{"VecAdd/vm": 1000},
+		&BenchConfig{Engines: []string{"vm"}, Workers: 4, Nodes: 1}, 1)
+	if _, err := CompareBench(a, b, 0.10); err == nil {
+		t.Error("differing worker counts not refused")
+	}
+	c := benchReport(map[string]int64{"VecAdd/vm": 1000}, nil, 2)
+	if _, err := CompareBench(a, c, 0.10); err == nil {
+		t.Error("differing schema versions not refused")
+	}
+}
+
+func TestCompareBenchDisjointKeys(t *testing.T) {
+	old := benchReport(map[string]int64{"VecAdd/vm": 1000, "Gone/vm": 5}, nil, 0)
+	new := benchReport(map[string]int64{"VecAdd/vm": 1000, "Fresh/vm": 7}, nil, 0)
+	cmp, err := CompareBench(old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.OnlyOld) != 1 || cmp.OnlyOld[0] != "Gone/vm" {
+		t.Errorf("only_old = %v", cmp.OnlyOld)
+	}
+	if len(cmp.OnlyNew) != 1 || cmp.OnlyNew[0] != "Fresh/vm" {
+		t.Errorf("only_new = %v", cmp.OnlyNew)
+	}
+}
+
+func TestParseBenchReport(t *testing.T) {
+	if _, err := ParseBenchReport([]byte(`{"results":[]}`)); err == nil {
+		t.Error("empty results accepted")
+	}
+	if _, err := ParseBenchReport([]byte(`garbage`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	rep, err := ParseBenchReport([]byte(`{"schema_version":1,"results":[{"program":"X","engine":"vm","ns_per_op":10}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].NsPerOp != 10 {
+		t.Errorf("parsed %+v", rep.Results[0])
+	}
+	if _, err := ParseBenchReport([]byte(`{"schema_version":99,"results":[{"program":"X"}]}`)); err == nil {
+		t.Error("future schema accepted")
+	}
+}
+
+func snap(counters map[string]int64, gauges map[string]float64) metrics.Snapshot {
+	return metrics.Snapshot{Counters: counters, Gauges: gauges,
+		Histograms: map[string]metrics.HistValue{}}
+}
+
+func TestCompareMetrics(t *testing.T) {
+	old := snap(map[string]int64{"core.launch.total": 10},
+		map[string]float64{"vm.compile.seconds": 1.0, "steady.gauge": 5})
+	new := snap(map[string]int64{"core.launch.total": 10},
+		map[string]float64{"vm.compile.seconds": 1.5, "steady.gauge": 5})
+	cmp := CompareMetrics(old, new, 0.10)
+	if got := cmp.Regressions(); got != 1 {
+		t.Fatalf("regressions = %d (rows %+v)", got, cmp.Rows)
+	}
+	if cmp.Rows[0].Key != "vm.compile.seconds" {
+		t.Errorf("rows[0] = %+v", cmp.Rows[0])
+	}
+	// Unchanged keys stay out of the diff.
+	for _, r := range cmp.Rows {
+		if r.Key == "steady.gauge" || r.Key == "core.launch.total" {
+			t.Errorf("unchanged key %s in diff", r.Key)
+		}
+	}
+}
+
+func TestCompareMetricsNonTimeGrowthNotRegression(t *testing.T) {
+	old := snap(map[string]int64{"core.launch.total": 10}, nil)
+	new := snap(map[string]int64{"core.launch.total": 20}, nil)
+	cmp := CompareMetrics(old, new, 0.10)
+	if len(cmp.Rows) != 1 {
+		t.Fatalf("rows = %+v", cmp.Rows)
+	}
+	if cmp.Rows[0].Regression {
+		t.Error("a count growing is not a time regression")
+	}
+}
+
+func TestParseSnapshotRoundTrip(t *testing.T) {
+	s := snap(map[string]int64{"a": 1}, map[string]float64{"b": 2})
+	raw, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := metrics.ParseSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["a"] != 1 || got.Gauges["b"] != 2 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if _, err := metrics.ParseSnapshot([]byte(`{"x": 1}`)); err == nil {
+		t.Error("non-snapshot JSON accepted")
+	}
+}

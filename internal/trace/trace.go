@@ -2,6 +2,9 @@
 // launches: one event per node per phase, exportable as a summary table or
 // as Chrome trace-event JSON (load in chrome://tracing or Perfetto) for
 // visual inspection of phase overlap, stragglers, and Allgather barriers.
+// internal/prof consumes the same events (directly or re-imported from a
+// serialized trace via ParseChrome) for critical-path and straggler
+// analysis.
 package trace
 
 import (
@@ -43,19 +46,54 @@ type Event struct {
 }
 
 // Recorder accumulates events; safe for concurrent use.
+//
+// A recorder is unbounded by default; NewCapped builds one that retains only
+// the most recent events so long throughput/soak runs keep a bounded
+// footprint.
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
+	// Ring-buffer state (cap <= 0: unbounded).  events is used as a
+	// circular buffer once full: next is the index the next Add overwrites,
+	// dropped counts the overwritten (lost) events.
+	cap     int
+	next    int
+	dropped int64
 }
 
-// New returns an empty recorder.
+// New returns an empty, unbounded recorder.
 func New() *Recorder { return &Recorder{} }
 
-// Add appends an event.
+// NewCapped returns a recorder that retains at most n events, dropping the
+// oldest once full (a ring buffer).  Dropped events are counted and surfaced
+// by Dropped() and Summary().  n <= 0 means unbounded, same as New.
+func NewCapped(n int) *Recorder {
+	if n <= 0 {
+		return New()
+	}
+	return &Recorder{cap: n}
+}
+
+// Add appends an event, overwriting the oldest one when the recorder is
+// capped and full.
 func (r *Recorder) Add(ev Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.events = append(r.events, ev)
+	if r.cap <= 0 || len(r.events) < r.cap {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.next] = ev
+	r.next = (r.next + 1) % r.cap
+	r.dropped++
+}
+
+// Dropped reports how many events a capped recorder has overwritten (always
+// 0 for an unbounded recorder).
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events returns a copy of the recorded events sorted by start time, with
@@ -67,9 +105,16 @@ func (r *Recorder) Add(ev Event) {
 // recorded set.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([]Event, len(r.events))
 	copy(out, r.events)
+	r.mu.Unlock()
+	SortEvents(out)
+	return out
+}
+
+// SortEvents sorts events in place by the deterministic export order (start
+// time, ties broken by Node, Phase, Kernel, Detail).
+func SortEvents(out []Event) {
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.StartSec != b.StartSec {
@@ -86,37 +131,80 @@ func (r *Recorder) Events() []Event {
 		}
 		return a.Detail < b.Detail
 	})
-	return out
 }
 
-// Reset clears the recorder.
+// Reset clears the recorder (including the dropped-event count).
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.events = nil
+	r.next = 0
+	r.dropped = 0
 }
 
-// chromeEvent is the Chrome trace-event format ("X" complete events).
+// clusterTID is the Chrome-trace thread id of the cluster-wide lane (the
+// Allgather barrier and abort/timeout markers, Node == -1).
+const clusterTID = 9999
+
+// eventArgs is the typed args payload of an exported span ("X") event, and
+// the name payload of a metadata ("M") event.  A fixed struct (not a map)
+// keeps the serialized key order a compile-time property.
+type eventArgs struct {
+	Kernel string `json:"kernel,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Name is used only by process_name/thread_name metadata events.
+	Name string `json:"name,omitempty"`
+}
+
+// chromeEvent is the Chrome trace-event format ("X" complete events plus
+// "M" metadata events naming the process and per-rank thread lanes).
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
-	Args any     `json:"args,omitempty"`
+	Name string     `json:"name"`
+	Cat  string     `json:"cat,omitempty"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts"`  // microseconds
+	Dur  float64    `json:"dur"` // microseconds
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	Args *eventArgs `json:"args,omitempty"`
 }
 
 // ChromeTrace serializes the timeline as Chrome trace-event JSON.
+//
+// The export opens with metadata ("M") events naming the process ("cucc
+// cluster") and every thread lane ("rank 0".."rank N-1", plus "cluster" for
+// the cluster-wide lane), so Perfetto shows rank names instead of bare tids.
+// Metadata events are emitted in sorted tid order and span events in
+// Events() order, keeping the output byte-deterministic for identical runs.
 func (r *Recorder) ChromeTrace() ([]byte, error) {
 	evs := r.Events()
-	out := make([]chromeEvent, 0, len(evs))
+	// Collect the lanes in use, sorted.
+	tidSet := map[int]bool{}
 	for _, ev := range evs {
-		tid := ev.Node
-		if tid < 0 {
-			tid = 9999 // cluster-wide lane
+		tidSet[laneTID(ev.Node)] = true
+	}
+	tids := make([]int, 0, len(tidSet))
+	for tid := range tidSet {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+
+	out := make([]chromeEvent, 0, len(evs)+len(tids)+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: &eventArgs{Name: "cucc cluster"},
+	})
+	for _, tid := range tids {
+		name := fmt.Sprintf("rank %d", tid)
+		if tid == clusterTID {
+			name = "cluster"
 		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: &eventArgs{Name: name},
+		})
+	}
+	for _, ev := range evs {
 		out = append(out, chromeEvent{
 			Name: ev.Phase,
 			Cat:  ev.Kernel,
@@ -124,11 +212,55 @@ func (r *Recorder) ChromeTrace() ([]byte, error) {
 			TS:   ev.StartSec * 1e6,
 			Dur:  ev.DurSec * 1e6,
 			PID:  1,
-			TID:  tid,
-			Args: map[string]string{"kernel": ev.Kernel, "detail": ev.Detail},
+			TID:  laneTID(ev.Node),
+			Args: &eventArgs{Kernel: ev.Kernel, Detail: ev.Detail},
 		})
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// laneTID maps a rank to its Chrome-trace thread lane.
+func laneTID(node int) int {
+	if node < 0 {
+		return clusterTID
+	}
+	return node
+}
+
+// ParseChrome imports a trace serialized by ChromeTrace back into events,
+// the input side of trace-file analysis (cuccprof).  Metadata events are
+// skipped; unknown extra fields are ignored, so traces from newer writers
+// still load.
+func ParseChrome(data []byte) ([]Event, error) {
+	var raw []chromeEvent
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("trace: not Chrome trace-event JSON: %w", err)
+	}
+	var evs []Event
+	for _, ce := range raw {
+		if ce.Ph != "X" {
+			continue
+		}
+		ev := Event{
+			StartSec: ce.TS / 1e6,
+			DurSec:   ce.Dur / 1e6,
+			Node:     ce.TID,
+			Phase:    ce.Name,
+			Kernel:   ce.Cat,
+		}
+		if ce.TID == clusterTID {
+			ev.Node = -1
+		}
+		if ce.Args != nil {
+			if ce.Args.Kernel != "" {
+				ev.Kernel = ce.Args.Kernel
+			}
+			ev.Detail = ce.Args.Detail
+		}
+		evs = append(evs, ev)
+	}
+	SortEvents(evs)
+	return evs, nil
 }
 
 // Summary renders a per-phase aggregate table.
@@ -155,6 +287,9 @@ func (r *Recorder) Summary() string {
 	for _, ph := range order {
 		a := byPhase[ph]
 		fmt.Fprintf(&b, "  %-26s %5d spans  %10.3f ms total\n", ph, a.count, a.total*1e3)
+	}
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "  (%d older events dropped: ring capacity %d)\n", d, r.cap)
 	}
 	return b.String()
 }

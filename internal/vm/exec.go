@@ -26,6 +26,11 @@ type Runner struct {
 	mem interp.Memory
 	am  interp.AtomicMemory
 
+	// prof is the shared opcode-profile accumulator when profiling was
+	// enabled at construction time; nil otherwise (and then p contains no
+	// opProf instructions).
+	prof *Profile
+
 	lens     []int    // cached Mem.Len per pointer parameter
 	raw      [][]byte // raw backing bytes per pointer parameter (nil: use mem)
 	maxIters int64
@@ -63,6 +68,9 @@ func NewRunner(l *interp.Launch) (*Runner, error) {
 		return nil, err
 	}
 	r := &Runner{p: p, l: l, mem: l.Mem}
+	if profilingEnabled.Load() {
+		r.p, r.prof = instrumentCached(l.Kernel, p)
+	}
 	r.am, _ = l.Mem.(interp.AtomicMemory)
 	r.lens = make([]int, len(l.Kernel.Params))
 	r.raw = make([][]byte, len(l.Kernel.Params))
@@ -262,6 +270,10 @@ func (r *Runner) run(ri []int64, rf []float64, pc int32, itersp *int64, w *inter
 		pc++
 		switch in.op {
 		case opNop:
+		case opProf:
+			// Present only in instrumented programs: count the basic-block
+			// entry.  Uninstrumented (profiling-off) code never reaches this.
+			r.prof.counts[in.imm].Add(1)
 		case opJmp:
 			pc = in.imm
 		case opJzI:

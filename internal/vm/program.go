@@ -129,6 +129,14 @@ const (
 	opAtGMax
 	opAtSAdd
 	opAtSMax
+
+	// opProf counts one basic-block entry: profile.counts[imm]++.  It is
+	// emitted only by the profiler's instrumentation pass (see profile.go);
+	// programs compiled with profiling disabled contain no opProf, so the
+	// profiler costs nothing when off.
+	opProf
+
+	numOps // sentinel: number of opcodes
 )
 
 // instr is one register-machine instruction.
