@@ -16,7 +16,7 @@ test:
 	go test -timeout 120s ./...
 
 race:
-	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/comm/ ./internal/transport/ ./internal/metrics/ ./internal/trace/ ./internal/prof/
+	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/cluster/ ./internal/comm/ ./internal/transport/ ./internal/metrics/ ./internal/trace/ ./internal/prof/
 
 # Run-and-diagnose the evaluation suite: critical path, stragglers, and
 # what-if estimates per program, plus the VM opcode profile of one kernel.
@@ -26,19 +26,28 @@ prof:
 
 # Diff the two newest checked-in engine-benchmark reports; fails (exit 1)
 # on any >10% ns/op regression.  A no-op until two reports exist.
+# "Newest" is the date embedded in the filename (BENCH_YYYY-MM-DD.json sorts
+# lexicographically = chronologically), NOT file mtime: a fresh clone or a
+# touch(1) must not flip which report counts as the baseline.
 bench-compare:
-	@files=$$(ls -t BENCH_*.json 2>/dev/null | grep -v metrics | head -2); \
+	@files=$$(ls BENCH_*.json 2>/dev/null | grep -v metrics | sort | tail -2); \
 	set -- $$files; \
 	if [ $$# -lt 2 ]; then \
 		echo "bench-compare: need two BENCH_*.json reports, have $$#"; \
 	else \
-		echo "comparing $$2 (old) vs $$1 (new)"; \
-		go run ./cmd/cuccprof -compare -threshold 0.10 "$$2" "$$1"; \
+		echo "comparing $$1 (old) vs $$2 (new)"; \
+		go run ./cmd/cuccprof -compare -threshold 0.10 "$$1" "$$2"; \
 	fi
 
-# Go benchmarks plus the engine microbenchmark (vm vs interp over the
+# Go benchmarks plus the engine microbenchmark (all IR engines over the
 # evaluation suite), whose JSON report is checked in per run date,
-# alongside the metrics-registry snapshot of the same sweep.
+# alongside the metrics-registry snapshot of the same sweep.  Refuses to
+# silently overwrite an already-checked-in same-day report: delete it first
+# if a rerun is really intended.
 bench:
+	@if [ -e BENCH_$(shell date +%F).json ]; then \
+		echo "bench: BENCH_$(shell date +%F).json already exists; delete it first to rerun today's report"; \
+		exit 1; \
+	fi
 	go test -bench=. -benchmem
 	go run ./cmd/cuccbench -json BENCH_$(shell date +%F).json -metrics-out BENCH_$(shell date +%F).metrics.json

@@ -28,7 +28,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write per-figure CSV data files into this directory")
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for really-executed experiments (0 = all CPUs)")
 	recvTimeout := flag.Duration("recv-timeout", 2*time.Minute, "transport receive deadline for really-executed experiments; a hung rank fails the sweep instead of wedging it (0 = no deadline)")
-	engine := flag.String("engine", "vm", "IR execution engine for really-executed experiments: vm (register machine) or interp (reference interpreter)")
+	engine := flag.String("engine", "vm", "IR execution engine for really-executed experiments: vm (register machine), vm-lanes (lane-batched vm), or interp (reference interpreter)")
 	jsonOut := flag.String("json", "", "instead of figures, run the engine microbenchmark (vm vs interp over the evaluation suite) and write a JSON report to this file")
 	metricsOut := flag.String("metrics-out", "", "enable the metrics registry for the whole run and write its JSON snapshot to this file")
 	flag.Parse()

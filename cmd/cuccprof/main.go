@@ -40,12 +40,13 @@ func main() {
 	suite := flag.Bool("suite", false, "run and diagnose every evaluation program")
 	nodes := flag.Int("nodes", 4, "cluster node count for -prog/-suite")
 	workers := flag.Int("workers", 0, "intra-node worker-pool width (0 = all CPUs)")
-	engine := flag.String("engine", "vm", "IR engine for -prog/-suite: vm or interp")
+	engine := flag.String("engine", "vm", "IR engine for -prog/-suite: vm, vm-lanes, or interp")
 	vmProfile := flag.Bool("vmprofile", false, "collect the VM opcode profile during -prog/-suite (forces the IR path)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of the human table")
 	compare := flag.Bool("compare", false, "compare two report files (cuccbench -json or metrics snapshots): cuccprof -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.10, "fractional regression threshold for -compare (0.10 = 10%)")
 	traceOut := flag.String("trace-out", "", "with -prog/-suite: also write the recorded Chrome trace here")
+	allowTruncated := flag.Bool("allow-truncated", false, "analyze a -trace file even if its capped recorder dropped events (figures then cover only the retained window)")
 	flag.Parse()
 
 	switch {
@@ -56,7 +57,7 @@ func main() {
 		}
 		os.Exit(runCompare(args[0], args[1], *threshold, *jsonOut))
 	case *tracePath != "":
-		os.Exit(runTraceDiagnosis(*tracePath, *metricsPath, *jsonOut))
+		os.Exit(runTraceDiagnosis(*tracePath, *metricsPath, *jsonOut, *allowTruncated))
 	case *progName != "" || *suite:
 		os.Exit(runProgDiagnosis(progConfig{
 			prog: *progName, suite: *suite, nodes: *nodes, workers: *workers,
@@ -78,10 +79,15 @@ func fatalf(code int, format string, args ...any) {
 
 // runTraceDiagnosis analyzes a serialized trace (plus an optional metrics
 // snapshot) and prints the diagnosis.  Returns the process exit code.
-func runTraceDiagnosis(tracePath, metricsPath string, jsonOut bool) int {
+func runTraceDiagnosis(tracePath, metricsPath string, jsonOut, allowTruncated bool) int {
 	rep, snap, err := diagnoseTraceFile(tracePath, metricsPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if rep.DroppedEvents > 0 && !allowTruncated {
+		fmt.Fprintf(os.Stderr, "cuccprof: %s is truncated: the capped recorder dropped %d events, so the critical path and straggler figures would describe only the retained window; pass -allow-truncated to analyze it anyway\n",
+			tracePath, rep.DroppedEvents)
 		return 2
 	}
 	if jsonOut {
@@ -115,7 +121,7 @@ func diagnoseTraceFile(tracePath, metricsPath string) (*prof.Report, *metrics.Sn
 	if err != nil {
 		return nil, nil, err
 	}
-	events, err := trace.ParseChrome(data)
+	events, dropped, err := trace.ParseChromeDropped(data)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,7 +137,9 @@ func diagnoseTraceFile(tracePath, metricsPath string) (*prof.Report, *metrics.Sn
 		}
 		snap = &s
 	}
-	return prof.Analyze(events, nil), snap, nil
+	rep := prof.Analyze(events, nil)
+	rep.DroppedEvents = dropped
+	return rep, snap, nil
 }
 
 // --- run-and-diagnose mode ---
@@ -209,6 +217,7 @@ func runProgDiagnosis(cfg progConfig) int {
 
 	events := rec.Events()
 	rep := prof.Analyze(events, statsIfSingle(progs, lastStats))
+	rep.DroppedEvents = rec.Dropped()
 	if lastStats != nil && len(progs) == 1 {
 		// Model-based what-if from the launch statistics (the same
 		// decomposition core.Estimate uses) beats the event-derived one

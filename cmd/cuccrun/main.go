@@ -37,7 +37,7 @@ func main() {
 	list := flag.Bool("list", false, "list available programs")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (-real runs)")
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for -real execution (0 = all CPUs)")
-	engine := flag.String("engine", "vm", "IR execution engine for -real runs: vm (register machine) or interp (reference interpreter)")
+	engine := flag.String("engine", "vm", "IR execution engine for -real runs: vm (register machine), vm-lanes (lane-batched vm), or interp (reference interpreter)")
 	recvTimeout := flag.Duration("recv-timeout", time.Minute, "transport receive deadline; a hung rank fails the run instead of deadlocking it (0 = no deadline)")
 	showMetrics := flag.Bool("metrics", false, "enable the metrics registry and print its table after the run")
 	metricsOut := flag.String("metrics-out", "", "enable the metrics registry and write its JSON snapshot to this file")

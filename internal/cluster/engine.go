@@ -12,10 +12,15 @@ const (
 	// EngineDefault defers the choice to the next configuration layer
 	// (session -> cluster -> process default -> EngineVM).
 	EngineDefault Engine = iota
-	// EngineVM runs kernels on the compile-once register machine.
+	// EngineVM runs kernels on the compile-once register machine, one
+	// thread at a time.
 	EngineVM
 	// EngineInterp runs kernels on the reference tree-walking interpreter.
 	EngineInterp
+	// EngineVMLanes runs kernels on the register machine's lane-batched
+	// dispatcher: one opcode dispatch drives a warp-style batch of threads
+	// in lockstep over structure-of-arrays register slabs.
+	EngineVMLanes
 )
 
 func (e Engine) String() string {
@@ -24,6 +29,8 @@ func (e Engine) String() string {
 		return "vm"
 	case EngineInterp:
 		return "interp"
+	case EngineVMLanes:
+		return "vm-lanes"
 	default:
 		return "default"
 	}
@@ -39,7 +46,9 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineVM, nil
 	case "interp":
 		return EngineInterp, nil
+	case "vm-lanes":
+		return EngineVMLanes, nil
 	default:
-		return EngineDefault, fmt.Errorf("cluster: unknown engine %q (want vm or interp)", s)
+		return EngineDefault, fmt.Errorf("cluster: unknown engine %q (want vm, vm-lanes, or interp)", s)
 	}
 }

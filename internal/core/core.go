@@ -25,6 +25,7 @@ import (
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
 	"cucc/internal/trace"
+	"cucc/internal/vm"
 )
 
 // KernelLaunchOverheadSec is the fixed host-side cost of one kernel launch
@@ -265,6 +266,14 @@ type launchState struct {
 	argVals []interp.Value
 	env     analysis.Env
 	native  *Native
+
+	// vmProfile latches the VM opcode profiler's on/off switch once per
+	// launch, at resolve time, so every worker's Runner — across ranks,
+	// pool workers, and the partial/callback phases — agrees even if
+	// vm.SetProfiling is toggled while the launch is in flight.  Without
+	// the latch, a mid-launch toggle yields a pool where some Runners are
+	// instrumented and others are not, silently undercounting profiles.
+	vmProfile bool
 }
 
 func (s *Session) resolve(spec LaunchSpec) (*launchState, error) {
@@ -327,6 +336,7 @@ func (s *Session) resolve(spec LaunchSpec) (*launchState, error) {
 	if n, ok := s.Prog.natives[spec.Kernel]; ok && !spec.UseInterp {
 		st.native = &n
 	}
+	st.vmProfile = vm.ProfilingEnabled()
 	return st, nil
 }
 

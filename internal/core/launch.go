@@ -392,9 +392,12 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 		mkExec = func() (func(l int) (machine.BlockWork, error), error) { return exec, nil }
 	} else {
 		engine := s.EffectiveEngine()
-		if engine == cluster.EngineInterp {
+		switch engine {
+		case cluster.EngineInterp:
 			blockMetric = MetricBlocksInterp
-		} else {
+		case cluster.EngineVMLanes:
+			blockMetric = MetricBlocksVMLanes
+		default:
 			blockMetric = MetricBlocksVM
 		}
 		mkExec = func() (func(l int) (machine.BlockWork, error), error) {
@@ -407,10 +410,15 @@ func (s *Session) runBlocks(st *launchState, rank, lo, hi int) (machine.BlockWor
 			}
 			var r blockRunner
 			var err error
-			if engine == cluster.EngineInterp {
+			switch engine {
+			case cluster.EngineInterp:
 				r, err = interp.NewRunner(l)
-			} else {
-				r, err = vm.NewRunner(l)
+			case cluster.EngineVMLanes:
+				// The profiling decision was latched at resolve time so
+				// every worker's runner agrees (see launchState.vmProfile).
+				r, err = vm.NewLaneRunnerProfiled(l, st.vmProfile)
+			default:
+				r, err = vm.NewRunnerProfiled(l, st.vmProfile)
 			}
 			if err != nil {
 				return nil, err

@@ -26,6 +26,7 @@ const (
 	MetricCallbackWallSec     = "core.phase.callback.wall_seconds"
 	MetricBlocksNative        = "core.blocks.native"
 	MetricBlocksVM            = "core.blocks.vm"
+	MetricBlocksVMLanes       = "core.blocks.vm_lanes"
 	MetricBlocksInterp        = "core.blocks.interp"
 	MetricWorkerBlocks        = "core.worker.blocks"
 	MetricWorkerUtilization   = "core.worker.utilization"

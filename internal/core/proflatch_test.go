@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/vm"
+)
+
+// TestProfilingLatchedPerLaunch pins the per-launch profiling latch: the
+// profiler on/off decision is sampled exactly once, at launch resolve time,
+// so a vm.SetProfiling toggle racing with an in-flight launch can never
+// yield a worker pool where some Runners are instrumented and others are
+// not.  Every launch must therefore contribute either its full dynamic
+// instruction count to the profile or nothing at all — the accumulated
+// total is an exact multiple of the single-launch count.  Run under -race
+// this also proves the toggle itself is data-race-free against the pool.
+func TestProfilingLatchedPerLaunch(t *testing.T) {
+	prog, err := Compile(vecCopySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCluster(t, 2)
+	const N = 64 * 256
+	src := c.Alloc(kir.U8, N)
+	dest := c.Alloc(kir.U8, N)
+	sess := NewSession(c, prog)
+	sess.Host.Workers = 8
+	spec := LaunchSpec{
+		Kernel:    "vec_copy",
+		Grid:      interp.Dim1(64),
+		Block:     interp.Dim1(256),
+		Args:      []Arg{BufArg(src), BufArg(dest), IntArg(N)},
+		UseInterp: true, // keep the IR path (where the profiler lives)
+	}
+	launch := func() {
+		if _, err := sess.Launch(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	instructions := func() int64 {
+		var total int64
+		for _, kp := range vm.Profiles() {
+			total += kp.Instructions
+		}
+		return total
+	}
+
+	// Calibrate: one quiet profiled launch gives the full per-launch count.
+	vm.SetProfiling(true)
+	vm.ResetProfiles()
+	defer func() {
+		vm.SetProfiling(false)
+		vm.ResetProfiles()
+	}()
+	launch()
+	perLaunch := instructions()
+	if perLaunch <= 0 {
+		t.Fatalf("calibration launch recorded %d instructions, want > 0", perLaunch)
+	}
+	vm.ResetProfiles()
+
+	// Race: flip the global profiling switch as fast as possible while
+	// launches run through the 8-worker pool.
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			vm.SetProfiling(false)
+			vm.SetProfiling(true)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		launch()
+	}
+	stop.Store(true)
+	<-done
+
+	if total := instructions(); total%perLaunch != 0 {
+		t.Fatalf("profile shows a partially instrumented launch: total %d not a multiple of per-launch %d",
+			total, perLaunch)
+	}
+}

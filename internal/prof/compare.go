@@ -14,7 +14,10 @@ import (
 // understands.  Version 0 is the pre-schema legacy format (no schema_version
 // or config block); comparisons involving a legacy report proceed with a
 // warning instead of a refusal, since the row format is unchanged.
-const BenchSchemaVersion = 1
+// Version 2 added the vm-lanes engine rows and the vm_lanes_over_vm speedup
+// column; the row format is still compatible, so cross-version comparisons
+// warn and match keys instead of refusing.
+const BenchSchemaVersion = 2
 
 // BenchConfig pins the run configuration a benchmark report was produced
 // under.  Two reports with differing configs measure different things, so
@@ -100,14 +103,13 @@ func (c *Comparison) Regressions() int {
 
 // CompareBench diffs two engine-benchmark reports keyed by
 // (program, engine).  threshold is the fractional ns/op growth tolerated
-// before a row counts as a regression (0.10 = 10%).  Reports with differing
-// schema versions or run configs are refused — the numbers would not be
-// comparable.
+// before a row counts as a regression (0.10 = 10%).  Reports produced under
+// different workers/nodes/fault-seed configs are refused — the numbers would
+// not be comparable.  Schema-version and engine-list differences only warn:
+// rows are matched by key, and engines present on one side only land in
+// OnlyOld/OnlyNew, so a report that grew a new engine still diffs cleanly
+// against its predecessor.
 func CompareBench(old, new *BenchReport, threshold float64) (*Comparison, error) {
-	if old.SchemaVersion != new.SchemaVersion && old.SchemaVersion != 0 && new.SchemaVersion != 0 {
-		return nil, fmt.Errorf("prof: schema version mismatch: old v%d vs new v%d",
-			old.SchemaVersion, new.SchemaVersion)
-	}
 	if err := configMismatch(old, new); err != nil {
 		return nil, err
 	}
@@ -115,6 +117,13 @@ func CompareBench(old, new *BenchReport, threshold float64) (*Comparison, error)
 	if old.SchemaVersion == 0 || new.SchemaVersion == 0 {
 		cmp.Warnings = append(cmp.Warnings,
 			"one report predates schema_version: run config not cross-checked")
+	} else if old.SchemaVersion != new.SchemaVersion {
+		cmp.Warnings = append(cmp.Warnings, fmt.Sprintf(
+			"schema versions differ (old v%d, new v%d): matching rows by key",
+			old.SchemaVersion, new.SchemaVersion))
+	}
+	if w := engineListDiff(old, new); w != "" {
+		cmp.Warnings = append(cmp.Warnings, w)
 	}
 	key := func(r BenchResult) string { return r.Program + "/" + r.Engine }
 	oldBy := map[string]BenchResult{}
@@ -146,15 +155,28 @@ func CompareBench(old, new *BenchReport, threshold float64) (*Comparison, error)
 	return cmp, nil
 }
 
+// engineListDiff reports (as a warning string, "" when equal) an engine-list
+// difference between two reports.  Unlike workers/nodes/fault-seed, a
+// differing engine set doesn't invalidate the shared rows — each row is a
+// (program, engine) measurement on its own — so it warns instead of refusing.
+func engineListDiff(old, new *BenchReport) string {
+	a, b := old.Config, new.Config
+	if a == nil || b == nil {
+		return ""
+	}
+	if strings.Join(a.Engines, ",") != strings.Join(b.Engines, ",") {
+		return fmt.Sprintf("engine sets differ (old %v, new %v): unshared engines appear under only-old/only-new",
+			a.Engines, b.Engines)
+	}
+	return ""
+}
+
 func configMismatch(old, new *BenchReport) error {
 	a, b := old.Config, new.Config
 	if a == nil || b == nil {
 		return nil // legacy report: nothing to cross-check
 	}
 	var diffs []string
-	if strings.Join(a.Engines, ",") != strings.Join(b.Engines, ",") {
-		diffs = append(diffs, fmt.Sprintf("engines %v vs %v", a.Engines, b.Engines))
-	}
 	if a.Workers != b.Workers {
 		diffs = append(diffs, fmt.Sprintf("workers %d vs %d", a.Workers, b.Workers))
 	}

@@ -62,9 +62,40 @@ func TestCompareBenchRefusesConfigMismatch(t *testing.T) {
 	if _, err := CompareBench(a, b, 0.10); err == nil {
 		t.Error("differing worker counts not refused")
 	}
-	c := benchReport(map[string]int64{"VecAdd/vm": 1000}, nil, 2)
-	if _, err := CompareBench(a, c, 0.10); err == nil {
-		t.Error("differing schema versions not refused")
+}
+
+// TestCompareBenchCrossSchema: a report that grew an engine (and bumped the
+// schema version) still diffs against its predecessor — shared keys match,
+// the new engine's rows land in only_new, and warnings note both differences.
+func TestCompareBenchCrossSchema(t *testing.T) {
+	old := benchReport(map[string]int64{"VecAdd/vm": 1000, "VecAdd/interp": 4000},
+		&BenchConfig{Engines: []string{"vm", "interp"}, Workers: 1, Nodes: 1}, 1)
+	new := benchReport(map[string]int64{"VecAdd/vm": 1000, "VecAdd/interp": 4000, "VecAdd/vm-lanes": 300},
+		&BenchConfig{Engines: []string{"vm", "vm-lanes", "interp"}, Workers: 1, Nodes: 1}, 2)
+	cmp, err := CompareBench(old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmp.Regressions(); got != 0 {
+		t.Errorf("regressions = %d, want 0 (rows %+v)", got, cmp.Rows)
+	}
+	if len(cmp.Rows) != 2 {
+		t.Errorf("matched rows = %+v, want the two shared keys", cmp.Rows)
+	}
+	if len(cmp.OnlyNew) != 1 || cmp.OnlyNew[0] != "VecAdd/vm-lanes" {
+		t.Errorf("only_new = %v, want the vm-lanes row", cmp.OnlyNew)
+	}
+	var schemaWarn, engineWarn bool
+	for _, w := range cmp.Warnings {
+		if strings.Contains(w, "schema versions differ") {
+			schemaWarn = true
+		}
+		if strings.Contains(w, "engine sets differ") {
+			engineWarn = true
+		}
+	}
+	if !schemaWarn || !engineWarn {
+		t.Errorf("warnings = %v, want schema-version and engine-set warnings", cmp.Warnings)
 	}
 }
 

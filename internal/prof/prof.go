@@ -99,6 +99,13 @@ type Report struct {
 	// runs); a non-empty list means the timing figures describe a run that
 	// did not complete.
 	Failures []string `json:"failures,omitempty"`
+
+	// DroppedEvents is the number of events a capped recorder overwrote
+	// before the timeline was analyzed (see trace.NewCapped).  Nonzero
+	// means the critical path, bound phase, and straggler figures describe
+	// only the retained window — they may be confidently wrong about the
+	// full run.
+	DroppedEvents int64 `json:"dropped_events,omitempty"`
 }
 
 // segment is one inter-barrier window of rank activity: every rank works
@@ -403,6 +410,10 @@ func (r *Report) Table() string {
 		for _, f := range r.Failures {
 			fmt.Fprintf(&b, "  %s\n", f)
 		}
+	}
+	if r.DroppedEvents > 0 {
+		fmt.Fprintf(&b, "WARNING — trace truncated: %d events were dropped by the capped recorder;\n", r.DroppedEvents)
+		fmt.Fprintf(&b, "  figures describe only the retained window, not the full run\n")
 	}
 	if r.BoundPhase != "" {
 		fmt.Fprintf(&b, "bound by: %s", r.BoundPhase)

@@ -146,6 +146,10 @@ func (r *Recorder) Reset() {
 // Allgather barrier and abort/timeout markers, Node == -1).
 const clusterTID = 9999
 
+// droppedMetaName is the name of the metadata event ChromeTrace emits when
+// a capped recorder has overwritten events; its Detail carries the count.
+const droppedMetaName = "cucc_dropped_events"
+
 // eventArgs is the typed args payload of an exported span ("X") event, and
 // the name payload of a metadata ("M") event.  A fixed struct (not a map)
 // keeps the serialized key order a compile-time property.
@@ -189,11 +193,21 @@ func (r *Recorder) ChromeTrace() ([]byte, error) {
 	}
 	sort.Ints(tids)
 
-	out := make([]chromeEvent, 0, len(evs)+len(tids)+1)
+	out := make([]chromeEvent, 0, len(evs)+len(tids)+2)
 	out = append(out, chromeEvent{
 		Name: "process_name", Ph: "M", PID: 1,
 		Args: &eventArgs{Name: "cucc cluster"},
 	})
+	if d := r.Dropped(); d > 0 {
+		// A capped recorder overwrote events: the serialized trace is
+		// incomplete, and any timeline analysis of it is suspect.  Record
+		// the count so readers (ParseChromeDropped, cuccprof) can refuse or
+		// warn instead of silently analyzing a truncated window.
+		out = append(out, chromeEvent{
+			Name: droppedMetaName, Ph: "M", PID: 1,
+			Args: &eventArgs{Name: droppedMetaName, Detail: fmt.Sprintf("%d", d)},
+		})
+	}
 	for _, tid := range tids {
 		name := fmt.Sprintf("rank %d", tid)
 		if tid == clusterTID {
@@ -232,12 +246,26 @@ func laneTID(node int) int {
 // skipped; unknown extra fields are ignored, so traces from newer writers
 // still load.
 func ParseChrome(data []byte) ([]Event, error) {
+	evs, _, err := ParseChromeDropped(data)
+	return evs, err
+}
+
+// ParseChromeDropped is ParseChrome plus the recorder's dropped-event count
+// (from the cucc_dropped_events metadata event, 0 when absent).  A nonzero
+// count means the trace was written from a capped recorder that overwrote
+// events: the timeline is incomplete and analyses over it are unreliable.
+func ParseChromeDropped(data []byte) ([]Event, int64, error) {
 	var raw []chromeEvent
 	if err := json.Unmarshal(data, &raw); err != nil {
-		return nil, fmt.Errorf("trace: not Chrome trace-event JSON: %w", err)
+		return nil, 0, fmt.Errorf("trace: not Chrome trace-event JSON: %w", err)
 	}
 	var evs []Event
+	var dropped int64
 	for _, ce := range raw {
+		if ce.Ph == "M" && ce.Name == droppedMetaName && ce.Args != nil {
+			fmt.Sscanf(ce.Args.Detail, "%d", &dropped)
+			continue
+		}
 		if ce.Ph != "X" {
 			continue
 		}
@@ -260,7 +288,7 @@ func ParseChrome(data []byte) ([]Event, error) {
 		evs = append(evs, ev)
 	}
 	SortEvents(evs)
-	return evs, nil
+	return evs, dropped, nil
 }
 
 // Summary renders a per-phase aggregate table.

@@ -54,10 +54,141 @@ func Compile(k *kir.Kernel) (*CompiledKernel, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	p.code = c.code
+	p.code = fuse(c.code, k.NumSlots, c.tiBase, c.tfBase)
 	p.numI = c.maxTI
 	p.numF = c.maxTF
 	return p, nil
+}
+
+// fuse is the post-compile peephole pass emitting superinstructions for the
+// hot adjacent pairs the PR-5 opcode profiler surfaced (assignment move
+// pairs, multiply-add chains, compare+branch loop conditions).  A pair
+// [i, i+1] fuses only when no jump targets i+1 (the pair always executes
+// together) and, for the value-forwarding fusions, when the intermediate is
+// a temporary register: the compiler allocates each temporary for exactly
+// one consuming read before the next statement rewrites it, so dropping the
+// intermediate write is safe.  Jump targets are remapped to the shortened
+// instruction stream, exactly like the profiler's instrumentation pass.
+func fuse(code []instr, numSlots, tiBase, tfBase int) []instr {
+	n := len(code)
+	target := make([]bool, n+1)
+	for _, in := range code {
+		if isJump(in.op) {
+			target[in.imm] = true
+		}
+	}
+	out := make([]instr, 0, n)
+	oldToNew := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		oldToNew[i] = int32(len(out))
+		in := code[i]
+		if i+1 < n && !target[i+1] {
+			if f, ok := fusePair(in, code[i+1], numSlots, tiBase, tfBase); ok {
+				out = append(out, f)
+				i++
+				oldToNew[i] = int32(len(out) - 1)
+				continue
+			}
+		}
+		out = append(out, in)
+	}
+	oldToNew[n] = int32(len(out))
+	for i := range out {
+		if isJump(out[i].op) {
+			out[i].imm = oldToNew[out[i].imm]
+		}
+	}
+	return out
+}
+
+// fusePair matches one superinstruction pattern against an adjacent
+// instruction pair.
+func fusePair(in, nx instr, numSlots, tiBase, tfBase int) (instr, bool) {
+	switch {
+	case in.op == opMovI && nx.op == opMovF &&
+		int(nx.d) < numSlots && int(in.d) == int(nx.d)+numReservedI:
+		// The two halves of a variable-slot assignment (Decl/Assign always
+		// emit them adjacently).  Combining the independent int/float file
+		// writes is unconditionally safe.
+		return instr{op: opMovVar, d: nx.d, a: in.a, b: nx.a}, true
+
+	case in.op == opMulF && int(in.d) >= tfBase && nx.op == opAddF:
+		t := in.d
+		if nx.a == t && nx.b != t {
+			return instr{op: opMulAddF, d: nx.d, a: in.a, b: in.b,
+				imm: int32(nx.b) | mulAddSwapBit}, true
+		}
+		if nx.b == t && nx.a != t {
+			return instr{op: opMulAddF, d: nx.d, a: in.a, b: in.b,
+				imm: int32(nx.a)}, true
+		}
+
+	case in.op == opMulI && int(in.d) >= tiBase && nx.op == opAddI:
+		t := in.d
+		if (nx.a == t) != (nx.b == t) {
+			c := nx.a
+			if c == t {
+				c = nx.b
+			}
+			return instr{op: opMulAddI, d: nx.d, a: in.a, b: in.b, imm: int32(c)}, true
+		}
+
+	case in.op >= opLtI && in.op <= opNeI && int(in.d) >= tiBase &&
+		(nx.op == opJzI || nx.op == opJnzI) && nx.a == in.d:
+		d := uint16(in.op - opLtI)
+		if nx.op == opJnzI {
+			d |= cjmpSenseBit
+		}
+		return instr{op: opCJmpI, d: d, a: in.a, b: in.b, imm: nx.imm}, true
+
+	case in.op >= opLtF && in.op <= opNeF && int(in.d) >= tiBase &&
+		(nx.op == opJzI || nx.op == opJnzI) && nx.a == in.d:
+		// Float compares write their 0/1 result into an int temporary, so
+		// the consuming jump is the integer form.
+		d := uint16(in.op - opLtF)
+		if nx.op == opJnzI {
+			d |= cjmpSenseBit
+		}
+		return instr{op: opCJmpF, d: d, a: in.a, b: in.b, imm: nx.imm}, true
+	}
+	return instr{}, false
+}
+
+// cmpI applies an integer comparison kind (opCJmpI's d field, 0..5 =
+// Lt..Ne).
+func cmpI(kind uint16, x, y int64) bool {
+	switch kind {
+	case 0:
+		return x < y
+	case 1:
+		return x <= y
+	case 2:
+		return x > y
+	case 3:
+		return x >= y
+	case 4:
+		return x == y
+	default:
+		return x != y
+	}
+}
+
+// cmpF is cmpI over the float file.
+func cmpF(kind uint16, x, y float64) bool {
+	switch kind {
+	case 0:
+		return x < y
+	case 1:
+		return x <= y
+	case 2:
+		return x > y
+	case 3:
+		return x >= y
+	case 4:
+		return x == y
+	default:
+		return x != y
+	}
 }
 
 type compiler struct {

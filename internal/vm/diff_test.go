@@ -27,6 +27,7 @@ type engineFn func(*interp.Launch) (blockRunner, error)
 
 func interpEngine(l *interp.Launch) (blockRunner, error) { return interp.NewRunner(l) }
 func vmEngine(l *interp.Launch) (blockRunner, error)     { return vm.NewRunner(l) }
+func laneEngine(l *interp.Launch) (blockRunner, error)   { return vm.NewLaneRunner(l) }
 
 // runEngine executes every block of the grid in linear order on a fresh copy
 // of the initial buffers, returning the final memory image, the accumulated
@@ -62,16 +63,9 @@ func runEngine(eng engineFn, k *kir.Kernel, grid, block interp.Dim3,
 	return image, total, nil
 }
 
-// diffRun runs src through both engines and asserts equivalence.
-func diffRun(t *testing.T, src string, grid, block interp.Dim3) {
-	t.Helper()
-	mod, err := lang.Parse(src)
-	if err != nil {
-		t.Fatalf("parse: %v\n%s", err, src)
-	}
-	k := mod.Kernels[0]
-
-	// Fixed signature: (float* out, float* a, int* ib, int n, float s).
+// fuzzInit builds the fixed fuzz signature's buffers and arguments:
+// (float* out, float* a, int* ib, int n, float s).
+func fuzzInit() ([]*interp.HostBuffer, []interp.Value) {
 	rng := rand.New(rand.NewSource(99))
 	av := make([]float32, fuzzLen)
 	iv := make([]int32, fuzzLen)
@@ -87,32 +81,64 @@ func diffRun(t *testing.T, src string, grid, block interp.Dim3) {
 	args := make([]interp.Value, 5)
 	args[3] = interp.IntV(fuzzLen)
 	args[4] = interp.FloatV(1.75)
+	return init, args
+}
 
+// namedEngine pairs an engine constructor with a label for failure output.
+type namedEngine struct {
+	name string
+	fn   engineFn
+}
+
+// diffRun runs src through the interpreter and the listed engines and
+// asserts equivalence against the interpreter oracle.
+func diffRun(t *testing.T, src string, grid, block interp.Dim3, engines ...namedEngine) {
+	t.Helper()
+	mod, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	k := mod.Kernels[0]
+	if len(engines) == 0 {
+		engines = []namedEngine{{"vm", vmEngine}}
+	}
+	init, args := fuzzInit()
 	mi, wi, ei := runEngine(interpEngine, k, grid, block, args, init, 0)
-	mv, wv, ev := runEngine(vmEngine, k, grid, block, args, init, 0)
-	if (ei != nil) != (ev != nil) {
-		t.Fatalf("error divergence: interp=%v vm=%v\n%s", ei, ev, src)
-	}
-	if ei != nil {
-		return // both errored; messages carry engine prefixes, memory undefined
-	}
-	if wi != wv {
-		t.Fatalf("work divergence:\ninterp %+v\nvm     %+v\n%s", wi, wv, src)
-	}
-	if !bytes.Equal(mi, mv) {
-		for i := range mi {
-			if mi[i] != mv[i] {
-				t.Fatalf("memory divergence at byte %d: interp=%#x vm=%#x\n%s",
-					i, mi[i], mv[i], src)
+	for _, eng := range engines {
+		mv, wv, ev := runEngine(eng.fn, k, grid, block, args, init, 0)
+		if (ei != nil) != (ev != nil) {
+			t.Fatalf("error divergence: interp=%v %s=%v\n%s", ei, eng.name, ev, src)
+		}
+		if ei != nil {
+			continue // both errored; messages carry engine prefixes, memory undefined
+		}
+		if wi != wv {
+			t.Fatalf("work divergence:\ninterp %+v\n%s %+v\n%s", wi, eng.name, wv, src)
+		}
+		if !bytes.Equal(mi, mv) {
+			for i := range mi {
+				if mi[i] != mv[i] {
+					t.Fatalf("memory divergence at byte %d: interp=%#x %s=%#x\n%s",
+						i, mi[i], eng.name, mv[i], src)
+				}
 			}
 		}
 	}
 }
 
 // gen produces random kernel source over the fixed fuzz signature.
+//
+// laneSafe restricts generation to kernels whose result is independent of
+// the thread interleaving, so the lane engine's lockstep schedule must be
+// bitwise-identical to the sequential engines: no reads of buffers other
+// threads store (ib[...] leaves), and at most one atomic site per buffer
+// (an int atomicMax and a straight-line float atomicAdd both commute under
+// the reordering lockstep introduces; a second non-commuting site on the
+// same cell would not).
 type gen struct {
-	rng   *rand.Rand
-	inFor bool // "i" is in scope
+	rng      *rand.Rand
+	inFor    bool // "i" is in scope
+	laneSafe bool
 }
 
 func (g *gen) pick(n int) int { return g.rng.Intn(n) }
@@ -137,6 +163,11 @@ func (g *gen) intExpr(depth int) string {
 			}
 			return "id"
 		default:
+			if g.laneSafe {
+				// ib may be stored by other threads; reading it back would
+				// make the result depend on the engine's interleaving.
+				return fmt.Sprintf("(id * %d)", g.rng.Intn(5)+1)
+			}
 			return fmt.Sprintf("ib[%s]", g.idx(0))
 		}
 	}
@@ -260,7 +291,11 @@ func (g *gen) kernel(mode int) string {
 		b.WriteString(fmt.Sprintf("    acc = %s;\n", g.fltExpr(2)))
 		b.WriteString(fmt.Sprintf("    atomicAdd(&out[%s], acc);\n", g.idx(1)))
 		b.WriteString(fmt.Sprintf("    atomicMax(&ib[%s], %s);\n", g.idx(1), g.intExpr(1)))
-		if g.pick(2) == 0 {
+		if !g.laneSafe && g.pick(2) == 0 {
+			// A second atomic op on ib does not commute with the atomicMax
+			// above (max∘add != add∘max), so the lane engine's reordering
+			// could legitimately diverge; only the sequential engines may
+			// compare it.
 			b.WriteString(fmt.Sprintf("    atomicAdd(&ib[%s], %s);\n", g.idx(1), g.intExpr(1)))
 		}
 	case 4: // shared memory + barriers (race-free; unique global writes)
@@ -308,6 +343,147 @@ func TestDiffFuzz(t *testing.T) {
 		}
 		t.Run(fmt.Sprintf("iter%03d_mode%d", iter, mode), func(t *testing.T) {
 			diffRun(t, src, grid, block)
+		})
+	}
+}
+
+// TestDiffFuzzLanes fuzzes the lane-batched engine against both sequential
+// engines: lane-safe random kernels (divergence, loops, atomics, barriers)
+// across lane widths and deliberately odd block sizes, so partial tail
+// batches, split/reconverge paths, and per-batch barrier suspension all get
+// exercised.
+func TestDiffFuzzLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	widths := []int{4, 8, 16, 32}
+	for iter := 0; iter < 200; iter++ {
+		g := &gen{rng: rng, laneSafe: true}
+		mode := iter % 5
+		src := g.kernel(mode)
+		grid := interp.Dim1(rng.Intn(3) + 1)
+		// Odd block sizes force tail batches at every lane width.
+		block := interp.Dim1([]int{3, 5, 7, 8, 13, 16, 31, 32}[rng.Intn(8)])
+		if mode != 4 && rng.Intn(3) == 0 {
+			grid = interp.Dim3{X: rng.Intn(2) + 1, Y: 2}
+			block = interp.Dim3{X: []int{3, 4, 5}[rng.Intn(3)], Y: 2}
+		}
+		if mode == 4 {
+			// Block must fit the 32-element tile with unique tids.
+			block = interp.Dim3{X: []int{8, 16, 24, 32}[rng.Intn(4)], Y: 1}
+			if rng.Intn(3) == 0 {
+				block = interp.Dim3{X: []int{8, 13}[rng.Intn(2)], Y: 2}
+			}
+			grid = interp.Dim1(rng.Intn(2) + 1)
+		}
+		w := widths[iter%len(widths)]
+		t.Run(fmt.Sprintf("iter%03d_mode%d_w%d", iter, mode, w), func(t *testing.T) {
+			prev := vm.SetLaneWidth(w)
+			defer vm.SetLaneWidth(prev)
+			diffRun(t, src, grid, block,
+				namedEngine{"vm", vmEngine}, namedEngine{"vm-lanes", laneEngine})
+		})
+	}
+}
+
+// TestLaneTailBatch pins the partial-tail case deterministically: block
+// sizes that are not multiples of the lane width, including one smaller
+// than a single batch.
+func TestLaneTailBatch(t *testing.T) {
+	src := `
+__global__ void fz(float* out, float* a, int* ib, int n, float s) {
+    int id = ((blockIdx.y * gridDim.x + blockIdx.x) * (blockDim.x * blockDim.y)) + threadIdx.y * blockDim.x + threadIdx.x;
+    float acc = s;
+    for (int i = 0; i < id % 7 + 1; i++) { acc = acc * 0.5f + a[(id + i) % n]; }
+    out[id % n] = acc;
+    ib[id % n] = id * 3;
+}`
+	for _, tc := range []struct{ w, block int }{
+		{8, 13}, {8, 5}, {16, 17}, {16, 3}, {4, 7}, {32, 33},
+	} {
+		t.Run(fmt.Sprintf("w%d_block%d", tc.w, tc.block), func(t *testing.T) {
+			prev := vm.SetLaneWidth(tc.w)
+			defer vm.SetLaneWidth(prev)
+			diffRun(t, src, interp.Dim1(2), interp.Dim1(tc.block),
+				namedEngine{"vm-lanes", laneEngine})
+		})
+	}
+}
+
+// TestLaneAllLanesDead: a batch where every lane dies must report the
+// batch's lowest-thread-id error and not disturb other batches' execution
+// (which never runs, matching the scalar engine's first-error abort).
+func TestLaneAllLanesDead(t *testing.T) {
+	src := `
+__global__ void fz(float* out, float* a, int* ib, int n, float s) {
+    int id = threadIdx.x;
+    if (id < 8) { out[n * n] = s; }
+    out[id] = 1.0f;
+}`
+	mod, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mod.Kernels[0]
+	prev := vm.SetLaneWidth(8)
+	defer vm.SetLaneWidth(prev)
+	init, args := fuzzInit()
+	_, wv, ev := runEngine(vmEngine, k, interp.Dim1(1), interp.Dim1(32), args, init, 0)
+	_, wl, el := runEngine(laneEngine, k, interp.Dim1(1), interp.Dim1(32), args, init, 0)
+	if ev == nil || el == nil {
+		t.Fatalf("expected both engines to fail: vm=%v lanes=%v", ev, el)
+	}
+	if ev.Error() != el.Error() {
+		t.Fatalf("error mismatch:\nvm    %v\nlanes %v", ev, el)
+	}
+	if wv != (interp.Work{}) || wl != (interp.Work{}) {
+		t.Fatalf("failed blocks must report zero work: vm=%+v lanes=%+v", wv, wl)
+	}
+}
+
+// TestLaneErrorOrdering: when several lanes die with different errors, the
+// lane engine must report the lowest thread id's error — the interpreter's
+// (and scalar VM's) thread-id-order first-error rule — in both the
+// straight-line and the phased scheduler.
+func TestLaneErrorOrdering(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"straight", `
+__global__ void fz(float* out, float* a, int* ib, int n, float s) {
+    int id = threadIdx.x;
+    if (id == 3) { ib[0] = 1 / (n - n); }
+    if (id == 1) { out[0 - n] = s; }
+    out[id] = 1.0f;
+}`},
+		{"phased", `
+__global__ void fz(float* out, float* a, int* ib, int n, float s) {
+    __shared__ float tile[8];
+    int id = threadIdx.x;
+    tile[id] = s;
+    __syncthreads();
+    if (id == 5) { ib[0] = 1 / (n - n); }
+    if (id == 2) { out[0 - n] = tile[id]; }
+    out[id] = tile[id];
+}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mod, err := lang.Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := mod.Kernels[0]
+			prev := vm.SetLaneWidth(8)
+			defer vm.SetLaneWidth(prev)
+			init, args := fuzzInit()
+			_, _, ev := runEngine(vmEngine, k, interp.Dim1(1), interp.Dim1(8), args, init, 0)
+			_, _, el := runEngine(laneEngine, k, interp.Dim1(1), interp.Dim1(8), args, init, 0)
+			if ev == nil || el == nil {
+				t.Fatalf("expected both engines to fail: vm=%v lanes=%v", ev, el)
+			}
+			if ev.Error() != el.Error() {
+				t.Fatalf("first-error mismatch:\nvm    %v\nlanes %v", ev, el)
+			}
+			if !strings.Contains(el.Error(), "out of bounds") {
+				t.Fatalf("expected the lower thread's oob error to win, got %v", el)
+			}
 		})
 	}
 }
@@ -368,11 +544,12 @@ __global__ void fz(float* out, float* a, int* ib, int n, float s) {
 			grid, block := interp.Dim1(1), interp.Dim1(4)
 			_, wi, ei := runEngine(interpEngine, k, grid, block, args, init, 10000)
 			_, wv, ev := runEngine(vmEngine, k, grid, block, args, init, 10000)
-			if ei == nil || ev == nil {
-				t.Fatalf("expected both engines to fail: interp=%v vm=%v", ei, ev)
+			_, wl, el := runEngine(laneEngine, k, grid, block, args, init, 10000)
+			if ei == nil || ev == nil || el == nil {
+				t.Fatalf("expected all engines to fail: interp=%v vm=%v lanes=%v", ei, ev, el)
 			}
-			if wi != (interp.Work{}) || wv != (interp.Work{}) {
-				t.Fatalf("failed blocks must report zero work: interp=%+v vm=%+v", wi, wv)
+			if wi != (interp.Work{}) || wv != (interp.Work{}) || wl != (interp.Work{}) {
+				t.Fatalf("failed blocks must report zero work: interp=%+v vm=%+v lanes=%+v", wi, wv, wl)
 			}
 		})
 	}

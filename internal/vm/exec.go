@@ -59,7 +59,17 @@ type Runner struct {
 
 // NewRunner compiles (or fetches the cached program for) the launch's
 // kernel, validates the launch, and builds the per-launch register images.
+// It samples the global profiling switch at construction time; callers that
+// build several Runners for one launch (the core worker pool) should latch
+// the decision once and use NewRunnerProfiled so every worker agrees even
+// if SetProfiling races with the launch.
 func NewRunner(l *interp.Launch) (*Runner, error) {
+	return NewRunnerProfiled(l, profilingEnabled.Load())
+}
+
+// NewRunnerProfiled is NewRunner with the profiling decision supplied by
+// the caller instead of read from the global switch.
+func NewRunnerProfiled(l *interp.Launch, profiled bool) (*Runner, error) {
 	p, err := CompileCached(l.Kernel)
 	if err != nil {
 		return nil, err
@@ -68,7 +78,7 @@ func NewRunner(l *interp.Launch) (*Runner, error) {
 		return nil, err
 	}
 	r := &Runner{p: p, l: l, mem: l.Mem}
-	if profilingEnabled.Load() {
+	if profiled {
 		r.p, r.prof = instrumentCached(l.Kernel, p)
 	}
 	r.am, _ = l.Mem.(interp.AtomicMemory)
@@ -311,6 +321,33 @@ func (r *Runner) run(ri []int64, rf []float64, pc int32, itersp *int64, w *inter
 			ri[in.d] = ri[in.a]
 		case opMovF:
 			rf[in.d] = rf[in.a]
+		case opMovVar:
+			ri[numReservedI+int(in.d)] = ri[in.a]
+			rf[in.d] = rf[in.b]
+		case opMulAddF:
+			prod := float32(rf[in.a]) * float32(rf[in.b])
+			c := float32(rf[in.imm&0xffff])
+			if in.imm&mulAddSwapBit != 0 {
+				rf[in.d] = float64(prod + c)
+			} else {
+				rf[in.d] = float64(c + prod)
+			}
+			flops += 2
+		case opMulAddI:
+			ri[in.d] = ri[in.imm] + ri[in.a]*ri[in.b]
+			intops += 2
+		case opCJmpI:
+			t := cmpI(in.d&^cjmpSenseBit, ri[in.a], ri[in.b])
+			intops++
+			if t == (in.d&cjmpSenseBit != 0) {
+				pc = in.imm
+			}
+		case opCJmpF:
+			t := cmpF(in.d&^cjmpSenseBit, rf[in.a], rf[in.b])
+			flops++
+			if t == (in.d&cjmpSenseBit != 0) {
+				pc = in.imm
+			}
 		case opNotI:
 			if ri[in.a] == 0 {
 				ri[in.d] = 1

@@ -1,0 +1,1568 @@
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+)
+
+// Lane-batched execution.
+//
+// LaneRunner executes a block's threads in warp-style batches of W lanes in
+// lockstep: one opcode dispatch drives a tight per-opcode loop over all
+// active lanes, amortizing the dispatch cost that dominates the scalar
+// Runner.  Registers live in structure-of-arrays slabs — slab[reg*W + lane]
+// — so the per-lane loops walk contiguous memory.
+//
+// Divergence is handled by an active-lane set plus a min-pc scheduler: the
+// lanes at the smallest program counter always run first, so groups split
+// by a conditional jump naturally reconverge at the compiler's jump-lowered
+// merge points (an if/else joins where the forward jumps land; a loop's
+// back edge brings its lanes behind the exited ones, which wait at the
+// loop's end label).  Each lane individually executes exactly the scalar
+// instruction sequence; the scheduler only chooses the interleaving, which
+// for race-free kernels cannot change memory, Work, or errors.
+//
+// Barrier kernels keep one batch context per batch so every lane's state
+// survives across rounds: a batch runs until all its lanes are waiting at
+// opSync (or done/dead), and when every batch has arrived the barrier
+// releases all of them — the same block-wide cyclic barrier with early
+// departure the interpreter and the scalar phased scheduler implement.
+//
+// Error semantics match the scalar engine: a dying lane (out-of-bounds,
+// div-by-zero, loop budget, opErr) stops executing while the others
+// continue, and the block reports the erroring lane with the smallest
+// thread id, with zero Work — exactly the interpreter's thread-id-order
+// first-error rule.
+
+// laneWidth is the process-default batch width for new LaneRunners.
+var laneWidth atomic.Int32
+
+func init() { laneWidth.Store(32) }
+
+// SetLaneWidth sets the default lane-batch width for LaneRunners created
+// from now on, clamped to [1, 64], and returns the previous width.  It
+// exists for tests that exercise partial tail batches and divergence at
+// odd widths; the default of 32 balances dispatch amortization against
+// divergence cost.
+func SetLaneWidth(w int) int {
+	if w < 1 {
+		w = 1
+	}
+	if w > 64 {
+		w = 64
+	}
+	return int(laneWidth.Swap(int32(w)))
+}
+
+// LaneWidth reports the current default lane-batch width.
+func LaneWidth() int { return int(laneWidth.Load()) }
+
+// Lane status values.
+const (
+	stRun  uint8 = iota // runnable: in the active set or parked at pcs[lane]
+	stWait              // suspended at a barrier
+	stDone              // returned
+	stDead              // errored; errs[lane] holds the error
+)
+
+// laneBatch is the execution state of one batch of up to W lanes.
+type laneBatch struct {
+	li []int64   // int register slab, [reg*W + lane]
+	lf []float64 // float register slab
+
+	pcs   []int32
+	iters []int64
+	stat  []uint8
+	errs  []error
+
+	base, cnt int // first thread id, lanes in use
+
+	act []int  // active-set scratch (ascending lane order)
+	tkn []bool // per-lane taken mask scratch for conditional jumps
+}
+
+// LaneRunner executes the blocks of one launch through the lane-batched
+// dispatcher.  Like Runner it is not safe for concurrent use; the worker
+// pool gives each worker its own LaneRunner over the shared Launch.
+type LaneRunner struct {
+	r *Runner
+	w int // lane width
+
+	// mutI / mutF list the variable slots the kernel writes (int and float
+	// register files respectively).  Only these rows go stale between
+	// batches; resetBatch skips the rest, which for read-only-argument
+	// kernels is all of them.
+	mutI, mutF []int
+
+	batch   *laneBatch   // straight-line path: one batch, reused
+	batches []*laneBatch // phased path: one per batch, states live across rounds
+}
+
+// NewLaneRunner builds a lane-batched runner for the launch, sampling the
+// global profiling switch like NewRunner.
+func NewLaneRunner(l *interp.Launch) (*LaneRunner, error) {
+	return NewLaneRunnerProfiled(l, profilingEnabled.Load())
+}
+
+// NewLaneRunnerProfiled is NewLaneRunner with the profiling decision
+// supplied by the caller (see NewRunnerProfiled).
+func NewLaneRunnerProfiled(l *interp.Launch, profiled bool) (*LaneRunner, error) {
+	r, err := NewRunnerProfiled(l, profiled)
+	if err != nil {
+		return nil, err
+	}
+	lr := &LaneRunner{r: r, w: LaneWidth()}
+	lr.mutI, lr.mutF = slotWriters(r.p)
+	return lr, nil
+}
+
+// slotWriters scans a compiled program for variable slots it writes: int
+// slots are registers [numReservedI, numReservedI+NumSlots) of the int file,
+// float slots are registers [0, NumSlots) of the float file.  resetBatch
+// uses the result to refresh only the rows a previous batch can have
+// clobbered.
+func slotWriters(p *CompiledKernel) (mutI, mutF []int) {
+	ns := p.Kernel.NumSlots
+	seenI := make([]bool, ns)
+	seenF := make([]bool, ns)
+	for _, in := range p.code {
+		switch in.op {
+		case opMovVar:
+			// Writes int slot d and float slot d directly.
+			seenI[in.d] = true
+			seenF[in.d] = true
+		case opMovI, opNotI, opNotF, opCastFI, opCastU8,
+			opNegI, opAddI, opSubI, opMulI, opMulAddI, opDivI, opRemI,
+			opAndI, opOrI, opXorI, opShlI, opShrI,
+			opLtI, opLeI, opGtI, opGeI, opEqI, opNeI,
+			opLtF, opLeF, opGtF, opGeF, opEqF, opNeF,
+			opMinI, opMaxI, opAbsI, opLdGI, opLdGU8, opLdSI:
+			if s := int(in.d) - numReservedI; s >= 0 && s < ns {
+				seenI[s] = true
+			}
+		case opMovF, opCastIF,
+			opNegF, opAddF, opSubF, opMulF, opMulAddF, opDivF,
+			opSqrt, opExp, opLog, opFabs, opFmin, opFmax, opPow,
+			opSin, opCos, opTanh, opLdGF, opLdSF:
+			if int(in.d) < ns {
+				seenF[int(in.d)] = true
+			}
+		}
+	}
+	for s := 0; s < ns; s++ {
+		if seenI[s] {
+			mutI = append(mutI, s)
+		}
+		if seenF[s] {
+			mutF = append(mutF, s)
+		}
+	}
+	return mutI, mutF
+}
+
+// newBatch allocates a batch context and replicates the launch-level
+// register images across all lanes.  Constants, scalar arguments, and the
+// grid/block-dim builtins never change after this; resetBatch refreshes
+// only the per-block and per-thread rows.
+func (lr *LaneRunner) newBatch() *laneBatch {
+	p, W := lr.r.p, lr.w
+	b := &laneBatch{
+		li:    make([]int64, p.numI*W),
+		lf:    make([]float64, p.numF*W),
+		pcs:   make([]int32, W),
+		iters: make([]int64, W),
+		stat:  make([]uint8, W),
+		errs:  make([]error, W),
+		act:   make([]int, 0, W),
+		tkn:   make([]bool, W),
+	}
+	for reg, v := range lr.r.baseI {
+		row := b.li[reg*W : (reg+1)*W]
+		for i := range row {
+			row[i] = v
+		}
+	}
+	for reg, v := range lr.r.baseF {
+		row := b.lf[reg*W : (reg+1)*W]
+		for i := range row {
+			row[i] = v
+		}
+	}
+	return b
+}
+
+// resetBatch points a batch context at threads [base, base+cnt) of the
+// current block: per-thread builtin rows, the variable-slot rows the kernel
+// writes (only those can have been clobbered by the previous batch; the
+// rest keep their newBatch image), and per-lane control state.  Temporary
+// rows need no reset — the compiler guarantees every temporary is written
+// before read on all paths.
+func (lr *LaneRunner) resetBatch(b *laneBatch, base, cnt int) {
+	r, W := lr.r, lr.w
+	bdx := r.baseI[regBdx]
+	bx, by := r.baseI[regBx], r.baseI[regBy]
+	tx, ty := b.li[regTx*W:regTx*W+cnt], b.li[regTy*W:regTy*W+cnt]
+	if r.baseI[regBdy] == 1 {
+		// 1-D block: tx == id, ty == 0; skip the per-lane divmod.
+		for i := range tx {
+			tx[i] = int64(base + i)
+		}
+		clear(ty)
+	} else {
+		for i := range tx {
+			id := int64(base + i)
+			tx[i] = id % bdx
+			ty[i] = id / bdx
+		}
+	}
+	bxr, byr := b.li[regBx*W:regBx*W+cnt], b.li[regBy*W:regBy*W+cnt]
+	for i := range bxr {
+		bxr[i] = bx
+		byr[i] = by
+	}
+	clear(b.pcs[:cnt])
+	clear(b.iters[:cnt])
+	clear(b.stat[:cnt]) // stRun == 0
+	clear(b.errs[:cnt])
+	for ln := cnt; ln < W; ln++ {
+		b.stat[ln] = stDone
+	}
+	for _, s := range lr.mutI {
+		vi := r.baseI[numReservedI+s]
+		row := b.li[(numReservedI+s)*W : (numReservedI+s)*W+cnt]
+		for i := range row {
+			row[i] = vi
+		}
+	}
+	for _, s := range lr.mutF {
+		vf := r.baseF[s]
+		rowF := b.lf[s*W : s*W+cnt]
+		for i := range rowF {
+			rowF[i] = vf
+		}
+	}
+	b.base, b.cnt = base, cnt
+}
+
+// ExecBlock executes one GPU block (bx, by) through the lane dispatcher
+// and returns the work of all its threads.  On error the returned Work is
+// zero, matching the scalar engine and the interpreter.
+func (lr *LaneRunner) ExecBlock(bx, by int) (interp.Work, error) {
+	r := lr.r
+	r.baseI[regBx], r.baseI[regBy] = int64(bx), int64(by)
+	clear(r.sharedI)
+	clear(r.sharedF)
+	if r.p.hasSync {
+		return lr.lanesPhased()
+	}
+	return lr.lanesStraight()
+}
+
+// lanesStraight runs a barrier-free block batch by batch.  A batch with an
+// erroring lane aborts the block with the lowest-thread-id error, like the
+// scalar engine's first-error abort.
+func (lr *LaneRunner) lanesStraight() (interp.Work, error) {
+	r, W := lr.r, lr.w
+	n := int(r.baseI[regBdx]) * int(r.baseI[regBdy])
+	if lr.batch == nil {
+		lr.batch = lr.newBatch()
+	}
+	b := lr.batch
+	var w interp.Work
+	for base := 0; base < n; base += W {
+		cnt := min(W, n-base)
+		lr.resetBatch(b, base, cnt)
+		lr.runBatch(b, &w, true)
+		for ln := 0; ln < cnt; ln++ {
+			if b.errs[ln] != nil {
+				return interp.Work{}, b.errs[ln]
+			}
+		}
+	}
+	return w, nil
+}
+
+// lanesPhased runs a barrier kernel: every batch keeps its own context,
+// each round runs every batch until all its live lanes are waiting at the
+// barrier (or finished), and then the barrier releases all of them — the
+// interpreter's block-wide cyclic barrier with early departure.  Like the
+// scalar phased scheduler, every thread runs to completion before the
+// first error in thread-id order is reported.
+func (lr *LaneRunner) lanesPhased() (interp.Work, error) {
+	r, W := lr.r, lr.w
+	n := int(r.baseI[regBdx]) * int(r.baseI[regBdy])
+	nb := (n + W - 1) / W
+	for len(lr.batches) < nb {
+		lr.batches = append(lr.batches, lr.newBatch())
+	}
+	for i := 0; i < nb; i++ {
+		base := i * W
+		lr.resetBatch(lr.batches[i], base, min(W, n-base))
+	}
+	var w interp.Work
+	fresh := true
+	for {
+		for i := 0; i < nb; i++ {
+			lr.runBatch(lr.batches[i], &w, fresh)
+		}
+		fresh = false
+		woke := false
+		for i := 0; i < nb; i++ {
+			b := lr.batches[i]
+			for ln := 0; ln < b.cnt; ln++ {
+				if b.stat[ln] == stWait {
+					b.stat[ln] = stRun
+					woke = true
+				}
+			}
+		}
+		if !woke {
+			break
+		}
+	}
+	for i := 0; i < nb; i++ {
+		b := lr.batches[i]
+		for ln := 0; ln < b.cnt; ln++ {
+			if b.errs[ln] != nil {
+				return interp.Work{}, fmt.Errorf("vm: phased execution: %w", b.errs[ln])
+			}
+		}
+	}
+	return w, nil
+}
+
+// gather rebuilds the active set: the runnable lanes at the minimum pc, in
+// ascending lane order (which keeps atomics in thread order).  It returns
+// the set, its pc, the next-merge pc (smallest parked runnable pc, -1 if
+// none), and whether any runnable lane remains.
+func (b *laneBatch) gather(act []int) ([]int, int32, int32, bool) {
+	minpc := int32(-1)
+	for ln := 0; ln < b.cnt; ln++ {
+		if b.stat[ln] == stRun && (minpc < 0 || b.pcs[ln] < minpc) {
+			minpc = b.pcs[ln]
+		}
+	}
+	if minpc < 0 {
+		return act[:0], 0, -1, false
+	}
+	act = act[:0]
+	nm := int32(-1)
+	for ln := 0; ln < b.cnt; ln++ {
+		if b.stat[ln] != stRun {
+			continue
+		}
+		if b.pcs[ln] == minpc {
+			act = append(act, ln)
+		} else if nm < 0 || b.pcs[ln] < nm {
+			nm = b.pcs[ln]
+		}
+	}
+	return act, minpc, nm, true
+}
+
+// splitJump resolves a conditional jump for the active set.  taken is
+// indexed by lane.  Uniform outcomes keep the set intact (the dispatch
+// loop's merge check handles a forward jump past parked lanes); a split
+// parks both halves at their respective pcs, folds the newly parked pcs
+// into nm (so "no parked lanes" stays synonymous with nm < 0), and empties
+// the set so the dispatcher re-gathers at the minimum.
+func splitJump(b *laneBatch, act []int, taken []bool, pc, target, nm int32) ([]int, int32, int32) {
+	nt := 0
+	for _, ln := range act {
+		if taken[ln] {
+			nt++
+		}
+	}
+	switch nt {
+	case 0:
+		return act, pc, nm
+	case len(act):
+		return act, target, nm
+	}
+	for _, ln := range act {
+		if taken[ln] {
+			b.pcs[ln] = target
+		} else {
+			b.pcs[ln] = pc
+		}
+	}
+	if nm < 0 || pc < nm {
+		nm = pc
+	}
+	if target < nm {
+		nm = target
+	}
+	return act[:0], pc, nm
+}
+
+// filterRun drops non-runnable lanes from the active set in place.  Only
+// the rare lane-death paths use it; the common-case loops assume every
+// active lane survives the instruction.
+func filterRun(b *laneBatch, act []int) []int {
+	keep := act[:0]
+	for _, ln := range act {
+		if b.stat[ln] == stRun {
+			keep = append(keep, ln)
+		}
+	}
+	return keep
+}
+
+// runBatch drives one batch until no lane is runnable: all lanes have
+// returned, died, or suspended at a barrier.  Work for the batch is
+// accumulated locally and flushed once at the end; charges are per
+// surviving lane, which matches the scalar engine exactly because a block
+// with any dead lane reports zero Work anyway.
+//
+// Every per-opcode loop comes in two shapes.  The dense shape fires when
+// the active set is exactly lanes [0, n) — act is an ascending subset of
+// the lane range, so act[n-1] == n-1 is a sufficient test — and iterates
+// length-n row slices directly, which drops the indirection through act
+// and lets the compiler elide the slab bounds checks.  Convergent code
+// (the overwhelmingly common case) runs dense end to end; divergent
+// lane subsets fall back to the indexed shape.
+//
+// fresh asserts that every lane in [0, cnt) is runnable at pc 0 (the state
+// resetBatch leaves), letting the entry skip the gather scan.
+func (lr *LaneRunner) runBatch(b *laneBatch, w *interp.Work, fresh bool) {
+	r, W := lr.r, lr.w
+	code := r.p.code
+	li, lf := b.li, b.lf
+	mem := r.mem
+	lens := r.lens
+	raws := r.raw
+	tkn := b.tkn
+	name := r.p.Kernel.Name
+	var flops, intops, glb, gsb, shb int64
+
+	var act []int
+	var pc, nm int32
+	if fresh {
+		act = b.act[:0]
+		for ln := 0; ln < b.cnt; ln++ {
+			act = append(act, ln)
+		}
+		pc, nm = 0, -1
+	} else {
+		var ok bool
+		act, pc, nm, ok = b.gather(b.act)
+		if !ok {
+			b.act = act
+			return
+		}
+	}
+	for {
+		if nm >= 0 && pc >= nm {
+			// Reached (or jumped past) parked lanes: merge at the minimum.
+			for _, ln := range act {
+				b.pcs[ln] = pc
+			}
+			act, pc, nm, _ = b.gather(act)
+		}
+		in := &code[pc]
+		pc++
+		switch in.op {
+		case opNop:
+		case opProf:
+			r.prof.counts[in.imm].Add(int64(len(act)))
+		case opJmp:
+			pc = in.imm
+		case opJzI:
+			ia := int(in.a) * W
+			if n := len(act); act[n-1] == n-1 {
+				a, tk := li[ia:ia+n], tkn[:n]
+				for ln := range tk {
+					tk[ln] = a[ln] == 0
+				}
+			} else {
+				for _, ln := range act {
+					tkn[ln] = li[ia+ln] == 0
+				}
+			}
+			act, pc, nm = splitJump(b, act, tkn, pc, in.imm, nm)
+		case opJnzI:
+			ia := int(in.a) * W
+			if n := len(act); act[n-1] == n-1 {
+				a, tk := li[ia:ia+n], tkn[:n]
+				for ln := range tk {
+					tk[ln] = a[ln] != 0
+				}
+			} else {
+				for _, ln := range act {
+					tkn[ln] = li[ia+ln] != 0
+				}
+			}
+			act, pc, nm = splitJump(b, act, tkn, pc, in.imm, nm)
+		case opJzF:
+			ia := int(in.a) * W
+			if n := len(act); act[n-1] == n-1 {
+				a, tk := lf[ia:ia+n], tkn[:n]
+				for ln := range tk {
+					tk[ln] = a[ln] == 0
+				}
+			} else {
+				for _, ln := range act {
+					tkn[ln] = lf[ia+ln] == 0
+				}
+			}
+			act, pc, nm = splitJump(b, act, tkn, pc, in.imm, nm)
+		case opJnzF:
+			ia := int(in.a) * W
+			if n := len(act); act[n-1] == n-1 {
+				a, tk := lf[ia:ia+n], tkn[:n]
+				for ln := range tk {
+					tk[ln] = a[ln] != 0
+				}
+			} else {
+				for _, ln := range act {
+					tkn[ln] = lf[ia+ln] != 0
+				}
+			}
+			act, pc, nm = splitJump(b, act, tkn, pc, in.imm, nm)
+		case opCJmpI:
+			ia, ib := int(in.a)*W, int(in.b)*W
+			kind := in.d &^ cjmpSenseBit
+			sense := in.d&cjmpSenseBit != 0
+			if n := len(act); act[n-1] == n-1 {
+				// The kind switch is hoisted out of the lane loop: this is
+				// the loop-guard opcode of every compiled kernel, so a
+				// per-lane kind dispatch would dominate the comparison.
+				a, bb, tk := li[ia:ia+n], li[ib:ib+n], tkn[:n]
+				switch kind {
+				case 0:
+					for ln := range tk {
+						tk[ln] = (a[ln] < bb[ln]) == sense
+					}
+				case 1:
+					for ln := range tk {
+						tk[ln] = (a[ln] <= bb[ln]) == sense
+					}
+				case 2:
+					for ln := range tk {
+						tk[ln] = (a[ln] > bb[ln]) == sense
+					}
+				case 3:
+					for ln := range tk {
+						tk[ln] = (a[ln] >= bb[ln]) == sense
+					}
+				case 4:
+					for ln := range tk {
+						tk[ln] = (a[ln] == bb[ln]) == sense
+					}
+				default:
+					for ln := range tk {
+						tk[ln] = (a[ln] != bb[ln]) == sense
+					}
+				}
+			} else {
+				for _, ln := range act {
+					tkn[ln] = cmpI(kind, li[ia+ln], li[ib+ln]) == sense
+				}
+			}
+			intops += int64(len(act))
+			act, pc, nm = splitJump(b, act, tkn, pc, in.imm, nm)
+		case opCJmpF:
+			ia, ib := int(in.a)*W, int(in.b)*W
+			kind := in.d &^ cjmpSenseBit
+			sense := in.d&cjmpSenseBit != 0
+			if n := len(act); act[n-1] == n-1 {
+				a, bb, tk := lf[ia:ia+n], lf[ib:ib+n], tkn[:n]
+				switch kind {
+				case 0:
+					for ln := range tk {
+						tk[ln] = (a[ln] < bb[ln]) == sense
+					}
+				case 1:
+					for ln := range tk {
+						tk[ln] = (a[ln] <= bb[ln]) == sense
+					}
+				case 2:
+					for ln := range tk {
+						tk[ln] = (a[ln] > bb[ln]) == sense
+					}
+				case 3:
+					for ln := range tk {
+						tk[ln] = (a[ln] >= bb[ln]) == sense
+					}
+				case 4:
+					for ln := range tk {
+						tk[ln] = (a[ln] == bb[ln]) == sense
+					}
+				default:
+					for ln := range tk {
+						tk[ln] = (a[ln] != bb[ln]) == sense
+					}
+				}
+			} else {
+				for _, ln := range act {
+					tkn[ln] = cmpF(kind, lf[ia+ln], lf[ib+ln]) == sense
+				}
+			}
+			flops += int64(len(act))
+			act, pc, nm = splitJump(b, act, tkn, pc, in.imm, nm)
+		case opTick:
+			if n := len(act); act[n-1] == n-1 {
+				it := b.iters[:n]
+				over := false
+				for ln := range it {
+					it[ln]++
+					if it[ln] > r.maxIters {
+						over = true
+					}
+				}
+				if over {
+					for ln := range it {
+						if it[ln] > r.maxIters {
+							b.stat[ln] = stDead
+							b.errs[ln] = fmt.Errorf("vm: kernel %s: thread exceeded %d loop iterations (runaway loop?)",
+								name, r.maxIters)
+						}
+					}
+					act = filterRun(b, act)
+				}
+			} else {
+				keep := act[:0]
+				for _, ln := range act {
+					b.iters[ln]++
+					if b.iters[ln] > r.maxIters {
+						b.stat[ln] = stDead
+						b.errs[ln] = fmt.Errorf("vm: kernel %s: thread exceeded %d loop iterations (runaway loop?)",
+							name, r.maxIters)
+					} else {
+						keep = append(keep, ln)
+					}
+				}
+				act = keep
+			}
+		case opSync:
+			for _, ln := range act {
+				b.stat[ln] = stWait
+				b.pcs[ln] = pc
+			}
+			act = act[:0]
+		case opRet:
+			for _, ln := range act {
+				b.stat[ln] = stDone
+			}
+			act = act[:0]
+		case opErr:
+			msg := r.p.errs[in.imm]
+			for _, ln := range act {
+				b.stat[ln] = stDead
+				b.errs[ln] = errors.New(msg)
+			}
+			act = act[:0]
+
+		case opMovI:
+			id, ia := int(in.d)*W, int(in.a)*W
+			if n := len(act); act[n-1] == n-1 {
+				copy(li[id:id+n], li[ia:ia+n])
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln]
+				}
+			}
+		case opMovF:
+			id, ia := int(in.d)*W, int(in.a)*W
+			if n := len(act); act[n-1] == n-1 {
+				copy(lf[id:id+n], lf[ia:ia+n])
+			} else {
+				for _, ln := range act {
+					lf[id+ln] = lf[ia+ln]
+				}
+			}
+		case opMovVar:
+			id, ia, ib := (numReservedI+int(in.d))*W, int(in.a)*W, int(in.b)*W
+			fd := int(in.d) * W
+			if n := len(act); act[n-1] == n-1 {
+				copy(li[id:id+n], li[ia:ia+n])
+				copy(lf[fd:fd+n], lf[ib:ib+n])
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln]
+					lf[fd+ln] = lf[ib+ln]
+				}
+			}
+		case opNotI:
+			id, ia := int(in.d)*W, int(in.a)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a := li[id:id+n], li[ia:ia+n]
+				for ln := range d {
+					d[ln] = b2i(a[ln] == 0)
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = b2i(li[ia+ln] == 0)
+				}
+			}
+		case opNotF:
+			id, ia := int(in.d)*W, int(in.a)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a := li[id:id+n], lf[ia:ia+n]
+				for ln := range d {
+					d[ln] = b2i(a[ln] == 0)
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = b2i(lf[ia+ln] == 0)
+				}
+			}
+		case opCastIF:
+			id, ia := int(in.d)*W, int(in.a)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a := lf[id:id+n], li[ia:ia+n]
+				for ln := range d {
+					d[ln] = float64(float32(a[ln]))
+				}
+			} else {
+				for _, ln := range act {
+					lf[id+ln] = float64(float32(li[ia+ln]))
+				}
+			}
+		case opCastFI:
+			id, ia := int(in.d)*W, int(in.a)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a := li[id:id+n], lf[ia:ia+n]
+				for ln := range d {
+					d[ln] = int64(a[ln])
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = int64(lf[ia+ln])
+				}
+			}
+		case opCastU8:
+			id, ia := int(in.d)*W, int(in.a)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a := li[id:id+n], li[ia:ia+n]
+				for ln := range d {
+					d[ln] = int64(byte(a[ln]))
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = int64(byte(li[ia+ln]))
+				}
+			}
+
+		case opNegI:
+			id, ia := int(in.d)*W, int(in.a)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a := li[id:id+n], li[ia:ia+n]
+				for ln := range d {
+					d[ln] = -a[ln]
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = -li[ia+ln]
+				}
+			}
+			intops += int64(len(act))
+		case opAddI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				for ln := range d {
+					d[ln] = a[ln] + bb[ln]
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln] + li[ib+ln]
+				}
+			}
+			intops += int64(len(act))
+		case opSubI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				for ln := range d {
+					d[ln] = a[ln] - bb[ln]
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln] - li[ib+ln]
+				}
+			}
+			intops += int64(len(act))
+		case opMulI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				for ln := range d {
+					d[ln] = a[ln] * bb[ln]
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln] * li[ib+ln]
+				}
+			}
+			intops += int64(len(act))
+		case opMulAddI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			ic := int(in.imm) * W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb, c := li[id:id+n], li[ia:ia+n], li[ib:ib+n], li[ic:ic+n]
+				for ln := range d {
+					d[ln] = c[ln] + a[ln]*bb[ln]
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ic+ln] + li[ia+ln]*li[ib+ln]
+				}
+			}
+			intops += 2 * int64(len(act))
+		case opDivI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				zero := false
+				for ln := range d {
+					if bb[ln] == 0 {
+						zero = true
+						break
+					}
+					d[ln] = a[ln] / bb[ln]
+				}
+				if !zero {
+					intops += int64(n)
+					break
+				}
+			}
+			keep := act[:0]
+			for _, ln := range act {
+				if li[ib+ln] == 0 {
+					b.stat[ln] = stDead
+					b.errs[ln] = fmt.Errorf("vm: %s: integer division by zero", name)
+					continue
+				}
+				li[id+ln] = li[ia+ln] / li[ib+ln]
+				keep = append(keep, ln)
+			}
+			act = keep
+			intops += int64(len(act))
+		case opRemI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				zero := false
+				for ln := range d {
+					if bb[ln] == 0 {
+						zero = true
+						break
+					}
+					d[ln] = a[ln] % bb[ln]
+				}
+				if !zero {
+					intops += int64(n)
+					break
+				}
+			}
+			keep := act[:0]
+			for _, ln := range act {
+				if li[ib+ln] == 0 {
+					b.stat[ln] = stDead
+					b.errs[ln] = fmt.Errorf("vm: %s: integer modulo by zero", name)
+					continue
+				}
+				li[id+ln] = li[ia+ln] % li[ib+ln]
+				keep = append(keep, ln)
+			}
+			act = keep
+			intops += int64(len(act))
+		case opAndI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				for ln := range d {
+					d[ln] = a[ln] & bb[ln]
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln] & li[ib+ln]
+				}
+			}
+			intops += int64(len(act))
+		case opOrI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				for ln := range d {
+					d[ln] = a[ln] | bb[ln]
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln] | li[ib+ln]
+				}
+			}
+			intops += int64(len(act))
+		case opXorI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				for ln := range d {
+					d[ln] = a[ln] ^ bb[ln]
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln] ^ li[ib+ln]
+				}
+			}
+			intops += int64(len(act))
+		case opShlI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				for ln := range d {
+					d[ln] = a[ln] << uint(bb[ln])
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln] << uint(li[ib+ln])
+				}
+			}
+			intops += int64(len(act))
+		case opShrI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				for ln := range d {
+					d[ln] = a[ln] >> uint(bb[ln])
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = li[ia+ln] >> uint(li[ib+ln])
+				}
+			}
+			intops += int64(len(act))
+		case opLtI, opLeI, opGtI, opGeI, opEqI, opNeI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			kind := uint16(in.op - opLtI)
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], li[ia:ia+n], li[ib:ib+n]
+				for ln := range d {
+					d[ln] = b2i(cmpI(kind, a[ln], bb[ln]))
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = b2i(cmpI(kind, li[ia+ln], li[ib+ln]))
+				}
+			}
+			intops += int64(len(act))
+
+		case opNegF:
+			id, ia := int(in.d)*W, int(in.a)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a := lf[id:id+n], lf[ia:ia+n]
+				for ln := range d {
+					d[ln] = -a[ln]
+				}
+			} else {
+				for _, ln := range act {
+					lf[id+ln] = -lf[ia+ln]
+				}
+			}
+			flops += int64(len(act))
+		case opAddF:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := lf[id:id+n], lf[ia:ia+n], lf[ib:ib+n]
+				for ln := range d {
+					d[ln] = float64(float32(a[ln]) + float32(bb[ln]))
+				}
+			} else {
+				for _, ln := range act {
+					lf[id+ln] = float64(float32(lf[ia+ln]) + float32(lf[ib+ln]))
+				}
+			}
+			flops += int64(len(act))
+		case opSubF:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := lf[id:id+n], lf[ia:ia+n], lf[ib:ib+n]
+				for ln := range d {
+					d[ln] = float64(float32(a[ln]) - float32(bb[ln]))
+				}
+			} else {
+				for _, ln := range act {
+					lf[id+ln] = float64(float32(lf[ia+ln]) - float32(lf[ib+ln]))
+				}
+			}
+			flops += int64(len(act))
+		case opMulF:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := lf[id:id+n], lf[ia:ia+n], lf[ib:ib+n]
+				for ln := range d {
+					d[ln] = float64(float32(a[ln]) * float32(bb[ln]))
+				}
+			} else {
+				for _, ln := range act {
+					lf[id+ln] = float64(float32(lf[ia+ln]) * float32(lf[ib+ln]))
+				}
+			}
+			flops += int64(len(act))
+		case opMulAddF:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			ic := int(in.imm&0xffff) * W
+			swap := in.imm&mulAddSwapBit != 0
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb, c := lf[id:id+n], lf[ia:ia+n], lf[ib:ib+n], lf[ic:ic+n]
+				if swap {
+					for ln := range d {
+						d[ln] = float64(float32(a[ln])*float32(bb[ln]) + float32(c[ln]))
+					}
+				} else {
+					for ln := range d {
+						d[ln] = float64(float32(c[ln]) + float32(a[ln])*float32(bb[ln]))
+					}
+				}
+			} else if swap {
+				for _, ln := range act {
+					lf[id+ln] = float64(float32(lf[ia+ln])*float32(lf[ib+ln]) + float32(lf[ic+ln]))
+				}
+			} else {
+				for _, ln := range act {
+					lf[id+ln] = float64(float32(lf[ic+ln]) + float32(lf[ia+ln])*float32(lf[ib+ln]))
+				}
+			}
+			flops += 2 * int64(len(act))
+		case opDivF:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := lf[id:id+n], lf[ia:ia+n], lf[ib:ib+n]
+				for ln := range d {
+					d[ln] = float64(float32(a[ln]) / float32(bb[ln]))
+				}
+			} else {
+				for _, ln := range act {
+					lf[id+ln] = float64(float32(lf[ia+ln]) / float32(lf[ib+ln]))
+				}
+			}
+			flops += int64(len(act))
+		case opLtF, opLeF, opGtF, opGeF, opEqF, opNeF:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			kind := uint16(in.op - opLtF)
+			if n := len(act); act[n-1] == n-1 {
+				d, a, bb := li[id:id+n], lf[ia:ia+n], lf[ib:ib+n]
+				for ln := range d {
+					d[ln] = b2i(cmpF(kind, a[ln], bb[ln]))
+				}
+			} else {
+				for _, ln := range act {
+					li[id+ln] = b2i(cmpF(kind, lf[ia+ln], lf[ib+ln]))
+				}
+			}
+			flops += int64(len(act))
+
+		case opSqrt:
+			id, ia := int(in.d)*W, int(in.a)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Sqrt(lf[ia+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opExp:
+			id, ia := int(in.d)*W, int(in.a)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Exp(lf[ia+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opLog:
+			id, ia := int(in.d)*W, int(in.a)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Log(lf[ia+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opFabs:
+			id, ia := int(in.d)*W, int(in.a)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Abs(lf[ia+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opFmin:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Min(lf[ia+ln], lf[ib+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opFmax:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Max(lf[ia+ln], lf[ib+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opPow:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Pow(lf[ia+ln], lf[ib+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opSin:
+			id, ia := int(in.d)*W, int(in.a)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Sin(lf[ia+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opCos:
+			id, ia := int(in.d)*W, int(in.a)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Cos(lf[ia+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opTanh:
+			id, ia := int(in.d)*W, int(in.a)*W
+			for _, ln := range act {
+				lf[id+ln] = float64(float32(math.Tanh(lf[ia+ln])))
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opMinI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			for _, ln := range act {
+				li[id+ln] = min(li[ia+ln], li[ib+ln])
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opMaxI:
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			for _, ln := range act {
+				li[id+ln] = max(li[ia+ln], li[ib+ln])
+			}
+			flops += int64(in.imm) * int64(len(act))
+		case opAbsI:
+			id, ia := int(in.d)*W, int(in.a)*W
+			for _, ln := range act {
+				v := li[ia+ln]
+				if v < 0 {
+					v = -v
+				}
+				li[id+ln] = v
+			}
+			flops += int64(in.imm) * int64(len(act))
+
+		// The global loads/stores run an optimistic dense pass over the raw
+		// byte view first: no act indirection, no keep-filter, straight
+		// little-endian access.  Any out-of-bounds lane (or a buffer with no
+		// raw view) falls back to the exact slow loop, which recomputes from
+		// index 0 — loads and plain stores are idempotent, so the partial
+		// dense pass leaves nothing stale — and assigns deaths in thread
+		// order.
+		case opLdGF:
+			id, ia := int(in.d)*W, int(in.a)*W
+			prm := int(in.b)
+			raw := raws[prm]
+			lim := uint(lens[prm])
+			if n := len(act); raw != nil && act[n-1] == n-1 {
+				d, a := lf[id:id+n], li[ia:ia+n]
+				oob := false
+				for ln := range d {
+					idx := int(a[ln])
+					if uint(idx) >= lim {
+						oob = true
+						break
+					}
+					d[ln] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*idx:])))
+				}
+				if !oob {
+					glb += 4 * int64(n)
+					break
+				}
+			}
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= lim {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobGlobal("load", prm, idx)
+					continue
+				}
+				if raw != nil {
+					lf[id+ln] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*idx:])))
+				} else {
+					lf[id+ln] = float64(mem.LoadF32(prm, idx))
+				}
+				keep = append(keep, ln)
+			}
+			act = keep
+			glb += 4 * int64(len(act))
+		case opLdGI:
+			id, ia := int(in.d)*W, int(in.a)*W
+			prm := int(in.b)
+			raw := raws[prm]
+			lim := uint(lens[prm])
+			if n := len(act); raw != nil && act[n-1] == n-1 {
+				d, a := li[id:id+n], li[ia:ia+n]
+				oob := false
+				for ln := range d {
+					idx := int(a[ln])
+					if uint(idx) >= lim {
+						oob = true
+						break
+					}
+					d[ln] = int64(int32(binary.LittleEndian.Uint32(raw[4*idx:])))
+				}
+				if !oob {
+					glb += 4 * int64(n)
+					break
+				}
+			}
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= lim {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobGlobal("load", prm, idx)
+					continue
+				}
+				if raw != nil {
+					li[id+ln] = int64(int32(binary.LittleEndian.Uint32(raw[4*idx:])))
+				} else {
+					li[id+ln] = int64(mem.LoadI32(prm, idx))
+				}
+				keep = append(keep, ln)
+			}
+			act = keep
+			glb += 4 * int64(len(act))
+		case opLdGU8:
+			id, ia := int(in.d)*W, int(in.a)*W
+			prm := int(in.b)
+			raw := raws[prm]
+			lim := uint(lens[prm])
+			if n := len(act); raw != nil && act[n-1] == n-1 {
+				d, a := li[id:id+n], li[ia:ia+n]
+				oob := false
+				for ln := range d {
+					idx := int(a[ln])
+					if uint(idx) >= lim {
+						oob = true
+						break
+					}
+					d[ln] = int64(raw[idx])
+				}
+				if !oob {
+					glb += int64(n)
+					break
+				}
+			}
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= lim {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobGlobal("load", prm, idx)
+					continue
+				}
+				if raw != nil {
+					li[id+ln] = int64(raw[idx])
+				} else {
+					li[id+ln] = int64(mem.LoadU8(prm, idx))
+				}
+				keep = append(keep, ln)
+			}
+			act = keep
+			glb += int64(len(act))
+		case opStGF:
+			id, ia := int(in.d)*W, int(in.a)*W
+			prm := int(in.b)
+			raw := raws[prm]
+			lim := uint(lens[prm])
+			if n := len(act); raw != nil && act[n-1] == n-1 {
+				d, a := lf[id:id+n], li[ia:ia+n]
+				oob := false
+				for ln := range d {
+					idx := int(a[ln])
+					if uint(idx) >= lim {
+						oob = true
+						break
+					}
+					binary.LittleEndian.PutUint32(raw[4*idx:], math.Float32bits(float32(d[ln])))
+				}
+				if !oob {
+					gsb += 4 * int64(n)
+					break
+				}
+			}
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= lim {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobGlobal("store", prm, idx)
+					continue
+				}
+				if raw != nil {
+					binary.LittleEndian.PutUint32(raw[4*idx:], math.Float32bits(float32(lf[id+ln])))
+				} else {
+					mem.StoreF32(prm, idx, float32(lf[id+ln]))
+				}
+				keep = append(keep, ln)
+			}
+			act = keep
+			gsb += 4 * int64(len(act))
+		case opStGI:
+			id, ia := int(in.d)*W, int(in.a)*W
+			prm := int(in.b)
+			raw := raws[prm]
+			lim := uint(lens[prm])
+			if n := len(act); raw != nil && act[n-1] == n-1 {
+				d, a := li[id:id+n], li[ia:ia+n]
+				oob := false
+				for ln := range d {
+					idx := int(a[ln])
+					if uint(idx) >= lim {
+						oob = true
+						break
+					}
+					binary.LittleEndian.PutUint32(raw[4*idx:], uint32(int32(d[ln])))
+				}
+				if !oob {
+					gsb += 4 * int64(n)
+					break
+				}
+			}
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= lim {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobGlobal("store", prm, idx)
+					continue
+				}
+				if raw != nil {
+					binary.LittleEndian.PutUint32(raw[4*idx:], uint32(int32(li[id+ln])))
+				} else {
+					mem.StoreI32(prm, idx, int32(li[id+ln]))
+				}
+				keep = append(keep, ln)
+			}
+			act = keep
+			gsb += 4 * int64(len(act))
+		case opStGU8:
+			id, ia := int(in.d)*W, int(in.a)*W
+			prm := int(in.b)
+			raw := raws[prm]
+			lim := uint(lens[prm])
+			if n := len(act); raw != nil && act[n-1] == n-1 {
+				d, a := li[id:id+n], li[ia:ia+n]
+				oob := false
+				for ln := range d {
+					idx := int(a[ln])
+					if uint(idx) >= lim {
+						oob = true
+						break
+					}
+					raw[idx] = byte(d[ln])
+				}
+				if !oob {
+					gsb += int64(n)
+					break
+				}
+			}
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= lim {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobGlobal("store", prm, idx)
+					continue
+				}
+				if raw != nil {
+					raw[idx] = byte(li[id+ln])
+				} else {
+					mem.StoreU8(prm, idx, byte(li[id+ln]))
+				}
+				keep = append(keep, ln)
+			}
+			act = keep
+			gsb += int64(len(act))
+
+		case opLdSI:
+			m := &r.p.shared[in.b]
+			id, ia := int(in.d)*W, int(in.a)*W
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= uint(m.n) {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobShared("load", m, idx)
+					continue
+				}
+				li[id+ln] = r.sharedI[m.base+idx]
+				keep = append(keep, ln)
+			}
+			act = keep
+			shb += int64(in.imm) * int64(len(act))
+		case opLdSF:
+			m := &r.p.shared[in.b]
+			id, ia := int(in.d)*W, int(in.a)*W
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= uint(m.n) {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobShared("load", m, idx)
+					continue
+				}
+				lf[id+ln] = r.sharedF[m.base+idx]
+				keep = append(keep, ln)
+			}
+			act = keep
+			shb += int64(in.imm) * int64(len(act))
+		case opStS:
+			m := &r.p.shared[in.imm]
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= uint(m.n) {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobShared("store", m, idx)
+					continue
+				}
+				r.sharedI[m.base+idx] = li[id+ln]
+				r.sharedF[m.base+idx] = lf[ib+ln]
+				keep = append(keep, ln)
+			}
+			act = keep
+			shb += int64(m.elem.Size()) * int64(len(act))
+
+		case opAtGAdd, opAtGMax:
+			prm := int(in.imm)
+			elem := r.p.Kernel.Params[prm].Elem
+			sz := int64(elem.Size())
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			isAdd := in.op == opAtGAdd
+			keep := act[:0]
+			// Ascending lane order is ascending thread order, so lanes
+			// arriving together apply their updates exactly like the scalar
+			// engine's thread loop.
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				var mu *sync.Mutex
+				if r.am != nil {
+					mu = r.am.AtomicShard(prm, idx)
+					mu.Lock()
+				}
+				if uint(idx) >= uint(lens[prm]) {
+					if mu != nil {
+						mu.Unlock()
+					}
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobGlobal("load", prm, idx)
+					continue
+				}
+				var oldI int64
+				var oldF float64
+				switch elem {
+				case kir.F32:
+					oldF = float64(mem.LoadF32(prm, idx))
+				case kir.I32:
+					oldI = int64(mem.LoadI32(prm, idx))
+				case kir.U8:
+					oldI = int64(mem.LoadU8(prm, idx))
+				}
+				glb += sz
+				nvI, nvF := oldI, oldF
+				if isAdd {
+					if elem == kir.F32 {
+						nvF = float64(float32(oldF) + float32(lf[ib+ln]))
+						nvI = 0
+						flops++
+					} else {
+						nvI = oldI + li[id+ln]
+						nvF = 0
+						intops++
+					}
+				} else {
+					if oldI < li[id+ln] {
+						nvI, nvF = li[id+ln], lf[ib+ln]
+					}
+					intops++
+				}
+				switch elem {
+				case kir.F32:
+					mem.StoreF32(prm, idx, float32(nvF))
+				case kir.I32:
+					mem.StoreI32(prm, idx, int32(nvI))
+				case kir.U8:
+					mem.StoreU8(prm, idx, byte(nvI))
+				}
+				gsb += sz
+				if mu != nil {
+					mu.Unlock()
+				}
+				keep = append(keep, ln)
+			}
+			act = keep
+
+		case opAtSAdd, opAtSMax:
+			m := &r.p.shared[in.imm]
+			sz := int64(m.elem.Size())
+			id, ia, ib := int(in.d)*W, int(in.a)*W, int(in.b)*W
+			isAdd := in.op == opAtSAdd
+			keep := act[:0]
+			for _, ln := range act {
+				idx := int(li[ia+ln])
+				if uint(idx) >= uint(m.n) {
+					b.stat[ln] = stDead
+					b.errs[ln] = r.oobShared("load", m, idx)
+					continue
+				}
+				cell := m.base + idx
+				oldI, oldF := r.sharedI[cell], r.sharedF[cell]
+				nvI, nvF := oldI, oldF
+				if isAdd {
+					if m.elem == kir.F32 {
+						nvF = float64(float32(oldF) + float32(lf[ib+ln]))
+						nvI = 0
+						flops++
+					} else {
+						nvI = oldI + li[id+ln]
+						nvF = 0
+						intops++
+					}
+				} else {
+					if oldI < li[id+ln] {
+						nvI, nvF = li[id+ln], lf[ib+ln]
+					}
+					intops++
+				}
+				r.sharedI[cell] = nvI
+				r.sharedF[cell] = nvF
+				shb += 2 * sz
+				keep = append(keep, ln)
+			}
+			act = keep
+
+		default:
+			err := fmt.Errorf("vm: kernel %s: bad opcode %d at pc %d", name, in.op, pc-1)
+			for _, ln := range act {
+				b.stat[ln] = stDead
+				b.errs[ln] = err
+			}
+			act = act[:0]
+		}
+		if len(act) == 0 {
+			// nm < 0 means no runnable lane is parked anywhere (splitJump
+			// keeps it current when it parks): the batch is finished, no
+			// scan needed.
+			if nm < 0 {
+				break
+			}
+			var ok bool
+			act, pc, nm, ok = b.gather(act)
+			if !ok {
+				break
+			}
+		}
+	}
+	b.act = act[:0]
+	w.Flops += flops
+	w.IntOps += intops
+	w.GlobalLoadBytes += glb
+	w.GlobalStoreBytes += gsb
+	w.SharedBytes += shb
+}

@@ -70,7 +70,7 @@ type profiled struct {
 // isJump reports whether the opcode's imm is a jump target.
 func isJump(o op) bool {
 	switch o {
-	case opJmp, opJzI, opJnzI, opJzF, opJnzF:
+	case opJmp, opJzI, opJnzI, opJzF, opJnzF, opCJmpI, opCJmpF:
 		return true
 	}
 	return false
@@ -345,6 +345,8 @@ var opNames = [numOps]string{
 	opAtGAdd: "at_gadd", opAtGMax: "at_gmax",
 	opAtSAdd: "at_sadd", opAtSMax: "at_smax",
 	opProf: "prof",
+	opMovVar: "mov_var", opMulAddF: "muladd_f", opMulAddI: "muladd_i",
+	opCJmpI: "cjmp_i", opCJmpF: "cjmp_f",
 }
 
 // String returns the opcode's stable profile name.

@@ -136,8 +136,43 @@ const (
 	// profiler costs nothing when off.
 	opProf
 
+	// Fused superinstructions, emitted by the post-compile peephole pass
+	// (see fuse in compile.go).  They were chosen from the PR-5 opcode
+	// profiles of the evaluation suite: the mov_i/mov_f pair of every
+	// variable assignment, the mul/add pairs of the FIR/Conv2D/MatMul
+	// inner loops, and the compare+branch pair of every loop condition
+	// together dominate the dynamic instruction mix.  Each fused opcode
+	// charges exactly what its constituent pair charges, so Work parity
+	// with the interpreter is preserved.
+
+	// opMovVar writes one variable slot's full Value pair:
+	// ri[numReservedI+d] = ri[a]; rf[d] = rf[b].  d is the slot number.
+	opMovVar
+	// opMulAddF: rf[d] = f32(c + f32(rf[a])*f32(rf[b])) where c = f32 of
+	// the register named by imm's low 16 bits; imm bit 16 set means the
+	// product was the ADD's left operand (t + c instead of c + t),
+	// preserving the unfused operand order exactly.  Flops += 2.
+	opMulAddF
+	// opMulAddI: ri[d] = ri[imm&0xffff] + ri[a]*ri[b].  IntOps += 2.
+	opMulAddI
+	// opCJmpI fuses an integer compare with the conditional jump consuming
+	// it: d's low 3 bits are the comparison kind (0..5 = Lt..Ne), bit 3 is
+	// the jump sense (0: jump when the compare is false, i.e. the fused
+	// opJzI; 1: jump when true, opJnzI).  Charges the compare's IntOps++
+	// whether or not the jump is taken.
+	opCJmpI
+	// opCJmpF is opCJmpI over float operands (Flops++).
+	opCJmpF
+
 	numOps // sentinel: number of opcodes
 )
+
+// cjmp field encoding helpers (opCJmpI/opCJmpF).
+const cjmpSenseBit = 1 << 3
+
+// muladd imm encoding: low 16 bits are the addend register, bit 16 flips
+// the float add's operand order.
+const mulAddSwapBit = 1 << 16
 
 // instr is one register-machine instruction.
 type instr struct {
