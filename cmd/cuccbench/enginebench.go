@@ -8,6 +8,7 @@ import (
 
 	"cucc/internal/cluster"
 	"cucc/internal/core"
+	"cucc/internal/csched"
 	"cucc/internal/machine"
 	"cucc/internal/prof"
 	"cucc/internal/simnet"
@@ -42,6 +43,25 @@ type engineBenchReport struct {
 	Config        prof.BenchConfig     `json:"config"`
 	Results       []engineBenchResult  `json:"results"`
 	Speedups      []engineBenchSpeedup `json:"speedups"`
+	// Collectives compares the phase-2 schedule compiler against the
+	// legacy ring at paper scale (simulated time, so deterministic and
+	// ignored by cuccprof -compare, which diffs wall-clock rows only).
+	Collectives []collectiveBenchResult `json:"collectives,omitempty"`
+}
+
+// collectiveBenchResult is one (program, nodes, -collective choice) row of
+// the simulated-time schedule comparison.  ZeroCommTotalSec is the WhatIf
+// "free Allgather" floor of the legacy row: overlap rows must land between
+// it and the legacy total.
+type collectiveBenchResult struct {
+	Program          string  `json:"program"`
+	Nodes            int     `json:"nodes"`
+	Choice           string  `json:"choice"`
+	Algo             string  `json:"algo,omitempty"`
+	TotalSec         float64 `json:"total_sec"`
+	CommSec          float64 `json:"comm_sec"`
+	OverlapSec       float64 `json:"overlap_sec,omitempty"`
+	ZeroCommTotalSec float64 `json:"zero_comm_total_sec,omitempty"`
 }
 
 // writeEngineBench times every evaluation-suite program at Small scale on a
@@ -86,6 +106,12 @@ func writeEngineBench(path string, workers int) error {
 			LanesOverVM:  perEngine[cluster.EngineVM] / perEngine[cluster.EngineVMLanes],
 		})
 	}
+	coll, err := collectiveBench(progs)
+	if err != nil {
+		return err
+	}
+	rep.Collectives = coll
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -95,6 +121,58 @@ func writeEngineBench(path string, workers int) error {
 	}
 	fmt.Printf("wrote engine benchmark to %s\n", path)
 	return nil
+}
+
+// collectiveBench estimates every program at paper scale under the legacy
+// ring, the auto-selected schedule, and auto with phase-3 overlap, per
+// node count.  Pure cost model (core.Estimate), so the rows are exact and
+// deterministic; non-distributed programs (no phase 2) are skipped.
+func collectiveBench(progs []*suites.Program) ([]collectiveBenchResult, error) {
+	choices := []string{"", "auto", "auto+overlap"}
+	var out []collectiveBenchResult
+	for _, p := range progs {
+		for _, nodes := range []int{8, 32} {
+			var legacy *core.Stats
+			for _, cs := range choices {
+				choice, err := csched.ParseChoice(cs)
+				if err != nil {
+					return nil, err
+				}
+				c, err := cluster.New(cluster.Config{Nodes: nodes, Machine: machine.Intel6226(), Net: simnet.IB100()})
+				if err != nil {
+					return nil, err
+				}
+				sess := core.NewSession(c, p.Compiled)
+				sess.Collective = choice
+				st, err := sess.Estimate(p.Spec(p.Default))
+				c.Close()
+				if err != nil {
+					return nil, fmt.Errorf("collective bench %s @%d nodes: %w", p.Name, nodes, err)
+				}
+				if !st.Distributed || st.CommSec == 0 {
+					break // no phase 2, nothing to compare
+				}
+				row := collectiveBenchResult{
+					Program: p.Name, Nodes: nodes, Choice: cs,
+					Algo: st.CollectiveAlgo, TotalSec: st.TotalSec,
+					CommSec: st.CommSec, OverlapSec: st.OverlapSec,
+				}
+				if cs == "" {
+					row.Choice = "legacy-ring"
+					row.ZeroCommTotalSec = st.TotalSec - st.CommSec
+					legacy = st
+				}
+				out = append(out, row)
+				fmt.Printf("  %-16s %2d nodes  %-12s %-12s total %.3fs  comm %.3fs  overlap %.3fs\n",
+					p.Name, nodes, row.Choice, row.Algo, row.TotalSec, row.CommSec, row.OverlapSec)
+				if legacy != nil && st.TotalSec > legacy.TotalSec*(1+1e-9) {
+					return nil, fmt.Errorf("collective bench %s @%d nodes: %s total %.6fs worse than legacy %.6fs",
+						p.Name, nodes, cs, st.TotalSec, legacy.TotalSec)
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // timeEngine runs one program repeatedly under one engine until the sample

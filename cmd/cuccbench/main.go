@@ -16,6 +16,7 @@ import (
 
 	"cucc/internal/cluster"
 	"cucc/internal/core"
+	"cucc/internal/csched"
 	"cucc/internal/experiments"
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
@@ -29,6 +30,7 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for really-executed experiments (0 = all CPUs)")
 	recvTimeout := flag.Duration("recv-timeout", 2*time.Minute, "transport receive deadline for really-executed experiments; a hung rank fails the sweep instead of wedging it (0 = no deadline)")
 	engine := flag.String("engine", "vm", "IR execution engine for really-executed experiments: vm (register machine), vm-lanes (lane-batched vm), or interp (reference interpreter)")
+	collective := flag.String("collective", "", "phase-2 collective schedule: auto, ring, recdouble, twolevel, pipeline[:N]; append +overlap to start callbacks while chunks are in flight (default: legacy hand-written ring)")
 	jsonOut := flag.String("json", "", "instead of figures, run the engine microbenchmark (vm vs interp over the evaluation suite) and write a JSON report to this file")
 	metricsOut := flag.String("metrics-out", "", "enable the metrics registry for the whole run and write its JSON snapshot to this file")
 	flag.Parse()
@@ -44,6 +46,12 @@ func main() {
 		os.Exit(2)
 	}
 	core.DefaultEngine = eng
+	coll, err := csched.ParseChoice(*collective)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	core.DefaultCollective = coll
 	if *metricsOut != "" {
 		// Same mechanism: clusters built inside the sweeps inherit the
 		// process default registry.

@@ -19,6 +19,7 @@ import (
 
 	"cucc/internal/cluster"
 	"cucc/internal/core"
+	"cucc/internal/csched"
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
 	"cucc/internal/pgas"
@@ -38,6 +39,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (-real runs)")
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for -real execution (0 = all CPUs)")
 	engine := flag.String("engine", "vm", "IR execution engine for -real runs: vm (register machine), vm-lanes (lane-batched vm), or interp (reference interpreter)")
+	collective := flag.String("collective", "", "phase-2 collective schedule: auto, ring, recdouble, twolevel, pipeline[:N]; append +overlap to start callbacks while chunks are in flight (default: legacy hand-written ring)")
 	recvTimeout := flag.Duration("recv-timeout", time.Minute, "transport receive deadline; a hung rank fails the run instead of deadlocking it (0 = no deadline)")
 	showMetrics := flag.Bool("metrics", false, "enable the metrics registry and print its table after the run")
 	metricsOut := flag.String("metrics-out", "", "enable the metrics registry and write its JSON snapshot to this file")
@@ -50,6 +52,12 @@ func main() {
 		os.Exit(2)
 	}
 	core.DefaultEngine = eng
+	coll, err := csched.ParseChoice(*collective)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	core.DefaultCollective = coll
 
 	// Any metrics flag enables the process-wide registry; clusters and
 	// sessions pick it up via metrics.Default().
@@ -169,7 +177,13 @@ func main() {
 	fmt.Printf("  blocks/node:      %s (+%d callback blocks on every node)\n", blocksByNode(stats), stats.CallbackBlocks)
 	fmt.Printf("  phase 1 compute:  %.3f ms\n", stats.Phase1Sec*1e3)
 	fmt.Printf("  allgather:        %.3f ms (%d bytes/node, %d msgs)\n", stats.CommSec*1e3, stats.CommBytesPerNode, stats.CommMsgs)
+	if stats.CollectiveAlgo != "" {
+		fmt.Printf("  schedule:         %s\n", stats.CollectiveAlgo)
+	}
 	fmt.Printf("  callback compute: %.3f ms\n", stats.CallbackSec*1e3)
+	if stats.OverlapSec > 0 {
+		fmt.Printf("  overlap:          %.3f ms hidden behind callbacks\n", stats.OverlapSec*1e3)
+	}
 	fmt.Printf("  total:            %.3f ms\n", stats.TotalSec*1e3)
 	if rec != nil {
 		raw, err := rec.ChromeTrace()

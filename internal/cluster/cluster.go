@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"cucc/internal/comm"
+	"cucc/internal/csched"
 	"cucc/internal/interp"
 	"cucc/internal/kir"
 	"cucc/internal/machine"
@@ -55,6 +56,11 @@ type Config struct {
 	// Engine selects the IR execution engine for sessions on this cluster
 	// that do not set one themselves (EngineDefault = inherit).
 	Engine Engine
+	// Collective selects the phase-2 collective schedule for sessions on
+	// this cluster that do not set one themselves (the zero value = inherit,
+	// ultimately the legacy hand-written ring).  See csched.ParseChoice for
+	// the accepted algorithms and the +overlap modifier.
+	Collective csched.Choice
 	// RecvTimeout bounds every transport receive, so a rank that stops
 	// participating in a collective surfaces as ErrTimeout instead of a
 	// deadlock.  0 selects DefaultRecvTimeout; negative disables the
@@ -171,6 +177,9 @@ func (c *Cluster) Net() simnet.Model { return c.cfg.Net }
 
 // Engine returns the cluster-level IR engine preference.
 func (c *Cluster) Engine() Engine { return c.cfg.Engine }
+
+// Collective returns the cluster-level collective-schedule preference.
+func (c *Cluster) Collective() csched.Choice { return c.cfg.Collective }
 
 // Node returns node r.
 func (c *Cluster) Node(r int) *Node { return c.nodes[r] }

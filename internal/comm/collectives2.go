@@ -64,14 +64,27 @@ func Alltoall(c transport.Conn, data []byte) (res []byte, st Stats, err error) {
 		return nil, st, fmt.Errorf("comm: alltoall payload %d not divisible by %d ranks", len(data), n)
 	}
 	chunk := len(data) / n
+	r := c.Rank()
 	out := make([]byte, len(data))
-	copy(out[c.Rank()*chunk:], data[c.Rank()*chunk:(c.Rank()+1)*chunk])
-	// Pairwise exchange schedule: at step s exchange with rank^s when the
-	// size is a power of two, otherwise a simple (rank+s) ring schedule.
+	copy(out[r*chunk:], data[r*chunk:(r+1)*chunk])
+	// One send arena for the whole call: n-1 outbound chunks.  Each slot
+	// stays untouched after Send, as the transport contract requires.
+	arena := make([]byte, (n-1)*chunk)
+	pow2 := n&(n-1) == 0
 	for s := 1; s < n; s++ {
-		peer := (c.Rank() + s) % n
-		from := (c.Rank() - s + n) % n
-		msg := make([]byte, chunk)
+		// Pairwise exchange schedule: at step s exchange with rank^s when
+		// the size is a power of two (each step is a perfect matching, so
+		// both sides of every pair talk to each other and no rank is
+		// oversubscribed), otherwise a (rank+s)/(rank-s) ring schedule.
+		var peer, from int
+		if pow2 {
+			peer = r ^ s
+			from = peer
+		} else {
+			peer = (r + s) % n
+			from = (r - s + n) % n
+		}
+		msg := arena[(s-1)*chunk : s*chunk]
 		copy(msg, data[peer*chunk:(peer+1)*chunk])
 		if err := c.Send(peer, tagAll2All, msg); err != nil {
 			return nil, st, err

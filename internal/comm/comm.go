@@ -309,66 +309,70 @@ func AllgatherRecDouble(c transport.Conn, buf []byte, chunkBytes int) (st Stats,
 func AllReduceMaxF64(c transport.Conn, v float64) (out float64, st Stats, err error) {
 	defer record(c, &opAllReduceMax, time.Now(), &st, &err)
 	n := c.Size()
-	for dist := 1; dist < n; dist *= 2 {
-		peer := c.Rank() ^ dist
-		if peer >= n {
-			continue
-		}
+	r := c.Rank()
+	// Largest power of two <= n; ranks [p, n) are the remainder.
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	sendVal := func(peer int, x float64) error {
 		out := make([]byte, 8)
-		binary.LittleEndian.PutUint64(out, math.Float64bits(v))
+		binary.LittleEndian.PutUint64(out, math.Float64bits(x))
 		if err := c.Send(peer, tagReduce, out); err != nil {
-			return 0, st, err
+			return err
 		}
 		st.Msgs++
 		st.BytesSent += 8
+		return nil
+	}
+	recvVal := func(peer int) (float64, error) {
 		in, err := c.Recv(peer, tagReduce)
+		if err != nil {
+			return 0, err
+		}
+		st.recvd(in)
+		return math.Float64frombits(binary.LittleEndian.Uint64(in)), nil
+	}
+	// Fold the remainder in: rank p+i contributes to rank i, then waits for
+	// the final value.  Every rank in [0, p) then runs a full recursive
+	// doubling with no skipped peers — the redundant doubling rounds the
+	// old code ran on remainder ranks (and then threw away behind a rank-0
+	// re-reduction) are gone.  Total: p*log2(p) + 2*(n-p) messages.
+	if r >= p {
+		if err := sendVal(r-p, v); err != nil {
+			return 0, st, err
+		}
+		out, err := recvVal(r - p)
 		if err != nil {
 			return 0, st, err
 		}
-		st.recvd(in)
-		pv := math.Float64frombits(binary.LittleEndian.Uint64(in))
+		return out, st, nil
+	}
+	if r+p < n {
+		pv, err := recvVal(r + p)
+		if err != nil {
+			return 0, st, err
+		}
 		if pv > v {
 			v = pv
 		}
 	}
-	// Non-power-of-two sizes need a final exchange through rank 0.
-	if n&(n-1) != 0 {
-		root := 0
-		if c.Rank() != root {
-			out := make([]byte, 8)
-			binary.LittleEndian.PutUint64(out, math.Float64bits(v))
-			if err := c.Send(root, tagReduce, out); err != nil {
-				return 0, st, err
-			}
-			st.Msgs++
-			st.BytesSent += 8
-			in, err := c.Recv(root, tagReduce)
-			if err != nil {
-				return 0, st, err
-			}
-			st.recvd(in)
-			v = math.Float64frombits(binary.LittleEndian.Uint64(in))
-		} else {
-			for r := 1; r < n; r++ {
-				in, err := c.Recv(r, tagReduce)
-				if err != nil {
-					return 0, st, err
-				}
-				st.recvd(in)
-				pv := math.Float64frombits(binary.LittleEndian.Uint64(in))
-				if pv > v {
-					v = pv
-				}
-			}
-			out := make([]byte, 8)
-			binary.LittleEndian.PutUint64(out, math.Float64bits(v))
-			for r := 1; r < n; r++ {
-				if err := c.Send(r, tagReduce, out); err != nil {
-					return 0, st, err
-				}
-				st.Msgs++
-				st.BytesSent += 8
-			}
+	for dist := 1; dist < p; dist *= 2 {
+		peer := r ^ dist
+		if err := sendVal(peer, v); err != nil {
+			return 0, st, err
+		}
+		pv, err := recvVal(peer)
+		if err != nil {
+			return 0, st, err
+		}
+		if pv > v {
+			v = pv
+		}
+	}
+	if r+p < n {
+		if err := sendVal(r+p, v); err != nil {
+			return 0, st, err
 		}
 	}
 	return v, st, nil

@@ -1,0 +1,115 @@
+package comm
+
+import (
+	"testing"
+
+	"cucc/internal/simnet"
+	"cucc/internal/transport"
+)
+
+// TestCollectiveMsgsMatchModel pins every collective's measured message
+// count to the closed-form count its simnet cost model assumes.  The
+// simulated clocks price communication from these formulas, not from the
+// wire — an implementation that sends more (or fewer) messages than its
+// model silently skews every simulated-time figure, which is exactly how
+// the old AllReduceMaxF64 overcounted on non-power-of-two clusters
+// (redundant doubling rounds plus a full rank-0 re-reduction).
+func TestCollectiveMsgsMatchModel(t *testing.T) {
+	const chunk = 16
+	cases := []struct {
+		name string
+		want func(n int) int64
+		run  func(c transport.Conn, n int) (Stats, error)
+	}{
+		{"Barrier", simnet.BarrierMsgs, func(c transport.Conn, n int) (Stats, error) {
+			return Barrier(c)
+		}},
+		{"Bcast", simnet.BroadcastMsgs, func(c transport.Conn, n int) (Stats, error) {
+			var data []byte
+			if c.Rank() == 0 {
+				data = chunkFor(0, chunk)
+			}
+			_, st, err := Bcast(c, 0, data)
+			return st, err
+		}},
+		{"AllgatherRing", simnet.RingAllgatherMsgs, func(c transport.Conn, n int) (Stats, error) {
+			buf := make([]byte, n*chunk)
+			copy(buf[c.Rank()*chunk:], chunkFor(c.Rank(), chunk))
+			return AllgatherRing(c, buf, chunk)
+		}},
+		{"AllgatherVRing", simnet.RingAllgatherMsgs, func(c transport.Conn, n int) (Stats, error) {
+			offs := make([]int, n+1)
+			for r := 0; r < n; r++ {
+				offs[r+1] = offs[r] + (r+1)*8
+			}
+			buf := make([]byte, offs[n])
+			return AllgatherVRing(c, buf, offs)
+		}},
+		{"AllgatherRecDouble", simnet.RecursiveDoublingAllgatherMsgs, func(c transport.Conn, n int) (Stats, error) {
+			if n&(n-1) != 0 {
+				return Stats{}, nil // algorithm (and model) are pow2-only
+			}
+			buf := make([]byte, n*chunk)
+			copy(buf[c.Rank()*chunk:], chunkFor(c.Rank(), chunk))
+			return AllgatherRecDouble(c, buf, chunk)
+		}},
+		{"AllReduceMaxF64", simnet.AllReduceMaxMsgs, func(c transport.Conn, n int) (Stats, error) {
+			got, st, err := AllReduceMaxF64(c, float64(c.Rank()))
+			if err == nil && got != float64(n-1) {
+				t.Errorf("rank %d: AllReduceMax = %g, want %d", c.Rank(), got, n-1)
+			}
+			return st, err
+		}},
+		{"GatherF64", simnet.GatherMsgs, func(c transport.Conn, n int) (Stats, error) {
+			_, st, err := GatherF64(c, 0, float64(c.Rank()))
+			return st, err
+		}},
+		{"GatherBytes", simnet.GatherMsgs, func(c transport.Conn, n int) (Stats, error) {
+			_, st, err := GatherBytes(c, 0, chunkFor(c.Rank(), chunk))
+			return st, err
+		}},
+		{"Scatter", simnet.GatherMsgs, func(c transport.Conn, n int) (Stats, error) {
+			var data []byte
+			if c.Rank() == 0 {
+				data = make([]byte, n*chunk)
+			}
+			_, st, err := Scatter(c, 0, data)
+			return st, err
+		}},
+		{"Alltoall", simnet.AlltoallMsgs, func(c transport.Conn, n int) (Stats, error) {
+			_, st, err := Alltoall(c, make([]byte, n*chunk))
+			return st, err
+		}},
+		{"ReduceScatterSumF32", simnet.ReduceScatterMsgs, func(c transport.Conn, n int) (Stats, error) {
+			_, st, err := ReduceScatterSumF32(c, make([]float32, n*8))
+			return st, err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 3, 4, 5, 8} {
+				stats := make([]Stats, n)
+				runAll(t, n, func(c transport.Conn) error {
+					st, err := tc.run(c, n)
+					stats[c.Rank()] = st
+					return err
+				})
+				var msgs, recvs int64
+				for _, st := range stats {
+					msgs += st.Msgs
+					recvs += st.Recvs
+				}
+				want := tc.want(n)
+				if tc.name == "AllgatherRecDouble" && n&(n-1) != 0 {
+					want = 0
+				}
+				if msgs != want {
+					t.Errorf("n=%d: measured %d msgs, model assumes %d", n, msgs, want)
+				}
+				if recvs != msgs {
+					t.Errorf("n=%d: %d msgs but %d recvs (asymmetric accounting)", n, msgs, recvs)
+				}
+			}
+		})
+	}
+}

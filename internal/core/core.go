@@ -19,6 +19,7 @@ import (
 
 	"cucc/internal/analysis"
 	"cucc/internal/cluster"
+	"cucc/internal/csched"
 	"cucc/internal/interp"
 	"cucc/internal/kir"
 	"cucc/internal/lang"
@@ -173,6 +174,12 @@ var DefaultWorkers int
 // unset, the runtime uses the register-machine VM.
 var DefaultEngine cluster.Engine
 
+// DefaultCollective is the process-wide default phase-2 collective schedule
+// used when neither the session nor the cluster picks one.  CLI tools set
+// it from -collective; unset, the runtime uses the legacy hand-written
+// ring collectives.
+var DefaultCollective csched.Choice
+
 // EffectiveWorkers resolves the configured width to a concrete worker
 // count (>= 1).
 func (e ExecConfig) EffectiveWorkers() int {
@@ -210,6 +217,12 @@ type Stats struct {
 	CommBytesPerNode int64
 	// CommMsgs is the total messages sent cluster-wide.
 	CommMsgs int64
+	// CollectiveAlgo names the phase-2 schedule the compiler selected
+	// ("recdouble", "pipeline:4", ...); empty on the legacy ring path.
+	CollectiveAlgo string
+	// OverlapSec is the simulated time saved by overlapping phase-3
+	// callback blocks with in-flight Allgather chunks (0 without overlap).
+	OverlapSec float64
 	// Work is the measured/estimated per-block work.
 	Work machine.BlockWork
 }
@@ -222,6 +235,10 @@ type Session struct {
 	Exec machine.ExecConfig
 	// Host tunes real intra-node execution (worker-pool width).
 	Host ExecConfig
+	// Collective selects the phase-2 collective schedule (the zero value
+	// defers to the cluster, then DefaultCollective, then the legacy
+	// hand-written ring).
+	Collective csched.Choice
 	// Verify re-checks cross-node memory consistency after every launch.
 	Verify bool
 	// Trace, when non-nil, records a simulated-time timeline of every
@@ -257,6 +274,23 @@ func (s *Session) EffectiveEngine() cluster.Engine {
 	return cluster.EngineVM
 }
 
+// EffectiveCollective resolves the layered collective-schedule preference
+// (session, then cluster, then process default) to a concrete choice; the
+// zero value — the legacy hand-written ring — when nothing is configured.
+// The first non-zero layer wins entirely, including its Overlap/Chunks
+// modifiers, mirroring EffectiveEngine.
+func (s *Session) EffectiveCollective() csched.Choice {
+	if s.Collective != (csched.Choice{}) {
+		return s.Collective
+	}
+	if s.Cluster != nil {
+		if c := s.Cluster.Collective(); c != (csched.Choice{}) {
+			return c
+		}
+	}
+	return DefaultCollective
+}
+
 // launchState carries the resolved launch context.
 type launchState struct {
 	kernel  *kir.Kernel
@@ -274,6 +308,16 @@ type launchState struct {
 	// the latch, a mid-launch toggle yields a pool where some Runners are
 	// instrumented and others are not, silently undercounting profiles.
 	vmProfile bool
+
+	// readsWritten reports whether the kernel loads from any buffer it
+	// also writes (per the analysis write-set).  Phase-3 callback blocks of
+	// such kernels may read gathered data, so phase-2/3 overlap is unsafe
+	// and the runtime falls back to the barrier semantics.  Callback blocks
+	// of kernels without such loads touch only block-private output regions
+	// disjoint from the gathered chunks (atomics to global memory already
+	// make a kernel non-distributable), so they can run while later
+	// Allgather chunks are still in flight.
+	readsWritten bool
 }
 
 func (s *Session) resolve(spec LaunchSpec) (*launchState, error) {
@@ -337,6 +381,17 @@ func (s *Session) resolve(spec LaunchSpec) (*launchState, error) {
 		st.native = &n
 	}
 	st.vmProfile = vm.ProfilingEnabled()
+	if md != nil && len(md.Buffers) > 0 {
+		written := map[int]bool{}
+		for _, bm := range md.Buffers {
+			written[bm.Param] = true
+		}
+		kir.WalkExprs(k.Body, func(e kir.Expr) {
+			if ld, ok := e.(*kir.Load); ok && ld.Mem.Space == kir.Global && written[ld.Mem.Param] {
+				st.readsWritten = true
+			}
+		})
+	}
 	return st, nil
 }
 

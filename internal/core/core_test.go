@@ -510,3 +510,59 @@ func TestLaunchTracing(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTrivialLaunchTracing: the trivial path must account every simulated
+// second to a span, exactly like the distributed path — a launch-overhead
+// span plus a callback span per node, tiling the node's clock advance so
+// that each node's span sum equals TotalSec.
+func TestTrivialLaunchTracing(t *testing.T) {
+	prog := MustCompile(vecCopySrc)
+	c := newCluster(t, 2)
+	const N = 1200
+	src := c.Alloc(kir.U8, N)
+	dest := c.Alloc(kir.U8, N)
+	sess := NewSession(c, prog)
+	sess.Host.Workers = 1
+	rec := trace.New()
+	sess.Trace = rec
+	stats, err := sess.Launch(LaunchSpec{
+		Kernel:       "vec_copy",
+		Grid:         interp.Dim1(5),
+		Block:        interp.Dim1(256),
+		Args:         []Arg{BufArg(src), BufArg(dest), IntArg(N)},
+		ForceTrivial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Distributed {
+		t.Fatal("ForceTrivial launch reported distributed")
+	}
+	evs := rec.Events()
+	if len(evs) != 4 { // per node: 1 launch-overhead + 1 callback
+		t.Fatalf("got %d trace events, want 4: %+v", len(evs), evs)
+	}
+	for rank := 0; rank < 2; rank++ {
+		var sum, cursor float64
+		var sawLaunch bool
+		for _, ev := range evs {
+			if ev.Node != rank {
+				continue
+			}
+			if ev.Phase == trace.PhaseLaunch {
+				sawLaunch = true
+			}
+			if cursor != 0 && ev.StartSec != cursor {
+				t.Errorf("node %d: span starts at %g, previous ended at %g", rank, ev.StartSec, cursor)
+			}
+			cursor = ev.StartSec + ev.DurSec
+			sum += ev.DurSec
+		}
+		if !sawLaunch {
+			t.Errorf("node %d: no %s span on the trivial path", rank, trace.PhaseLaunch)
+		}
+		if math.Abs(sum-stats.TotalSec) > 1e-12 {
+			t.Errorf("node %d: span sum %.15g != TotalSec %.15g", rank, sum, stats.TotalSec)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cucc/internal/csched"
 	"cucc/internal/machine"
 )
 
@@ -62,7 +63,23 @@ func (s *Session) Estimate(spec LaunchSpec) (*Stats, error) {
 		// the most blocks (they only differ under RemainderImbalanced).
 		stats.Phase1Sec = c.Machine().PhaseTime(stats.BlocksPerNode, perBlock, s.execConfig(st))
 	}
+	if callbacks > 0 {
+		stats.CallbackSec = c.Machine().PhaseTime(callbacks, perBlock, s.execConfig(st))
+	}
+
+	// Mirror Launch's collective selection exactly: same choice resolution,
+	// same per-buffer schedule compilation, same overlap gating — so the
+	// Launch/Estimate parity invariant extends to every collective choice.
+	choice := s.EffectiveCollective()
+	schedActive := choice.Active() && part.distEnd > 0
+	wantOverlap := schedActive && choice.Overlap && callbacks > 0 && !st.readsWritten
+	cbHint := 0.0
+	if wantOverlap && part.counts[0] > 0 {
+		cbHint = stats.CallbackSec
+	}
 	commSec := 0.0
+	firstRecvSec := 0.0
+	buffers := 0
 	for _, bm := range md.Buffers {
 		buf, base, unit, err := st.bufferRegion(bm)
 		if err != nil {
@@ -79,20 +96,45 @@ func (s *Session) Estimate(spec LaunchSpec) (*Stats, error) {
 		for r := 0; r < n; r++ {
 			chunks[r] = int64(part.counts[r]) * unit * int64(bm.Elem.Size())
 		}
-		if part.balanced {
-			commSec += c.Net().RingAllgather(n, chunks[0])
+		if schedActive {
+			sel, err := csched.Select(csched.Request{
+				Ranks: n, RankBytes: chunks, Model: c.Net(),
+				Choice: choice, CallbackSec: cbHint,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if buffers == 0 {
+				firstRecvSec = sel.Eval.FirstRecvSec
+				stats.CollectiveAlgo = sel.Schedule.String()
+			}
+			commSec += sel.Eval.CostSec
+			stats.CommMsgs += sel.Eval.Msgs
 		} else {
-			commSec += c.Net().AllgatherV(chunks)
+			if part.balanced {
+				commSec += c.Net().RingAllgather(n, chunks[0])
+			} else {
+				commSec += c.Net().AllgatherV(chunks)
+			}
+			stats.CommMsgs += int64(n * (n - 1))
 		}
 		stats.CommBytesPerNode += chunks[0]
-		stats.CommMsgs += int64(n * (n - 1))
+		buffers++
 	}
 	stats.CommSec = commSec
 
-	if callbacks > 0 {
-		stats.CallbackSec = c.Machine().PhaseTime(callbacks, perBlock, s.execConfig(st))
+	if wantOverlap && buffers > 0 {
+		// Overlapped phases 2+3: callbacks start at firstRecvSec and run
+		// concurrently with the collective's tail (Launch's clock model).
+		span := commSec
+		if cb := firstRecvSec + stats.CallbackSec; cb > span {
+			span = cb
+		}
+		stats.OverlapSec = (commSec + stats.CallbackSec) - span
+		stats.TotalSec = stats.Phase1Sec + KernelLaunchOverheadSec + span
+	} else {
+		stats.TotalSec = stats.Phase1Sec + KernelLaunchOverheadSec + stats.CommSec + stats.CallbackSec
 	}
-	stats.TotalSec = stats.Phase1Sec + KernelLaunchOverheadSec + stats.CommSec + stats.CallbackSec
 	return stats, nil
 }
 

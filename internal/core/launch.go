@@ -12,6 +12,7 @@ import (
 	"cucc/internal/analysis"
 	"cucc/internal/cluster"
 	"cucc/internal/comm"
+	"cucc/internal/csched"
 	"cucc/internal/interp"
 	"cucc/internal/kir"
 	"cucc/internal/machine"
@@ -140,9 +141,36 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 		}
 	}
 
-	// --- Phase 2: in-place Allgather per written buffer (balanced ring,
-	// or Allgatherv under the imbalanced remainder strategy) ---
+	// --- Phase 2: in-place Allgather per written buffer ---
+	//
+	// The legacy path hardcodes the balanced ring (or Allgatherv under the
+	// imbalanced remainder strategy).  When a collective choice is
+	// configured, the schedule compiler selects among ring, recursive
+	// doubling, two-level, and chunked-pipelined schedules per (bytes,
+	// nranks) instead, and — with overlap enabled and a kernel whose
+	// callbacks don't read gathered data — phase-3 callback blocks run
+	// while later Allgather chunks are still in flight.
+	choice := s.EffectiveCollective()
+	schedActive := choice.Active() && part.distEnd > 0
+	wantOverlap := schedActive && choice.Overlap && callbacks > 0 && !st.readsWritten
+	cbHint := 0.0
+	if wantOverlap && part.counts[0] > 0 {
+		// Callback-time hint for overlap-aware selection, computed from the
+		// measured phase-1 per-block work exactly as Estimate computes it
+		// from the analytic work (identical for natives, keeping
+		// Launch/Estimate schedule selection in lockstep).
+		per := workPerNode[0].Scale(1 / float64(part.counts[0]))
+		cbHint = c.Machine().PhaseTime(callbacks, per, s.execConfig(st))
+	}
+	type gatherOp struct {
+		regionStart, regionLen int
+		offs                   []int // per-rank byte offsets (legacy path)
+		chunks                 []int64
+		sel                    *csched.Selection
+	}
+	var gathers []gatherOp
 	commSec := 0.0
+	firstRecvSec := 0.0
 	var commMsgs int64
 	for _, bm := range md.Buffers {
 		buf, base, unit, err := st.bufferRegion(bm)
@@ -157,89 +185,204 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 			return nil, fmt.Errorf("core: kernel %s writes past buffer %s (%d elems > %d)",
 				st.kernel.Name, bm.ParamName, int(base)+int(unit)*part.distEnd, buf.Count)
 		}
-		regionStart := buf.Off + int(base)*elem
-		regionLen := int(unit) * part.distEnd * elem
-		// Byte offsets of each node's chunk within the region.
-		offs := make([]int, n+1)
-		chunks := make([]int64, n)
+		g := gatherOp{
+			regionStart: buf.Off + int(base)*elem,
+			regionLen:   int(unit) * part.distEnd * elem,
+			offs:        make([]int, n+1),
+			chunks:      make([]int64, n),
+		}
 		for r := 0; r < n; r++ {
-			chunks[r] = int64(part.counts[r]) * unit * int64(elem)
-			offs[r+1] = offs[r] + int(chunks[r])
+			g.chunks[r] = int64(part.counts[r]) * unit * int64(elem)
+			g.offs[r+1] = g.offs[r] + int(g.chunks[r])
 		}
-		var msgs int64
-		err = c.RunParallel(func(rank int, conn transport.Conn) error {
-			node := c.Node(rank)
-			region := nodeBytes(c, rank, regionStart, regionLen)
-			var cs comm.Stats
-			var err error
-			if part.balanced {
-				cs, err = comm.AllgatherRing(conn, region, int(chunks[0]))
-			} else {
-				cs, err = comm.AllgatherVRing(conn, region, offs)
-			}
+		if schedActive {
+			sel, err := csched.Select(csched.Request{
+				Ranks: n, RankBytes: g.chunks, Model: c.Net(),
+				Choice: choice, CallbackSec: cbHint,
+			})
 			if err != nil {
-				return err
+				return nil, err
 			}
-			node.Comm.Add(cs)
-			atomic.AddInt64(&msgs, cs.Msgs)
-			return nil
-		})
-		if err != nil {
-			s.emitFailure(st.kernel.Name, err)
-			return nil, err
-		}
-		commMsgs += msgs
-		if part.balanced {
-			commSec += c.Net().RingAllgather(n, chunks[0])
+			g.sel = sel
+			if len(gathers) == 0 {
+				// Overlap starts once the first buffer's first chunk has
+				// landed on every rank.
+				firstRecvSec = sel.Eval.FirstRecvSec
+				stats.CollectiveAlgo = sel.Schedule.String()
+			}
+			commSec += sel.Eval.CostSec
+		} else if part.balanced {
+			commSec += c.Net().RingAllgather(n, g.chunks[0])
 		} else {
-			commSec += c.Net().AllgatherV(chunks)
+			commSec += c.Net().AllgatherV(g.chunks)
 		}
-		stats.CommBytesPerNode += chunks[0]
+		stats.CommBytesPerNode += g.chunks[0]
+		gathers = append(gathers, g)
 	}
-	// The Allgather synchronizes the nodes: clocks meet at the maximum,
-	// then all pay the collective cost.
-	s.emit(trace.Event{StartSec: c.MaxClock(), DurSec: commSec, Node: -1,
-		Phase: trace.PhaseAllgather, Kernel: st.kernel.Name,
-		Detail: fmt.Sprintf("%d bytes/node, %d msgs", stats.CommBytesPerNode, commMsgs)})
-	c.SyncClocksMax(commSec)
-	stats.CommSec = commSec
-	stats.CommMsgs = commMsgs
-	s.registry().Histogram(MetricAllgatherSimSec).Observe(commSec)
+	overlapped := wantOverlap && len(gathers) > 0
 
-	// --- Phase 3: callback block execution on every node ---
-	if callbacks > 0 {
-		reg := s.registry()
+	runGather := func(rank int, conn transport.Conn, g gatherOp) (comm.Stats, error) {
+		region := nodeBytes(c, rank, g.regionStart, g.regionLen)
+		if g.sel != nil {
+			return csched.Execute(conn, region, g.sel.Offs, g.sel.Schedule)
+		}
+		if part.balanced {
+			return comm.AllgatherRing(conn, region, int(g.chunks[0]))
+		}
+		return comm.AllgatherVRing(conn, region, g.offs)
+	}
+
+	reg := s.registry()
+	allgatherDetail := func() string {
+		d := fmt.Sprintf("%d bytes/node, %d msgs", stats.CommBytesPerNode, commMsgs)
+		if stats.CollectiveAlgo != "" {
+			d += ", " + stats.CollectiveAlgo
+		}
+		return d
+	}
+
+	if !overlapped {
+		for _, g := range gathers {
+			var msgs int64
+			err := c.RunParallel(func(rank int, conn transport.Conn) error {
+				cs, err := runGather(rank, conn, g)
+				if err != nil {
+					return err
+				}
+				c.Node(rank).Comm.Add(cs)
+				atomic.AddInt64(&msgs, cs.Msgs)
+				return nil
+			})
+			if err != nil {
+				s.emitFailure(st.kernel.Name, err)
+				return nil, err
+			}
+			commMsgs += msgs
+		}
+		// The Allgather synchronizes the nodes: clocks meet at the maximum,
+		// then all pay the collective cost.
+		s.emit(trace.Event{StartSec: c.MaxClock(), DurSec: commSec, Node: -1,
+			Phase: trace.PhaseAllgather, Kernel: st.kernel.Name,
+			Detail: allgatherDetail()})
+		c.SyncClocksMax(commSec)
+		stats.CommSec = commSec
+		stats.CommMsgs = commMsgs
+		reg.Histogram(MetricAllgatherSimSec).Observe(commSec)
+
+		// --- Phase 3: callback block execution on every node ---
+		if callbacks > 0 {
+			cbWork := make([]machine.BlockWork, n)
+			cbCounts := make([][]int, n)
+			wallStart := time.Now()
+			err := c.RunParallel(func(rank int, _ transport.Conn) error {
+				w, wc, err := s.runBlocks(st, rank, part.distEnd, totalBlocks)
+				if err != nil {
+					return err
+				}
+				cbWork[rank] = w
+				cbCounts[rank] = wc
+				return nil
+			})
+			reg.Histogram(MetricCallbackWallSec).Observe(time.Since(wallStart).Seconds())
+			if err != nil {
+				s.emitFailure(st.kernel.Name, err)
+				return nil, err
+			}
+			for rank := 0; rank < n; rank++ {
+				per := cbWork[rank].Scale(1 / float64(callbacks))
+				dt := c.Machine().PhaseTime(callbacks, per, s.execConfig(st))
+				s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: dt, Node: rank,
+					Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
+					Detail: fmt.Sprintf("%d blocks", callbacks)})
+				s.emitWorkerSpans(c.Node(rank).Clock, dt, rank, st.kernel.Name, cbCounts[rank])
+				reg.Histogram(MetricCallbackSimSec).Observe(dt)
+				recordWorkerCounts(reg, cbCounts[rank])
+				c.Node(rank).Clock += dt
+				if rank == 0 {
+					stats.CallbackSec = dt
+				}
+			}
+		}
+	} else {
+		// --- Overlapped phases 2+3: each rank drives its collective
+		// schedule while a concurrent goroutine executes the callback
+		// blocks.  Safe because callbacks write only block regions past
+		// part.distEnd — disjoint from every gathered chunk — and the
+		// readsWritten gate proved they never load gathered data; the
+		// result is bitwise identical to the barrier ordering.
 		cbWork := make([]machine.BlockWork, n)
 		cbCounts := make([][]int, n)
 		wallStart := time.Now()
-		err := c.RunParallel(func(rank int, _ transport.Conn) error {
-			w, wc, err := s.runBlocks(st, rank, part.distEnd, totalBlocks)
-			if err != nil {
-				return err
+		err := c.RunParallel(func(rank int, conn transport.Conn) error {
+			var wg sync.WaitGroup
+			var cbErr error
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w, wc, err := s.runBlocks(st, rank, part.distEnd, totalBlocks)
+				if err != nil {
+					cbErr = err
+					return
+				}
+				cbWork[rank] = w
+				cbCounts[rank] = wc
+			}()
+			var commErr error
+			for _, g := range gathers {
+				cs, err := runGather(rank, conn, g)
+				if err != nil {
+					commErr = err
+					break
+				}
+				c.Node(rank).Comm.Add(cs)
+				atomic.AddInt64(&commMsgs, cs.Msgs)
 			}
-			cbWork[rank] = w
-			cbCounts[rank] = wc
-			return nil
+			// Always join the callback goroutine before returning: the
+			// cluster may tear the launch down on error, and the blocks
+			// must not outlive it.
+			wg.Wait()
+			return errors.Join(commErr, cbErr)
 		})
 		reg.Histogram(MetricCallbackWallSec).Observe(time.Since(wallStart).Seconds())
 		if err != nil {
 			s.emitFailure(st.kernel.Name, err)
 			return nil, err
 		}
+		// Clock model: the collective still synchronizes every rank at
+		// phase-1 max, but callbacks start at firstRecvSec — the modeled
+		// point every rank has its first chunk — instead of after the full
+		// collective; each rank finishes at whichever of the two overlapped
+		// activities ends later.
+		base := c.MaxClock()
+		s.emit(trace.Event{StartSec: base, DurSec: commSec, Node: -1,
+			Phase: trace.PhaseAllgather, Kernel: st.kernel.Name,
+			Detail: allgatherDetail()})
+		stats.CommSec = commSec
+		stats.CommMsgs = commMsgs
+		reg.Histogram(MetricAllgatherSimSec).Observe(commSec)
+		maxDt := 0.0
 		for rank := 0; rank < n; rank++ {
 			per := cbWork[rank].Scale(1 / float64(callbacks))
 			dt := c.Machine().PhaseTime(callbacks, per, s.execConfig(st))
-			s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: dt, Node: rank,
+			s.emit(trace.Event{StartSec: base + firstRecvSec, DurSec: dt, Node: rank,
 				Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
-				Detail: fmt.Sprintf("%d blocks", callbacks)})
-			s.emitWorkerSpans(c.Node(rank).Clock, dt, rank, st.kernel.Name, cbCounts[rank])
+				Detail: fmt.Sprintf("%d blocks (overlapped)", callbacks)})
+			s.emitWorkerSpans(base+firstRecvSec, dt, rank, st.kernel.Name, cbCounts[rank])
 			reg.Histogram(MetricCallbackSimSec).Observe(dt)
 			recordWorkerCounts(reg, cbCounts[rank])
-			c.Node(rank).Clock += dt
+			end := base + commSec
+			if cb := base + firstRecvSec + dt; cb > end {
+				end = cb
+			}
+			c.Node(rank).Clock = end
+			if dt > maxDt {
+				maxDt = dt
+			}
 			if rank == 0 {
 				stats.CallbackSec = dt
 			}
 		}
+		stats.OverlapSec = (base + commSec + maxDt) - c.MaxClock()
 	}
 
 	stats.TotalSec = c.MaxClock() - startClock
@@ -336,13 +479,19 @@ func (s *Session) runTrivial(st *launchState, stats *Stats) error {
 	for rank := 0; rank < c.N(); rank++ {
 		per := works[rank].Scale(1 / float64(total))
 		dt := c.Machine().PhaseTime(total, per, s.execConfig(st))
-		s.emit(trace.Event{StartSec: c.Node(rank).Clock + KernelLaunchOverheadSec, DurSec: dt,
+		// Launch overhead gets its own span, exactly like the distributed
+		// path: the timeline must tile each node's clock advance, so that
+		// per-node span sums reproduce TotalSec.
+		s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: KernelLaunchOverheadSec,
+			Node: rank, Phase: trace.PhaseLaunch, Kernel: st.kernel.Name})
+		c.Node(rank).Clock += KernelLaunchOverheadSec
+		s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: dt,
 			Node: rank, Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
 			Detail: fmt.Sprintf("trivial: all %d blocks", total)})
-		s.emitWorkerSpans(c.Node(rank).Clock+KernelLaunchOverheadSec, dt, rank, st.kernel.Name, wkCounts[rank])
+		s.emitWorkerSpans(c.Node(rank).Clock, dt, rank, st.kernel.Name, wkCounts[rank])
 		reg.Histogram(MetricCallbackSimSec).Observe(dt)
 		recordWorkerCounts(reg, wkCounts[rank])
-		c.Node(rank).Clock += dt + KernelLaunchOverheadSec
+		c.Node(rank).Clock += dt
 		if rank == 0 {
 			stats.CallbackSec = dt
 			stats.Work = per

@@ -1,0 +1,217 @@
+package csched
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cucc/internal/comm"
+	"cucc/internal/metrics"
+	"cucc/internal/transport"
+)
+
+// runSchedule executes s on every rank of net concurrently, each starting
+// from its own copy of the pre-gather buffer, and returns the per-rank
+// final buffers and stats.
+func runSchedule(t *testing.T, net transport.Network, s *Schedule, offs []int, seed func(rank int) []byte) ([][]byte, []comm.Stats) {
+	t.Helper()
+	n := net.Size()
+	bufs := make([][]byte, n)
+	stats := make([]comm.Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		bufs[r] = seed(r)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			stats[r], errs[r] = Execute(net.Conn(r), bufs[r], offs, s)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return bufs, stats
+}
+
+// fill produces the canonical test pattern: chunk owned by rank r holds
+// bytes derived from (r, position).
+func fill(rankOffs []int, r int) []byte {
+	buf := make([]byte, rankOffs[len(rankOffs)-1])
+	for i := rankOffs[r]; i < rankOffs[r+1]; i++ {
+		buf[i] = byte(137*r + 31*i + 7)
+	}
+	return buf
+}
+
+// reference computes the expected post-Allgather buffer.
+func reference(rankOffs []int, n int) []byte {
+	buf := make([]byte, rankOffs[n])
+	for r := 0; r < n; r++ {
+		for i := rankOffs[r]; i < rankOffs[r+1]; i++ {
+			buf[i] = byte(137*r + 31*i + 7)
+		}
+	}
+	return buf
+}
+
+// TestExecuteMatchesReference: every generated schedule gathers exactly
+// the bytes the hand-written ring would, for balanced and imbalanced
+// contributions, including empty chunks.
+func TestExecuteMatchesReference(t *testing.T) {
+	type gen struct {
+		name  string
+		build func(n int) *Schedule
+	}
+	gens := []gen{
+		{"ring", func(n int) *Schedule { return GenRing(n, 1) }},
+		{"pipeline2", func(n int) *Schedule { return GenRing(n, 2) }},
+		{"pipeline4", func(n int) *Schedule { return GenRing(n, 4) }},
+		{"recdouble", GenRecDouble},
+		{"twolevel", GenTwoLevel},
+	}
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		// Balanced and imbalanced (incl. an empty chunk) offset tables.
+		tables := map[string][]int{
+			"balanced": UniformOffsets(n, 64),
+		}
+		imb := make([]int, n+1)
+		for r := 0; r < n; r++ {
+			imb[r+1] = imb[r] + (r%3)*37 // rank 0 (and 3, 6...) contributes 0 bytes
+		}
+		tables["imbalanced"] = imb
+		for _, g := range gens {
+			s := g.build(n)
+			if s == nil {
+				continue
+			}
+			for tname, rankOffs := range tables {
+				t.Run(fmt.Sprintf("%s/n=%d/%s", g.name, n, tname), func(t *testing.T) {
+					net := transport.NewInproc(n)
+					defer net.Close()
+					offs := SplitOffsets(rankOffs, s.ChunksPerRank)
+					want := reference(rankOffs, n)
+					bufs, stats := runSchedule(t, net, s, offs, func(r int) []byte { return fill(rankOffs, r) })
+					for r := 0; r < n; r++ {
+						if !bytes.Equal(bufs[r], want) {
+							t.Errorf("rank %d buffer differs from reference", r)
+						}
+					}
+					// Symmetric accounting: summed over ranks, sends == recvs.
+					var total comm.Stats
+					for _, st := range stats {
+						total.Add(st)
+					}
+					if total.Msgs != total.Recvs || total.BytesSent != total.BytesRecvd {
+						t.Errorf("asymmetric stats: %+v", total)
+					}
+					// Message count matches the schedule's own send count.
+					var wantMsgs int64
+					for r := 0; r < n; r++ {
+						for _, step := range s.Steps[r] {
+							if step.Op == OpSend {
+								wantMsgs++
+							}
+						}
+					}
+					if total.Msgs != wantMsgs {
+						t.Errorf("measured %d msgs, schedule has %d sends", total.Msgs, wantMsgs)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestExecuteUnderBenignFaults: delayed and duplicated messages are
+// absorbed by the transport envelope; results stay bitwise identical.
+func TestExecuteUnderBenignFaults(t *testing.T) {
+	for _, n := range []int{3, 4, 8} {
+		for _, g := range []func(int) *Schedule{
+			func(n int) *Schedule { return GenRing(n, 1) },
+			func(n int) *Schedule { return GenRing(n, 4) },
+			GenRecDouble,
+			GenTwoLevel,
+		} {
+			s := g(n)
+			if s == nil {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/n=%d", s, n), func(t *testing.T) {
+				net := transport.NewFaulty(transport.NewInproc(n), transport.FaultConfig{
+					Seed: 1, Delay: 0.3, Duplicate: 0.3, MaxDelay: 200 * time.Microsecond,
+				})
+				defer net.Close()
+				rankOffs := UniformOffsets(n, 96)
+				offs := SplitOffsets(rankOffs, s.ChunksPerRank)
+				want := reference(rankOffs, n)
+				bufs, _ := runSchedule(t, net, s, offs, func(r int) []byte { return fill(rankOffs, r) })
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(bufs[r], want) {
+						t.Errorf("rank %d buffer differs under benign faults", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExecuteMetrics: on a metered transport the executor records
+// comm.sched_<algo>.* counters equal to the summed per-rank stats, so the
+// registry cross-check invariant (comm.* == transport.*) holds for
+// schedules too.
+func TestExecuteMetrics(t *testing.T) {
+	const n = 4
+	reg := metrics.New()
+	net := transport.NewMetered(transport.NewInproc(n), reg)
+	defer net.Close()
+	s := GenRing(n, 2)
+	rankOffs := UniformOffsets(n, 128)
+	offs := SplitOffsets(rankOffs, 2)
+	_, stats := runSchedule(t, net, s, offs, func(r int) []byte { return fill(rankOffs, r) })
+	var total comm.Stats
+	for _, st := range stats {
+		total.Add(st)
+	}
+	snap := reg.Snapshot()
+	for _, check := range []struct {
+		name string
+		want int64
+	}{
+		{"comm.sched_pipeline.calls", n},
+		{"comm.sched_pipeline.msgs", total.Msgs},
+		{"comm.sched_pipeline.bytes_sent", total.BytesSent},
+		{"comm.sched_pipeline.recvs", total.Recvs},
+		{"comm.sched_pipeline.bytes_recvd", total.BytesRecvd},
+	} {
+		if got := snap.Counters[check.name]; got != check.want {
+			t.Errorf("%s = %d, want %d", check.name, got, check.want)
+		}
+	}
+}
+
+// TestExecuteValidation: malformed inputs fail cleanly before any traffic.
+func TestExecuteValidation(t *testing.T) {
+	net := transport.NewInproc(2)
+	defer net.Close()
+	s := GenRing(2, 1)
+	good := UniformOffsets(2, 8)
+	buf := make([]byte, 16)
+	if _, err := Execute(net.Conn(0), buf, good[:2], s); err == nil {
+		t.Error("short offset table accepted")
+	}
+	if _, err := Execute(net.Conn(0), buf, []int{0, 12, 8}, s); err == nil {
+		t.Error("non-monotonic offsets accepted")
+	}
+	if _, err := Execute(net.Conn(0), buf, []int{0, 16, 32}, s); err == nil {
+		t.Error("offsets past buffer end accepted")
+	}
+	if _, err := Execute(net.Conn(0), buf, good, GenRing(4, 1)); err == nil {
+		t.Error("rank-count mismatch accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package csched
+
+import "fmt"
+
+// Verify checks a schedule for correctness without touching a transport:
+// it simulates every rank's program against per-(src,dst) FIFO message
+// queues (the ordering guarantee the transport gives) and proves that
+//
+//   - every step's chunk range is within bounds and non-empty,
+//   - a rank only sends chunks it already owns,
+//   - every receive matches the head of its (peer→rank) queue exactly
+//     (same range, in order — the executor pairs messages by arrival
+//     order on one tag, so any reordering would corrupt data),
+//   - the programs cannot deadlock (progress is possible until all
+//     programs are drained), and
+//   - on completion every rank owns every chunk.
+//
+// Generators run this once per (algo, n, k) at cache-fill time, so a
+// schedule bug fails loudly at selection instead of corrupting heaps.
+func Verify(s *Schedule) error {
+	n := s.NRanks
+	k := s.ChunksPerRank
+	if n < 1 || k < 1 {
+		return fmt.Errorf("invalid shape: %d ranks, %d chunks/rank", n, k)
+	}
+	nc := s.NChunks()
+	if len(s.Steps) != n {
+		return fmt.Errorf("have %d rank programs, want %d", len(s.Steps), n)
+	}
+
+	// owned[r][c]: rank r holds a valid copy of chunk c.
+	owned := make([][]bool, n)
+	for r := 0; r < n; r++ {
+		owned[r] = make([]bool, nc)
+		for j := 0; j < k; j++ {
+			owned[r][r*k+j] = true
+		}
+	}
+
+	// queues[src][dst] is the FIFO of in-flight chunk ranges.
+	type rng struct{ lo, hi int }
+	queues := make(map[[2]int][]rng)
+	pc := make([]int, n) // next step index per rank
+
+	checkRange := func(r int, st Step) error {
+		if st.Lo < 0 || st.Hi > nc || st.Lo >= st.Hi {
+			return fmt.Errorf("rank %d step %d: bad chunk range in %q (%d chunks total)", r, pc[r], st, nc)
+		}
+		if st.Op != OpCopy && (st.Peer < 0 || st.Peer >= n || st.Peer == r) {
+			return fmt.Errorf("rank %d step %d: bad peer in %q", r, pc[r], st)
+		}
+		return nil
+	}
+
+	// Fixed-point: repeatedly advance any rank whose next step can run.
+	// Sends and copies always can; receives need a matching queue head.
+	for {
+		progressed := false
+		for r := 0; r < n; r++ {
+			for pc[r] < len(s.Steps[r]) {
+				st := s.Steps[r][pc[r]]
+				if err := checkRange(r, st); err != nil {
+					return err
+				}
+				switch st.Op {
+				case OpSend:
+					for c := st.Lo; c < st.Hi; c++ {
+						if !owned[r][c] {
+							return fmt.Errorf("rank %d step %d: sends chunk %d before owning it (%q)", r, pc[r], c, st)
+						}
+					}
+					key := [2]int{r, st.Peer}
+					queues[key] = append(queues[key], rng{st.Lo, st.Hi})
+				case OpCopy:
+					if st.SrcLo < 0 || st.SrcLo+(st.Hi-st.Lo) > nc {
+						return fmt.Errorf("rank %d step %d: bad copy source in %q", r, pc[r], st)
+					}
+					for c := 0; c < st.Hi-st.Lo; c++ {
+						if !owned[r][st.SrcLo+c] {
+							return fmt.Errorf("rank %d step %d: copies chunk %d before owning it (%q)", r, pc[r], st.SrcLo+c, st)
+						}
+						owned[r][st.Lo+c] = true
+					}
+				case OpRecv:
+					key := [2]int{st.Peer, r}
+					q := queues[key]
+					if len(q) == 0 {
+						// Blocked: try other ranks; revisit on next sweep.
+						goto nextRank
+					}
+					head := q[0]
+					if head.lo != st.Lo || head.hi != st.Hi {
+						return fmt.Errorf("rank %d step %d: %q mismatches in-flight range [%d,%d) from rank %d",
+							r, pc[r], st, head.lo, head.hi, st.Peer)
+					}
+					queues[key] = q[1:]
+					for c := st.Lo; c < st.Hi; c++ {
+						owned[r][c] = true
+					}
+				}
+				pc[r]++
+				progressed = true
+			}
+		nextRank:
+		}
+		done := true
+		for r := 0; r < n; r++ {
+			if pc[r] < len(s.Steps[r]) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if !progressed {
+			stuck := []int{}
+			for r := 0; r < n; r++ {
+				if pc[r] < len(s.Steps[r]) {
+					stuck = append(stuck, r)
+				}
+			}
+			return fmt.Errorf("deadlock: ranks %v blocked on receives with no matching sends", stuck)
+		}
+	}
+
+	for key, q := range queues {
+		if len(q) > 0 {
+			return fmt.Errorf("%d undelivered messages from rank %d to rank %d", len(q), key[0], key[1])
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < nc; c++ {
+			if !owned[r][c] {
+				return fmt.Errorf("incomplete: rank %d never receives chunk %d", r, c)
+			}
+		}
+	}
+	return nil
+}
