@@ -16,7 +16,7 @@ test:
 	go test -timeout 120s ./...
 
 race:
-	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/cluster/ ./internal/comm/ ./internal/csched/ ./internal/transport/ ./internal/metrics/ ./internal/trace/ ./internal/prof/
+	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/cluster/ ./internal/comm/ ./internal/csched/ ./internal/transport/ ./internal/metrics/ ./internal/trace/ ./internal/prof/ ./internal/serve/ ./internal/throughput/
 
 # Run-and-diagnose the evaluation suite: critical path, stragglers, and
 # what-if estimates per program, plus the VM opcode profile of one kernel.

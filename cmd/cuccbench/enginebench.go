@@ -11,6 +11,7 @@ import (
 	"cucc/internal/csched"
 	"cucc/internal/machine"
 	"cucc/internal/prof"
+	"cucc/internal/serve"
 	"cucc/internal/simnet"
 	"cucc/internal/suites"
 )
@@ -47,6 +48,10 @@ type engineBenchReport struct {
 	// legacy ring at paper scale (simulated time, so deterministic and
 	// ignored by cuccprof -compare, which diffs wall-clock rows only).
 	Collectives []collectiveBenchResult `json:"collectives,omitempty"`
+	// Service is the schema-v3 cuccd saturation sweep (open-loop load
+	// against a loopback server; see serve.ServiceBench).  cuccprof
+	// -compare diffs its qps and p99 per (scenario, rate).
+	Service []prof.ServiceResult `json:"service,omitempty"`
 }
 
 // collectiveBenchResult is one (program, nodes, -collective choice) row of
@@ -75,7 +80,7 @@ func writeEngineBench(path string, workers int) error {
 		workers = 1
 	}
 	engines := []cluster.Engine{cluster.EngineVM, cluster.EngineVMLanes, cluster.EngineInterp}
-	progs := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
+	progs := suites.Registry()
 
 	rep := engineBenchReport{
 		SchemaVersion: prof.BenchSchemaVersion,
@@ -111,6 +116,13 @@ func writeEngineBench(path string, workers int) error {
 		return err
 	}
 	rep.Collectives = coll
+
+	fmt.Println("service bench (cuccd over loopback):")
+	svc, err := serve.ServiceBench(serve.ServiceBenchConfig{})
+	if err != nil {
+		return fmt.Errorf("service bench: %w", err)
+	}
+	rep.Service = svc
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,81 @@
+// Command cuccd is the compile+launch daemon: it accepts jobs (an
+// evaluation-suite program by name, or inline mini-CUDA source with a
+// kernel entry point and argument specs) over a length-prefixed JSON
+// protocol, schedules them across tenants with deficit weighted
+// round-robin, and runs each on an isolated simulated cluster with its
+// own metrics registry and trace buffer.
+//
+// Usage:
+//
+//	cuccd -addr :9091                          # serve jobs on :9091
+//	cuccd -addr :9091 -http localhost:9092     # plus /metrics and /jobs
+//	cuccd -executors 4 -queue-cap 128          # wider admission
+//
+// SIGINT/SIGTERM drains gracefully: in-flight jobs finish, queued jobs
+// are rejected, then the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cucc/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9091", "TCP address to serve the job protocol on")
+	httpAddr := flag.String("http", "", "serve /metrics and /jobs on this HTTP address (empty = disabled)")
+	queueCap := flag.Int("queue-cap", 64, "admission queue bound; submissions past it are rejected with a retry-after hint")
+	executors := flag.Int("executors", 2, "jobs run concurrently")
+	nodes := flag.Int("nodes", 4, "default job cluster size")
+	maxNodes := flag.Int("max-nodes", 32, "cap on per-request cluster sizes")
+	workers := flag.Int("workers", 1, "intra-node worker-pool width per job (0 = all CPUs)")
+	recvTimeout := flag.Duration("recv-timeout", 30*time.Second, "per-job transport receive deadline")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-job deadline (queue wait + execution)")
+	traceCap := flag.Int("trace-cap", 4096, "per-job trace capture bound (events)")
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		QueueCap:        *queueCap,
+		Executors:       *executors,
+		Nodes:           *nodes,
+		MaxNodes:        *maxNodes,
+		Workers:         *workers,
+		RecvTimeout:     *recvTimeout,
+		DefaultDeadline: *deadline,
+		TraceCap:        *traceCap,
+	})
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cuccd: serving jobs on %s (queue %d, executors %d)\n", bound, *queueCap, *executors)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPMux()}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "cuccd: http:", err)
+			}
+		}()
+		fmt.Printf("cuccd: /metrics and /jobs on http://%s\n", *httpAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("cuccd: %s, draining\n", got)
+	srv.Drain()
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	fmt.Println("cuccd: drained, exiting")
+}

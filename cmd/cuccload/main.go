@@ -1,0 +1,136 @@
+// Command cuccload is the open-loop load generator for cuccd: it offers
+// jobs at target Poisson rates (arrivals paced by the schedule, never by
+// responses — the discipline that exposes queueing collapse instead of
+// hiding it behind coordinated omission) and reports sustained QPS,
+// latency quantiles, and reject rate per sweep point.
+//
+// Usage:
+//
+//	cuccload -addr localhost:9091 -rates 50,200          # drive a running cuccd
+//	cuccload -rates 25,100,400 -jobs 200                 # self-hosted server on loopback
+//	cuccload -mix tenant-a:VecAdd:3,tenant-b:FIR:1       # weighted tenant mix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cucc/internal/serve"
+	"cucc/internal/throughput"
+)
+
+func main() {
+	addr := flag.String("addr", "", "cuccd address to drive (empty = boot a server on loopback for the run)")
+	ratesFlag := flag.String("rates", "50,200", "comma-separated target rates (jobs/sec) for the saturation sweep")
+	jobs := flag.Int("jobs", 60, "arrivals offered per sweep point")
+	mixFlag := flag.String("mix", "tenant-a:VecAdd:1,tenant-b:FIR:1", "tenant mix as tenant:program:share[,...]")
+	seed := flag.Int64("seed", 1, "seed for the arrival schedule and tenant draws")
+	deadline := flag.Duration("deadline", 10*time.Second, "per-job deadline passed with every submission (0 = server default)")
+	executors := flag.Int("executors", 4, "self-hosted server: jobs run concurrently")
+	queueCap := flag.Int("queue-cap", 32, "self-hosted server: admission queue bound")
+	nodes := flag.Int("nodes", 2, "self-hosted server: default job cluster size")
+	flag.Parse()
+
+	rates, err := parseRates(*ratesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	target := *addr
+	if target == "" {
+		srv := serve.NewServer(serve.Config{
+			QueueCap:  *queueCap,
+			Executors: *executors,
+			Nodes:     *nodes,
+			Workers:   1,
+		})
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Drain()
+		target = bound
+		fmt.Printf("cuccload: self-hosted cuccd on %s (queue %d, executors %d)\n",
+			bound, *queueCap, *executors)
+	}
+
+	client, err := serve.Dial(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	base := throughput.LoadConfig{
+		Jobs:     *jobs,
+		Mix:      mix,
+		Seed:     *seed,
+		Deadline: *deadline,
+	}
+	results := throughput.SweepLoad(serve.ClientSubmitter{Client: client}, base, rates)
+
+	fmt.Printf("%8s %8s %10s %10s %10s %10s %8s %8s\n",
+		"rate/s", "offered", "qps", "p50 ms", "p99 ms", "p999 ms", "reject", "errors")
+	for _, r := range results {
+		fmt.Printf("%8.0f %8d %10.1f %10.2f %10.2f %10.2f %7.1f%% %8d\n",
+			r.RatePerSec, r.Offered, r.QPS, r.P50Ms, r.P99Ms, r.P999Ms,
+			r.RejectRate*100, r.Errors)
+	}
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q (want a positive number)", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rates given")
+	}
+	return out, nil
+}
+
+func parseMix(s string) ([]throughput.TenantMix, error) {
+	var out []throughput.TenantMix
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad mix entry %q (want tenant:program:share)", item)
+		}
+		share, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || share <= 0 {
+			return nil, fmt.Errorf("bad share in %q (want a positive number)", item)
+		}
+		out = append(out, throughput.TenantMix{
+			Tenant:  parts[0],
+			Program: parts[1],
+			Share:   share,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return out, nil
+}

@@ -92,22 +92,16 @@ func main() {
 		fmt.Printf("metrics served on http://%s/metrics\n", addr)
 	}
 
-	all := append([]*suites.Program{suites.VecAdd()}, suites.All()...)
 	if *list {
-		for _, p := range all {
+		for _, p := range suites.Registry() {
 			md := p.Compiled.Meta[p.Kernel]
 			fmt.Printf("  %-15s %s\n", p.Name, md.Summary())
 		}
 		return
 	}
 
-	var prog *suites.Program
-	for _, p := range all {
-		if strings.EqualFold(p.Name, *progName) {
-			prog = p
-		}
-	}
-	if prog == nil {
+	prog, ok := suites.ByName(*progName)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown program %q (try -list)\n", *progName)
 		os.Exit(2)
 	}

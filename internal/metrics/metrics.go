@@ -363,6 +363,60 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	return d
 }
 
+// bucketIndexForBound inverts bucketUpperBound: the index of the bucket
+// whose inclusive upper bound covers le.  Used when folding serialized
+// histogram buckets back into a live histogram (Merge).
+func bucketIndexForBound(le float64) int {
+	for i := 0; i < numBuckets; i++ {
+		if bucketUpperBound(i) >= le {
+			return i
+		}
+	}
+	return numBuckets - 1
+}
+
+// merge folds a snapshot histogram's buckets, count, and sum into h.
+// Nil-safe.
+func (h *Histogram) merge(hv HistValue) {
+	if h == nil || hv.Count == 0 {
+		return
+	}
+	for _, b := range hv.Buckets {
+		h.buckets[bucketIndexForBound(b.UpperBound)].Add(b.Count)
+	}
+	h.count.Add(hv.Count)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + hv.Sum)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+// Merge folds a snapshot's counters and histograms into the registry: the
+// aggregation primitive of the serving layer, where every job runs against
+// its own isolated registry and the server folds each job's delta into the
+// server-level aggregate on completion.  Counters add; histogram buckets,
+// counts, and sums add.  Gauges are deliberately NOT merged — last-value
+// semantics do not sum — so server-level gauges stay owned by the server.
+// Merging preserves the cross-check invariant: after merging N disjoint job
+// snapshots, every aggregate counter equals the sum of the per-job values.
+// No-op on a nil registry.
+func (r *Registry) Merge(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for n, v := range s.Counters {
+		if v != 0 {
+			r.Counter(n).Add(v)
+		}
+	}
+	for n, hv := range s.Histograms {
+		r.Histogram(n).merge(hv)
+	}
+}
+
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucket upper
 // bounds; 0 when the histogram is empty.
 func (hv HistValue) Quantile(q float64) float64 {

@@ -241,3 +241,70 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(float64(i) * 1e-7)
 	}
 }
+
+func TestMergeCounters(t *testing.T) {
+	agg := New()
+	agg.Counter("c").Add(1)
+	job1, job2 := New(), New()
+	job1.Counter("c").Add(10)
+	job1.Counter("only1").Add(3)
+	job2.Counter("c").Add(5)
+	agg.Merge(job1.Snapshot())
+	agg.Merge(job2.Snapshot())
+	s := agg.Snapshot()
+	if s.Counters["c"] != 16 {
+		t.Errorf("merged counter = %d, want 16", s.Counters["c"])
+	}
+	if s.Counters["only1"] != 3 {
+		t.Errorf("merged counter only1 = %d, want 3", s.Counters["only1"])
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	// Merging per-job snapshots must yield exactly the histogram a single
+	// registry would have produced from the union of observations.
+	obs1 := []float64{1e-9, 0.001, 0.5, 1}
+	obs2 := []float64{0.002, 100, 7.5}
+	want := New()
+	for _, v := range append(append([]float64{}, obs1...), obs2...) {
+		want.Histogram("h").Observe(v)
+	}
+	job1, job2, agg := New(), New(), New()
+	for _, v := range obs1 {
+		job1.Histogram("h").Observe(v)
+	}
+	for _, v := range obs2 {
+		job2.Histogram("h").Observe(v)
+	}
+	agg.Merge(job1.Snapshot())
+	agg.Merge(job2.Snapshot())
+
+	got := agg.Snapshot().Histograms["h"]
+	ref := want.Snapshot().Histograms["h"]
+	// Sums may differ in the last ulps (different association order).
+	if got.Count != ref.Count || math.Abs(got.Sum-ref.Sum) > 1e-9*math.Abs(ref.Sum) {
+		t.Fatalf("merged hist count/sum = %d/%g, want %d/%g", got.Count, got.Sum, ref.Count, ref.Sum)
+	}
+	if len(got.Buckets) != len(ref.Buckets) {
+		t.Fatalf("merged hist has %d buckets, want %d", len(got.Buckets), len(ref.Buckets))
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != ref.Buckets[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got.Buckets[i], ref.Buckets[i])
+		}
+	}
+}
+
+func TestMergeSkipsGauges(t *testing.T) {
+	agg := New()
+	agg.Gauge("g").Set(1)
+	job := New()
+	job.Gauge("g").Set(99)
+	agg.Merge(job.Snapshot())
+	if got := agg.Snapshot().Gauges["g"]; got != 1 {
+		t.Errorf("gauge after merge = %g, want 1 (gauges must not merge)", got)
+	}
+	// Nil registry: must not panic.
+	var nilReg *Registry
+	nilReg.Merge(job.Snapshot())
+}

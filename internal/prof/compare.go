@@ -17,7 +17,11 @@ import (
 // Version 2 added the vm-lanes engine rows and the vm_lanes_over_vm speedup
 // column; the row format is still compatible, so cross-version comparisons
 // warn and match keys instead of refusing.
-const BenchSchemaVersion = 2
+// Version 3 added the service rows (cuccd load-generator measurements:
+// qps, latency quantiles, reject rate per scenario/rate point); engine rows
+// are unchanged, so v2-vs-v3 comparisons warn and the service keys appear
+// under only-new.
+const BenchSchemaVersion = 3
 
 // BenchConfig pins the run configuration a benchmark report was produced
 // under.  Two reports with differing configs measure different things, so
@@ -41,13 +45,36 @@ type BenchResult struct {
 	BlocksPerSec float64 `json:"blocks_per_sec"`
 }
 
+// ServiceResult is one service-level row of a schema-v3 report: what the
+// cuccd daemon sustained under one load-generator scenario at one target
+// rate (see serve.ServiceBench).
+type ServiceResult struct {
+	// Scenario names the load mix (e.g. "2tenant-vecadd-fir").
+	Scenario string `json:"scenario"`
+	// TargetRate is the offered Poisson rate (jobs/sec).
+	TargetRate float64 `json:"target_rate"`
+	Offered    int     `json:"offered"`
+	Completed  int     `json:"completed"`
+	Rejected   int     `json:"rejected"`
+	// QPS is the measured completion rate.
+	QPS float64 `json:"qps"`
+	// Latency quantiles over completed jobs, milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	// RejectRate is rejected / offered (admission backpressure).
+	RejectRate float64 `json:"reject_rate"`
+}
+
 // BenchReport mirrors the cuccbench -json engine-benchmark report.
 type BenchReport struct {
-	SchemaVersion int          `json:"schema_version"`
-	Date          string       `json:"date"`
-	Workers       int          `json:"workers"`
-	Config        *BenchConfig `json:"config,omitempty"`
+	SchemaVersion int           `json:"schema_version"`
+	Date          string        `json:"date"`
+	Workers       int           `json:"workers"`
+	Config        *BenchConfig  `json:"config,omitempty"`
 	Results       []BenchResult `json:"results"`
+	// Service holds the schema-v3 service-level rows (absent before v3).
+	Service []ServiceResult `json:"service,omitempty"`
 }
 
 // ParseBenchReport loads a cuccbench -json report.
@@ -151,8 +178,51 @@ func CompareBench(old, new *BenchReport, threshold float64) (*Comparison, error)
 			cmp.OnlyOld = append(cmp.OnlyOld, k)
 		}
 	}
+	compareService(cmp, old, new, threshold)
 	cmp.sortRows()
 	return cmp, nil
+}
+
+// compareService diffs the schema-v3 service rows, keyed by scenario and
+// target rate.  Each point contributes two figures with opposite polarity:
+// p99 latency (growth beyond the threshold is a regression) and measured
+// QPS (shrink beyond the threshold is a regression).  Reject rate is
+// reported but never flagged — under an over-saturating sweep point a high
+// reject rate is the backpressure design working, not a fault.
+func compareService(cmp *Comparison, old, new *BenchReport, threshold float64) {
+	key := func(r ServiceResult) string { return fmt.Sprintf("service:%s@%g", r.Scenario, r.TargetRate) }
+	oldBy := map[string]ServiceResult{}
+	for _, r := range old.Service {
+		oldBy[key(r)] = r
+	}
+	seen := map[string]bool{}
+	for _, nr := range new.Service {
+		k := key(nr)
+		seen[k] = true
+		or, ok := oldBy[k]
+		if !ok {
+			cmp.OnlyNew = append(cmp.OnlyNew, k)
+			continue
+		}
+		p99 := CompareRow{Key: k + "/p99_ms", Old: or.P99Ms, New: nr.P99Ms}
+		if or.P99Ms > 0 {
+			p99.DeltaFrac = (p99.New - p99.Old) / p99.Old
+		}
+		p99.Regression = p99.DeltaFrac > threshold
+		cmp.Rows = append(cmp.Rows, p99)
+
+		qps := CompareRow{Key: k + "/qps", Old: or.QPS, New: nr.QPS}
+		if or.QPS > 0 {
+			qps.DeltaFrac = (qps.New - qps.Old) / qps.Old
+		}
+		qps.Regression = qps.DeltaFrac < -threshold
+		cmp.Rows = append(cmp.Rows, qps)
+	}
+	for k := range oldBy {
+		if !seen[k] {
+			cmp.OnlyOld = append(cmp.OnlyOld, k)
+		}
+	}
 }
 
 // engineListDiff reports (as a warning string, "" when equal) an engine-list

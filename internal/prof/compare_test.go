@@ -187,3 +187,65 @@ func TestParseSnapshotRoundTrip(t *testing.T) {
 		t.Error("non-snapshot JSON accepted")
 	}
 }
+
+// serviceReport wraps benchReport with schema-v3 service rows.
+func serviceReport(rows []ServiceResult) *BenchReport {
+	rep := benchReport(map[string]int64{"VecAdd/vm": 1000}, nil, BenchSchemaVersion)
+	rep.Service = rows
+	return rep
+}
+
+func TestCompareBenchServiceRows(t *testing.T) {
+	old := serviceReport([]ServiceResult{
+		{Scenario: "2tenant", TargetRate: 50, QPS: 48, P99Ms: 10, RejectRate: 0},
+		{Scenario: "2tenant", TargetRate: 200, QPS: 120, P99Ms: 40, RejectRate: 0.3},
+	})
+	new := serviceReport([]ServiceResult{
+		// p99 +100% at rate 50: regression.  QPS -50% at rate 200: regression.
+		// Reject rate doubling is never flagged (backpressure working).
+		{Scenario: "2tenant", TargetRate: 50, QPS: 48, P99Ms: 20, RejectRate: 0},
+		{Scenario: "2tenant", TargetRate: 200, QPS: 60, P99Ms: 40, RejectRate: 0.6},
+		{Scenario: "2tenant", TargetRate: 400, QPS: 90, P99Ms: 80, RejectRate: 0.8},
+	})
+	cmp, err := CompareBench(old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := map[string]bool{}
+	for _, r := range cmp.Rows {
+		if r.Regression {
+			flagged[r.Key] = true
+		}
+	}
+	if !flagged["service:2tenant@50/p99_ms"] {
+		t.Errorf("p99 doubling not flagged; rows %+v", cmp.Rows)
+	}
+	if !flagged["service:2tenant@200/qps"] {
+		t.Errorf("qps halving not flagged; rows %+v", cmp.Rows)
+	}
+	if len(flagged) != 2 {
+		t.Errorf("flagged = %v, want exactly the p99@50 and qps@200 rows", flagged)
+	}
+	wantNew := "service:2tenant@400"
+	found := false
+	for _, k := range cmp.OnlyNew {
+		if k == wantNew {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("only_new = %v, want %s (fresh sweep point)", cmp.OnlyNew, wantNew)
+	}
+}
+
+func TestCompareBenchServiceImprovementNotFlagged(t *testing.T) {
+	old := serviceReport([]ServiceResult{{Scenario: "s", TargetRate: 50, QPS: 40, P99Ms: 20}})
+	new := serviceReport([]ServiceResult{{Scenario: "s", TargetRate: 50, QPS: 80, P99Ms: 5}})
+	cmp, err := CompareBench(old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmp.Regressions(); got != 0 {
+		t.Errorf("improvement flagged as regression: %+v", cmp.Rows)
+	}
+}

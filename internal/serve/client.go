@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Client is a pipelined connection to a cuccd server: many goroutines can
+// Do jobs concurrently over one TCP connection; responses are matched back
+// to callers by request ID.
+type Client struct {
+	conn net.Conn
+
+	nextID atomic.Uint64
+	wmu    sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Response
+	readErr error
+	closed  bool
+}
+
+// Dial connects to a cuccd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: map[uint64]chan *Response{}}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop dispatches response frames to their waiting callers until the
+// connection dies, then fails every outstanding call.
+func (c *Client) readLoop() {
+	for {
+		var resp Response
+		if err := ReadFrame(c.conn, &resp); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+}
+
+// Do submits one job and blocks until its response arrives (or the
+// connection fails).  The client assigns the request ID.
+func (c *Client) Do(req *Request) (*Response, error) {
+	req.ID = c.nextID.Add(1)
+	ch := make(chan *Response, 1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return nil, fmt.Errorf("serve: client: %w", err)
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := WriteFrame(c.conn, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("serve: connection lost awaiting job: %w", err)
+	}
+	return resp, nil
+}
+
+// Close tears the connection down; outstanding Do calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// JobsHandler returns the /jobs status page: queue depth, running count,
+// and the most recent job rows (queued and running first, then finished,
+// newest last), as a plain-text table.
+func (s *Server) JobsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s.mu.Lock()
+		queued, running := s.queued, s.running
+		rows := make([]*jobState, 0, len(s.jobStates))
+		for _, st := range s.jobStates {
+			rows = append(rows, st)
+		}
+		s.mu.Unlock()
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "queued %d  running %d\n\n", queued, running)
+		fmt.Fprintf(w, "%6s  %-12s  %-20s  %-9s  %10s  %10s  %s\n",
+			"job", "tenant", "what", "state", "queue_ms", "run_ms", "err")
+		for _, st := range rows {
+			fmt.Fprintf(w, "%6d  %-12s  %-20s  %-9s  %10.2f  %10.2f  %s\n",
+				st.ID, st.Tenant, st.What, st.State, st.QueueMs, st.RunMs, st.Err)
+		}
+	})
+}
+
+// HTTPMux bundles the server's observability endpoints: the aggregate
+// registry on /metrics (same renderer as metrics.Serve) and the job table
+// on /jobs.
+func (s *Server) HTTPMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.reg)
+	mux.Handle("/jobs", s.JobsHandler())
+	return mux
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+	"time"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/csched"
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/metrics"
+	"cucc/internal/simnet"
+	"cucc/internal/suites"
+	"cucc/internal/trace"
+)
+
+// errDeadline is the cause runJob aborts a job's cluster with when its
+// deadline fires.
+var errDeadline = errors.New("serve: job deadline exceeded")
+
+// sourceEntry is one cached compilation of source-mode kernel text.
+// Sharing the *core.Program across jobs shares the *kir.Kernel identity,
+// which is what lets vm.CompileCached (the bounded process-wide LRU under
+// this cache) hit instead of re-lowering per job.
+type sourceEntry struct {
+	prog *core.Program
+	err  error
+}
+
+// compileSource resolves source text through the server's bounded compile
+// cache.  Compile errors are cached too: a tenant hammering a broken
+// kernel must not pay (or charge the server) a fresh parse per retry.
+func (s *Server) compileSource(src string) (*core.Program, error) {
+	s.mu.Lock()
+	if e, ok := s.sourceProgs[src]; ok {
+		s.mu.Unlock()
+		return e.prog, e.err
+	}
+	s.mu.Unlock()
+
+	prog, err := core.Compile(src)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.sourceProgs[src]; ok {
+		return e.prog, e.err // a racer compiled it; share the winner
+	}
+	s.sourceProgs[src] = &sourceEntry{prog: prog, err: err}
+	s.sourceOrder = append(s.sourceOrder, src)
+	for len(s.sourceOrder) > s.sourceCap {
+		delete(s.sourceProgs, s.sourceOrder[0])
+		s.sourceOrder = s.sourceOrder[1:]
+	}
+	return prog, err
+}
+
+// runJob executes one admitted job on a fresh cluster with an isolated
+// metrics registry and trace capture, and classifies the outcome.
+//
+// The cluster is per-job by design: the registry must be wired at cluster
+// construction (the metered transport wraps at New), the node heap grows
+// monotonically (no free), and Abort is sticky — so "warm" state shared
+// across jobs is the compiled-program state (suite registry, source cache,
+// VM compile cache), not cluster sessions.
+func (s *Server) runJob(j *job) *Response {
+	start := time.Now()
+	queueMs := start.Sub(j.enqueued).Seconds() * 1e3
+	s.reg.Histogram(MetricQueueSec).Observe(start.Sub(j.enqueued).Seconds())
+
+	resp := &Response{ID: j.req.ID, JobID: j.id, QueueMs: queueMs}
+	fail := func(status, msg string) *Response {
+		resp.Status = status
+		resp.Err = msg
+		resp.RunMs = time.Since(start).Seconds() * 1e3
+		s.reg.Histogram(MetricRunSec).Observe(time.Since(start).Seconds())
+		s.reg.Counter(MetricJobsFailed).Inc()
+		return resp
+	}
+
+	remaining := time.Until(j.deadline)
+	if remaining <= 0 {
+		s.reg.Counter(MetricJobsDeadline).Inc()
+		return fail(StatusError, "deadline exceeded while queued")
+	}
+
+	eng, err := cluster.ParseEngine(j.req.Engine)
+	if err != nil {
+		return fail(StatusError, err.Error())
+	}
+	coll, err := csched.ParseChoice(j.req.Collective)
+	if err != nil {
+		return fail(StatusError, err.Error())
+	}
+	nodes := j.req.Nodes
+	if nodes <= 0 {
+		nodes = s.cfg.Nodes
+	}
+	if nodes > s.cfg.MaxNodes {
+		return fail(StatusError, fmt.Sprintf("serve: %d nodes exceeds server cap %d", nodes, s.cfg.MaxNodes))
+	}
+
+	jobReg := metrics.New()
+	traceCap := j.req.TraceCap
+	if traceCap <= 0 {
+		traceCap = s.cfg.TraceCap
+	}
+	rec := trace.NewCapped(traceCap)
+
+	c, err := cluster.New(cluster.Config{
+		Nodes:           nodes,
+		Machine:         machine.Intel6226(),
+		Net:             simnet.IB100(),
+		MaxBytesPerNode: s.cfg.MaxBytesPerNode,
+		RecvTimeout:     s.cfg.RecvTimeout,
+		Fault:           s.cfg.Fault,
+		Metrics:         jobReg,
+	})
+	if err != nil {
+		return fail(StatusError, err.Error())
+	}
+	defer c.Close()
+
+	// Deadline propagation: past the deadline the job's cluster aborts,
+	// so every rank blocked in a collective unblocks with ErrAborted and
+	// the launch fails promptly instead of holding an executor.
+	var deadlineHit atomic.Bool
+	timer := time.AfterFunc(remaining, func() { deadlineHit.Store(true); c.Abort(errDeadline) })
+	defer timer.Stop()
+
+	workers := j.req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+
+	var stats *core.Stats
+	var runErr error
+	if j.req.Program != "" {
+		stats, runErr = s.runSuiteJob(j, c, rec, jobReg, eng, coll, workers)
+	} else {
+		stats, runErr = s.runSourceJob(j, c, rec, jobReg, eng, coll, workers, resp)
+	}
+
+	timer.Stop()
+	resp.RunMs = time.Since(start).Seconds() * 1e3
+	s.reg.Histogram(MetricRunSec).Observe(time.Since(start).Seconds())
+	resp.Stats = stats
+	resp.Counters = jobReg.Snapshot().Counters
+	resp.TraceEvents = len(rec.Events())
+	resp.TraceDropped = rec.Dropped()
+	if fs := c.Faults(); fs != nil {
+		resp.FaultsInjected = fs.Drops + fs.Delays + fs.Duplicates + fs.Corruptions + fs.SendFailures
+	}
+	// The per-job registry's counters and histograms fold into the server
+	// aggregate; merging after the snapshot keeps resp.Counters exactly
+	// the job's own view.
+	s.reg.Merge(jobReg.Snapshot())
+
+	if runErr != nil {
+		if deadlineHit.Load() {
+			s.reg.Counter(MetricJobsDeadline).Inc()
+			return fail(StatusError, errDeadline.Error())
+		}
+		return fail(StatusError, runErr.Error())
+	}
+	resp.Status = StatusOK
+	s.reg.Counter(MetricJobsCompleted).Inc()
+	return resp
+}
+
+// runSuiteJob builds a named evaluation program at Small scale, launches
+// it, and verifies the output against the Go reference.
+func (s *Server) runSuiteJob(j *job, c *cluster.Cluster, rec *trace.Recorder, reg *metrics.Registry, eng cluster.Engine, coll csched.Choice, workers int) (*core.Stats, error) {
+	p, ok := suites.ByName(j.req.Program)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown program %q", j.req.Program)
+	}
+	inst, err := p.Build(c, p.Small)
+	if err != nil {
+		return nil, err
+	}
+	sess := core.NewSession(c, p.Compiled)
+	sess.Metrics = reg
+	sess.Trace = rec
+	sess.Host.Workers = workers
+	sess.Host.Engine = eng
+	sess.Collective = coll
+	stats, err := sess.Launch(inst.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Check(); err != nil {
+		return stats, fmt.Errorf("serve: output check failed: %w", err)
+	}
+	return stats, nil
+}
+
+// runSourceJob compiles the request's kernel source (through the shared
+// cache), allocates its buffer arguments, launches, and checksums every
+// buffer on node 0 so the client — and the chaos tests — can compare
+// results bitwise across runs.
+func (s *Server) runSourceJob(j *job, c *cluster.Cluster, rec *trace.Recorder, reg *metrics.Registry, eng cluster.Engine, coll csched.Choice, workers int, resp *Response) (*core.Stats, error) {
+	prog, err := s.compileSource(j.req.Source)
+	if err != nil {
+		return nil, err
+	}
+	if prog.Kernel(j.req.Kernel) == nil {
+		return nil, fmt.Errorf("serve: source has no kernel %q", j.req.Kernel)
+	}
+
+	var args []core.Arg
+	var bufs []cluster.Buffer
+	for i, as := range j.req.Args {
+		switch as.Kind {
+		case "buf":
+			var elem kir.ScalarType
+			switch as.Elem {
+			case "f32":
+				elem = kir.F32
+			case "i32":
+				elem = kir.I32
+			case "u8":
+				elem = kir.U8
+			default:
+				return nil, fmt.Errorf("serve: arg %d: unknown buffer elem %q", i, as.Elem)
+			}
+			if as.Count <= 0 {
+				return nil, fmt.Errorf("serve: arg %d: buffer needs a positive count", i)
+			}
+			b := c.Alloc(elem, as.Count)
+			if err := fillBuffer(c, b, as); err != nil {
+				return nil, fmt.Errorf("serve: arg %d: %w", i, err)
+			}
+			bufs = append(bufs, b)
+			args = append(args, core.BufArg(b))
+		case "int":
+			args = append(args, core.IntArg(as.Int))
+		case "float":
+			args = append(args, core.FloatArg(as.Float))
+		default:
+			return nil, fmt.Errorf("serve: arg %d: unknown kind %q", i, as.Kind)
+		}
+	}
+
+	sess := core.NewSession(c, prog)
+	sess.Metrics = reg
+	sess.Trace = rec
+	sess.Host.Workers = workers
+	sess.Host.Engine = eng
+	sess.Collective = coll
+	sess.Verify = true // cross-node consistency is part of the contract
+	spec := core.LaunchSpec{
+		Kernel: j.req.Kernel,
+		Grid:   interp.Dim3{X: j.req.GridX, Y: max(j.req.GridY, 1)},
+		Block:  interp.Dim3{X: j.req.BlockX, Y: max(j.req.BlockY, 1)},
+		Args:   args,
+	}
+	stats, err := sess.Launch(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bufs {
+		resp.BufCRCs = append(resp.BufCRCs, crc32.ChecksumIEEE(c.Region(0, b)))
+	}
+	return stats, nil
+}
+
+// fillBuffer initializes a buffer argument on every node with the spec's
+// deterministic pattern (constant Fill, plus the index under Ramp).
+func fillBuffer(c *cluster.Cluster, b cluster.Buffer, as ArgSpec) error {
+	if as.Fill == 0 && !as.Ramp {
+		return nil // zero-initialized by Alloc
+	}
+	val := func(i int) float64 {
+		v := as.Fill
+		if as.Ramp {
+			v += float64(i)
+		}
+		return v
+	}
+	switch b.Elem {
+	case kir.F32:
+		data := make([]float32, b.Count)
+		for i := range data {
+			data[i] = float32(val(i))
+		}
+		return c.WriteAllF32(b, data)
+	case kir.I32:
+		data := make([]int32, b.Count)
+		for i := range data {
+			data[i] = int32(val(i))
+		}
+		return c.WriteAllI32(b, data)
+	case kir.U8:
+		data := make([]byte, b.Count)
+		for i := range data {
+			data[i] = byte(int(val(i)))
+		}
+		return c.WriteAll(b, data)
+	}
+	return fmt.Errorf("unfillable element type %v", b.Elem)
+}

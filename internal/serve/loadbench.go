@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"cucc/internal/prof"
+	"cucc/internal/throughput"
+)
+
+// ClientSubmitter adapts a Client to the load generator's Submitter
+// interface: every offered job goes end to end through the wire protocol.
+type ClientSubmitter struct {
+	Client *Client
+}
+
+// Submit implements throughput.Submitter.
+func (cs ClientSubmitter) Submit(tenant, program string, deadline time.Duration) throughput.JobResult {
+	t0 := time.Now()
+	req := &Request{Tenant: tenant, Program: program}
+	if deadline > 0 {
+		req.DeadlineMs = int(deadline / time.Millisecond)
+	}
+	resp, err := cs.Client.Do(req)
+	lat := time.Since(t0).Seconds()
+	if err != nil {
+		return throughput.JobResult{LatencySec: lat}
+	}
+	return throughput.JobResult{
+		OK:         resp.Status == StatusOK,
+		Rejected:   resp.Status == StatusRejected,
+		LatencySec: lat,
+	}
+}
+
+// ServerSubmitter drives a Server in process (no TCP), for tests and
+// embedded load generation.
+type ServerSubmitter struct {
+	Server *Server
+}
+
+// Submit implements throughput.Submitter.
+func (ss ServerSubmitter) Submit(tenant, program string, deadline time.Duration) throughput.JobResult {
+	t0 := time.Now()
+	req := &Request{Tenant: tenant, Program: program}
+	if deadline > 0 {
+		req.DeadlineMs = int(deadline / time.Millisecond)
+	}
+	resp := ss.Server.Submit(req)
+	return throughput.JobResult{
+		OK:         resp.Status == StatusOK,
+		Rejected:   resp.Status == StatusRejected,
+		LatencySec: time.Since(t0).Seconds(),
+	}
+}
+
+// ServiceBenchConfig parameterizes the fixed-seed service benchmark that
+// `make bench` embeds into the BENCH report.
+type ServiceBenchConfig struct {
+	// Scenario names the rows ("2tenant-vecadd-fir" default).
+	Scenario string
+	// Rates are the saturation-sweep target rates (jobs/sec).
+	Rates []float64
+	// JobsPerRate is the offered arrival count per sweep point.
+	JobsPerRate int
+	// Seed fixes the arrival schedules.
+	Seed int64
+	// Quiet suppresses the per-row progress print.
+	Quiet bool
+}
+
+func (c ServiceBenchConfig) withDefaults() ServiceBenchConfig {
+	if c.Scenario == "" {
+		c.Scenario = "2tenant-vecadd-fir"
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{50, 200}
+	}
+	if c.JobsPerRate <= 0 {
+		c.JobsPerRate = 60
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ServiceBench boots a cuccd server on loopback, drives it end to end
+// (TCP protocol, admission, fair scheduling, per-job registries) with the
+// open-loop generator at each sweep rate, and returns schema-v3 service
+// rows.  The mix is two equal tenants running VecAdd and FIR at Small
+// scale — small enough to keep `make bench` fast, real enough that the
+// QPS and latency figures exercise the whole serving path.
+func ServiceBench(cfg ServiceBenchConfig) ([]prof.ServiceResult, error) {
+	cfg = cfg.withDefaults()
+	srv := NewServer(Config{
+		QueueCap:  32,
+		Executors: 4,
+		Nodes:     2,
+		Workers:   1,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Drain()
+	client, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	base := throughput.LoadConfig{
+		Jobs: cfg.JobsPerRate,
+		Seed: cfg.Seed,
+		Mix: []throughput.TenantMix{
+			{Tenant: "tenant-a", Program: "VecAdd", Share: 0.5},
+			{Tenant: "tenant-b", Program: "FIR", Share: 0.5},
+		},
+		Deadline: 10 * time.Second,
+	}
+	results := throughput.SweepLoad(ClientSubmitter{Client: client}, base, cfg.Rates)
+
+	rows := make([]prof.ServiceResult, 0, len(results))
+	for _, r := range results {
+		row := prof.ServiceResult{
+			Scenario:   cfg.Scenario,
+			TargetRate: r.RatePerSec,
+			Offered:    r.Offered,
+			Completed:  r.Completed,
+			Rejected:   r.Rejected,
+			QPS:        r.QPS,
+			P50Ms:      r.P50Ms,
+			P99Ms:      r.P99Ms,
+			P999Ms:     r.P999Ms,
+			RejectRate: r.RejectRate,
+		}
+		rows = append(rows, row)
+		if !cfg.Quiet {
+			fmt.Printf("  %-22s rate %6.0f/s  qps %7.1f  p50 %7.2fms  p99 %7.2fms  reject %4.1f%%\n",
+				row.Scenario, row.TargetRate, row.QPS, row.P50Ms, row.P99Ms, row.RejectRate*100)
+		}
+	}
+	return rows, nil
+}

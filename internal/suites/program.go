@@ -16,6 +16,8 @@ package suites
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"cucc/internal/cluster"
 	"cucc/internal/core"
@@ -99,6 +101,36 @@ func All() []*Program {
 		Transpose(), FIR(), Kmeans(), BinomialOption(),
 		EP(), GA(), MatMul(), Conv2D(),
 	}
+}
+
+// registry memoizes the full program list (VecAdd + the evaluation suite).
+// Program construction parses and compiles kernel source, so callers that
+// look up programs repeatedly (the serving layer resolves one per job)
+// must share one materialization: Program values are read-only at launch
+// time and safe to share across concurrent sessions.
+var registry struct {
+	once  sync.Once
+	progs []*Program
+}
+
+// Registry returns the shared program list: VecAdd first, then the
+// evaluation suite in figure order.  The returned slice is shared; callers
+// must not mutate it or the programs.
+func Registry() []*Program {
+	registry.once.Do(func() {
+		registry.progs = append([]*Program{VecAdd()}, All()...)
+	})
+	return registry.progs
+}
+
+// ByName resolves a program by case-insensitive name against Registry.
+func ByName(name string) (*Program, bool) {
+	for _, p := range Registry() {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	return nil, false
 }
 
 // ceilDiv is integer ceiling division.

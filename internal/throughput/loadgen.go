@@ -1,0 +1,182 @@
+package throughput
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file extends the closed-form Figure-12 model into a measuring
+// instrument: an open-loop load generator that offers jobs to a live
+// serving endpoint at a target Poisson rate and reports what the service
+// actually sustained (QPS, latency quantiles, reject rate).  Open loop is
+// the load-testing discipline that exposes queueing collapse: arrivals are
+// paced by the schedule, never by responses, so a saturated server sees its
+// queue grow instead of the generator politely slowing down (the
+// coordinated-omission trap of closed-loop drivers).
+
+// JobResult is one offered job's outcome as the generator saw it.
+type JobResult struct {
+	// OK: the job completed successfully.
+	OK bool
+	// Rejected: admission rejected it (backpressure) — not an error.
+	Rejected bool
+	// LatencySec is submit-to-response wall time.
+	LatencySec float64
+}
+
+// Submitter is the serving endpoint the generator drives.  Implementations
+// must be safe for concurrent use — an open-loop generator keeps as many
+// submissions in flight as the service's backlog demands.
+type Submitter interface {
+	Submit(tenant, program string, deadline time.Duration) JobResult
+}
+
+// TenantMix is one tenant's slice of the offered load.
+type TenantMix struct {
+	Tenant  string
+	Program string
+	// Share is the fraction of arrivals drawn for this tenant; shares are
+	// normalized over the mix, so they need not sum to 1.
+	Share float64
+}
+
+// LoadConfig parameterizes one open-loop run.
+type LoadConfig struct {
+	// RatePerSec is the target offered rate (Poisson arrivals).
+	RatePerSec float64
+	// Jobs is the total number of arrivals to offer.
+	Jobs int
+	// Mix is the tenant mix; empty means one "default" tenant submitting
+	// "VecAdd".
+	Mix []TenantMix
+	// Seed makes the arrival schedule and tenant draws reproducible.
+	Seed int64
+	// Deadline is passed through to every submission (0 = server default).
+	Deadline time.Duration
+}
+
+// LoadResult is one run's service-level measurement.
+type LoadResult struct {
+	RatePerSec float64
+	Offered    int
+	Completed  int
+	Rejected   int
+	Errors     int
+	ElapsedSec float64
+	// QPS is completed jobs per second of wall time.
+	QPS float64
+	// Latency quantiles over completed jobs, milliseconds.
+	P50Ms, P99Ms, P999Ms, MeanMs float64
+	// RejectRate is Rejected / Offered.
+	RejectRate float64
+}
+
+// RunLoad offers cfg.Jobs arrivals to s at the target Poisson rate and
+// measures the outcome.  The arrival schedule is drawn up front from the
+// seed (inter-arrival gaps ~ Exp(rate)) and paced against absolute wall
+// times, so a slow service cannot stretch the schedule.
+func RunLoad(s Submitter, cfg LoadConfig) LoadResult {
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = []TenantMix{{Tenant: "default", Program: "VecAdd", Share: 1}}
+	}
+	var totalShare float64
+	for _, m := range mix {
+		totalShare += m.Share
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Draw the whole schedule first: arrival offsets and tenant picks are
+	// then a pure function of the seed, independent of service timing.
+	offsets := make([]time.Duration, cfg.Jobs)
+	picks := make([]int, cfg.Jobs)
+	var at float64
+	for i := 0; i < cfg.Jobs; i++ {
+		at += rng.ExpFloat64() / cfg.RatePerSec
+		offsets[i] = time.Duration(at * float64(time.Second))
+		u := rng.Float64() * totalShare
+		for k, m := range mix {
+			u -= m.Share
+			if u < 0 || k == len(mix)-1 {
+				picks[i] = k
+				break
+			}
+		}
+	}
+
+	results := make([]JobResult, cfg.Jobs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Jobs; i++ {
+		if d := time.Until(start.Add(offsets[i])); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := mix[picks[i]]
+			t0 := time.Now()
+			r := s.Submit(m.Tenant, m.Program, cfg.Deadline)
+			if r.LatencySec == 0 {
+				r.LatencySec = time.Since(t0).Seconds()
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	out := LoadResult{RatePerSec: cfg.RatePerSec, Offered: cfg.Jobs, ElapsedSec: elapsed}
+	var lats []float64
+	var sum float64
+	for _, r := range results {
+		switch {
+		case r.OK:
+			out.Completed++
+			lats = append(lats, r.LatencySec)
+			sum += r.LatencySec
+		case r.Rejected:
+			out.Rejected++
+		default:
+			out.Errors++
+		}
+	}
+	if elapsed > 0 {
+		out.QPS = float64(out.Completed) / elapsed
+	}
+	if out.Offered > 0 {
+		out.RejectRate = float64(out.Rejected) / float64(out.Offered)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		out.P50Ms = percentile(lats, 0.50) * 1e3
+		out.P99Ms = percentile(lats, 0.99) * 1e3
+		out.P999Ms = percentile(lats, 0.999) * 1e3
+		out.MeanMs = sum / float64(len(lats)) * 1e3
+	}
+	return out
+}
+
+// SweepLoad runs RunLoad at each target rate (a saturation sweep); the
+// rest of base is reused per point, with the seed offset per rate so the
+// points draw distinct schedules.
+func SweepLoad(s Submitter, base LoadConfig, rates []float64) []LoadResult {
+	out := make([]LoadResult, 0, len(rates))
+	for i, r := range rates {
+		cfg := base
+		cfg.RatePerSec = r
+		cfg.Seed = base.Seed + int64(i)
+		out = append(out, RunLoad(s, cfg))
+	}
+	return out
+}
+
+// percentile is the nearest-rank quantile over a sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,141 @@
+package throughput
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSubmitter is a deterministic in-process endpoint: it classifies jobs
+// by tenant and reports a fixed synthetic latency, so the generator's
+// bookkeeping can be checked exactly.
+type fakeSubmitter struct {
+	mu      sync.Mutex
+	calls   int64
+	byProg  map[string]int
+	outcome func(tenant string) JobResult
+}
+
+func (f *fakeSubmitter) Submit(tenant, program string, deadline time.Duration) JobResult {
+	atomic.AddInt64(&f.calls, 1)
+	f.mu.Lock()
+	if f.byProg == nil {
+		f.byProg = make(map[string]int)
+	}
+	f.byProg[program]++
+	f.mu.Unlock()
+	return f.outcome(tenant)
+}
+
+func TestRunLoadClassifiesOutcomes(t *testing.T) {
+	fake := &fakeSubmitter{outcome: func(tenant string) JobResult {
+		switch tenant {
+		case "good":
+			return JobResult{OK: true, LatencySec: 0.010}
+		case "busy":
+			return JobResult{Rejected: true, LatencySec: 0.001}
+		default:
+			return JobResult{LatencySec: 0.002} // error
+		}
+	}}
+	res := RunLoad(fake, LoadConfig{
+		RatePerSec: 5000,
+		Jobs:       90,
+		Seed:       42,
+		Mix: []TenantMix{
+			{Tenant: "good", Program: "VecAdd", Share: 1},
+			{Tenant: "busy", Program: "FIR", Share: 1},
+			{Tenant: "bad", Program: "Scan", Share: 1},
+		},
+	})
+	if got := atomic.LoadInt64(&fake.calls); got != 90 {
+		t.Fatalf("submitter saw %d calls, want 90", got)
+	}
+	if res.Offered != 90 {
+		t.Errorf("Offered = %d, want 90", res.Offered)
+	}
+	if res.Completed+res.Rejected+res.Errors != res.Offered {
+		t.Errorf("outcomes %d+%d+%d do not sum to offered %d",
+			res.Completed, res.Rejected, res.Errors, res.Offered)
+	}
+	// With equal shares and 90 seeded draws every class must appear.
+	if res.Completed == 0 || res.Rejected == 0 || res.Errors == 0 {
+		t.Errorf("expected all outcome classes, got ok=%d rejected=%d errors=%d",
+			res.Completed, res.Rejected, res.Errors)
+	}
+	if want := float64(res.Rejected) / float64(res.Offered); res.RejectRate != want {
+		t.Errorf("RejectRate = %v, want %v", res.RejectRate, want)
+	}
+	// Completed jobs all reported 10ms; the quantiles must agree.
+	for name, got := range map[string]float64{
+		"p50": res.P50Ms, "p99": res.P99Ms, "p999": res.P999Ms, "mean": res.MeanMs,
+	} {
+		if got < 9.999 || got > 10.001 {
+			t.Errorf("%s = %vms, want 10ms (synthetic latency)", name, got)
+		}
+	}
+	if res.QPS <= 0 {
+		t.Errorf("QPS = %v, want > 0", res.QPS)
+	}
+}
+
+func TestRunLoadMixIsSeededAndNormalized(t *testing.T) {
+	draw := func(seed int64) map[string]int {
+		fake := &fakeSubmitter{outcome: func(string) JobResult {
+			return JobResult{OK: true, LatencySec: 0.001}
+		}}
+		RunLoad(fake, LoadConfig{
+			RatePerSec: 10000,
+			Jobs:       200,
+			Seed:       seed,
+			Mix: []TenantMix{
+				// Shares sum to 4, not 1 — normalization must handle that.
+				{Tenant: "a", Program: "VecAdd", Share: 3},
+				{Tenant: "b", Program: "FIR", Share: 1},
+			},
+		})
+		return fake.byProg
+	}
+	first := draw(7)
+	if first["VecAdd"]+first["FIR"] != 200 {
+		t.Fatalf("draws %v do not cover all 200 jobs", first)
+	}
+	// 3:1 shares over 200 draws: VecAdd should clearly dominate.
+	if first["VecAdd"] <= first["FIR"] {
+		t.Errorf("share weighting ignored: VecAdd=%d FIR=%d", first["VecAdd"], first["FIR"])
+	}
+	again := draw(7)
+	if first["VecAdd"] != again["VecAdd"] || first["FIR"] != again["FIR"] {
+		t.Errorf("same seed drew different mixes: %v vs %v", first, again)
+	}
+}
+
+func TestRunLoadDefaultsMix(t *testing.T) {
+	fake := &fakeSubmitter{outcome: func(string) JobResult {
+		return JobResult{OK: true, LatencySec: 0.001}
+	}}
+	RunLoad(fake, LoadConfig{RatePerSec: 10000, Jobs: 10, Seed: 1})
+	if fake.byProg["VecAdd"] != 10 {
+		t.Errorf("empty mix should default to VecAdd, saw %v", fake.byProg)
+	}
+}
+
+func TestSweepLoadPerRatePoints(t *testing.T) {
+	fake := &fakeSubmitter{outcome: func(string) JobResult {
+		return JobResult{OK: true, LatencySec: 0.001}
+	}}
+	rates := []float64{1000, 5000, 10000}
+	out := SweepLoad(fake, LoadConfig{Jobs: 20, Seed: 3}, rates)
+	if len(out) != len(rates) {
+		t.Fatalf("SweepLoad returned %d points, want %d", len(out), len(rates))
+	}
+	for i, r := range out {
+		if r.RatePerSec != rates[i] {
+			t.Errorf("point %d rate = %v, want %v", i, r.RatePerSec, rates[i])
+		}
+		if r.Offered != 20 {
+			t.Errorf("point %d offered = %d, want 20", i, r.Offered)
+		}
+	}
+}
