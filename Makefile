@@ -1,6 +1,6 @@
 # Tier-1 gate: everything `make check` runs must stay green.  CI and
 # pre-merge checks use this target; see ROADMAP.md.
-.PHONY: check build vet test race bench prof bench-compare
+.PHONY: check build vet test race chaos bench prof bench-compare
 
 check: build vet test race
 
@@ -16,7 +16,14 @@ test:
 	go test -timeout 120s ./...
 
 race:
-	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/cluster/ ./internal/comm/ ./internal/csched/ ./internal/transport/ ./internal/metrics/ ./internal/trace/ ./internal/prof/ ./internal/serve/ ./internal/throughput/
+	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/cluster/ ./internal/comm/ ./internal/csched/ ./internal/transport/ ./internal/metrics/ ./internal/trace/ ./internal/prof/ ./internal/recovery/ ./internal/serve/ ./internal/throughput/
+
+# Fault-injection suite under the race detector: seeded transport faults
+# (benign, lossy, and the deterministic rank kill) across the cluster chaos
+# tests, the elastic-recovery tests, and the serving-layer chaos tests.
+# Seeds are fixed in the test code, so this is deterministic per build.
+chaos:
+	go test -race -timeout 300s -run 'Chaos' ./internal/suites/ ./internal/serve/
 
 # Run-and-diagnose the evaluation suite: critical path, stragglers, and
 # what-if estimates per program, plus the VM opcode profile of one kernel.

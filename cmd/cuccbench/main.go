@@ -20,6 +20,7 @@ import (
 	"cucc/internal/experiments"
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
+	"cucc/internal/recovery"
 	"cucc/internal/suites"
 )
 
@@ -31,6 +32,7 @@ func main() {
 	recvTimeout := flag.Duration("recv-timeout", 2*time.Minute, "transport receive deadline for really-executed experiments; a hung rank fails the sweep instead of wedging it (0 = no deadline)")
 	engine := flag.String("engine", "vm", "IR execution engine for really-executed experiments: vm (register machine), vm-lanes (lane-batched vm), or interp (reference interpreter)")
 	collective := flag.String("collective", "", "phase-2 collective schedule: auto, ring, recdouble, twolevel, pipeline[:N]; append +overlap to start callbacks while chunks are in flight (default: legacy hand-written ring)")
+	recover := flag.Bool("recover", false, "enable elastic fault recovery for really-executed experiments (checkpoint + re-partition + replay on rank loss)")
 	jsonOut := flag.String("json", "", "instead of figures, run the engine microbenchmark (vm vs interp over the evaluation suite) and write a JSON report to this file")
 	metricsOut := flag.String("metrics-out", "", "enable the metrics registry for the whole run and write its JSON snapshot to this file")
 	flag.Parse()
@@ -52,6 +54,9 @@ func main() {
 		os.Exit(2)
 	}
 	core.DefaultCollective = coll
+	if *recover {
+		core.DefaultRecovery = recovery.Policy{Enabled: true}
+	}
 	if *metricsOut != "" {
 		// Same mechanism: clusters built inside the sweeps inherit the
 		// process default registry.

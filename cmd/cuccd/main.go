@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"cucc/internal/recovery"
 	"cucc/internal/serve"
 )
 
@@ -38,6 +39,7 @@ func main() {
 	recvTimeout := flag.Duration("recv-timeout", 30*time.Second, "per-job transport receive deadline")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-job deadline (queue wait + execution)")
 	traceCap := flag.Int("trace-cap", 4096, "per-job trace capture bound (events)")
+	recover := flag.Bool("recover", true, "elastic fault recovery for every job's cluster: on a rank loss, restore the barrier checkpoint and replay over the survivors instead of failing the job")
 	flag.Parse()
 
 	srv := serve.NewServer(serve.Config{
@@ -49,6 +51,7 @@ func main() {
 		RecvTimeout:     *recvTimeout,
 		DefaultDeadline: *deadline,
 		TraceCap:        *traceCap,
+		Recovery:        &recovery.Policy{Enabled: *recover},
 	})
 
 	bound, err := srv.Listen(*addr)

@@ -23,6 +23,7 @@ import (
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
 	"cucc/internal/pgas"
+	"cucc/internal/recovery"
 	"cucc/internal/simnet"
 	"cucc/internal/suites"
 	"cucc/internal/trace"
@@ -40,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-node worker-pool width for -real execution (0 = all CPUs)")
 	engine := flag.String("engine", "vm", "IR execution engine for -real runs: vm (register machine), vm-lanes (lane-batched vm), or interp (reference interpreter)")
 	collective := flag.String("collective", "", "phase-2 collective schedule: auto, ring, recdouble, twolevel, pipeline[:N]; append +overlap to start callbacks while chunks are in flight (default: legacy hand-written ring)")
+	recover := flag.Bool("recover", false, "enable elastic fault recovery: checkpoint at Allgather barriers, and on a rank loss re-partition over the survivors and replay (bitwise-identical results)")
 	recvTimeout := flag.Duration("recv-timeout", time.Minute, "transport receive deadline; a hung rank fails the run instead of deadlocking it (0 = no deadline)")
 	showMetrics := flag.Bool("metrics", false, "enable the metrics registry and print its table after the run")
 	metricsOut := flag.String("metrics-out", "", "enable the metrics registry and write its JSON snapshot to this file")
@@ -58,6 +60,9 @@ func main() {
 		os.Exit(2)
 	}
 	core.DefaultCollective = coll
+	if *recover {
+		core.DefaultRecovery = recovery.Policy{Enabled: true}
+	}
 
 	// Any metrics flag enables the process-wide registry; clusters and
 	// sessions pick it up via metrics.Default().
@@ -177,6 +182,9 @@ func main() {
 	fmt.Printf("  callback compute: %.3f ms\n", stats.CallbackSec*1e3)
 	if stats.OverlapSec > 0 {
 		fmt.Printf("  overlap:          %.3f ms hidden behind callbacks\n", stats.OverlapSec*1e3)
+	}
+	if stats.Restores > 0 {
+		fmt.Printf("  restores:         %d (lost nodes %v, repaired and rejoined)\n", stats.Restores, stats.LostNodes)
 	}
 	fmt.Printf("  total:            %.3f ms\n", stats.TotalSec*1e3)
 	if rec != nil {

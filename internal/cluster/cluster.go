@@ -12,7 +12,6 @@ package cluster
 import (
 	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -24,6 +23,7 @@ import (
 	"cucc/internal/kir"
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
+	"cucc/internal/recovery"
 	"cucc/internal/simnet"
 	"cucc/internal/transport"
 )
@@ -69,6 +69,12 @@ type Config struct {
 	// Fault, when non-nil, wraps the transport in the fault-injecting
 	// decorator (transport.Faulty) for chaos testing.
 	Fault *transport.FaultConfig
+	// Recovery is the cluster-level elastic-recovery policy for sessions
+	// that do not set one themselves: when enabled, launches checkpoint at
+	// Allgather barriers and, on rank loss, re-partition over the
+	// surviving ranks and replay from the last barrier (see
+	// internal/recovery).  The zero value inherits (ultimately disabled).
+	Recovery recovery.Policy
 	// Metrics, when non-nil, attaches the observability registry: the
 	// transport is wrapped in the metered decorator (outermost, above fault
 	// injection, so it observes exactly the operations the comm layer
@@ -89,10 +95,17 @@ var DefaultRecvTimeout time.Duration
 type Cluster struct {
 	cfg     Config
 	nodes   []*Node
-	network transport.Network
-	faulty  *transport.FaultyNetwork // the fault layer, when configured
 	metrics *metrics.Registry
 	heapEnd int
+
+	// netMu guards the swappable transport state below: recovery replaces
+	// networks (subgroup adoption, full-width rejoin) while metrics gauges
+	// may concurrently read the fault totals.
+	netMu    sync.Mutex
+	network  transport.Network
+	sub      *Group                     // active recovery subgroup, nil = full width
+	aborted  error                      // sticky cluster-level abort cause (e.g. a job deadline)
+	faulties []*transport.FaultyNetwork // every fault layer ever built; totals are summed
 }
 
 // Node is one cluster node.
@@ -127,43 +140,68 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:   cfg,
 		nodes: make([]*Node, cfg.Nodes),
 	}
-	switch cfg.Transport {
-	case TCP:
-		tn, err := transport.NewTCP(cfg.Nodes)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: %w", err)
-		}
-		c.network = tn
-	default:
-		c.network = transport.NewInproc(cfg.Nodes)
-	}
-	if cfg.Fault != nil {
-		c.faulty = transport.NewFaulty(c.network, *cfg.Fault)
-		c.network = c.faulty
-	}
 	c.metrics = cfg.Metrics
 	if c.metrics == nil {
 		c.metrics = metrics.Default()
 	}
-	if c.metrics != nil {
-		// Outermost, so the meter sees the same operations comm performs.
-		c.network = transport.NewMetered(c.network, c.metrics)
-		c.registerGauges()
+	net, err := c.buildNetwork(cfg.Nodes, false)
+	if err != nil {
+		return nil, err
 	}
-	if to := cfg.RecvTimeout; to != 0 || DefaultRecvTimeout != 0 {
-		if to == 0 {
-			to = DefaultRecvTimeout
-		}
-		if to > 0 {
-			for r := 0; r < cfg.Nodes; r++ {
-				c.network.Conn(r).SetRecvTimeout(to)
-			}
-		}
+	c.network = net
+	if c.metrics != nil {
+		c.registerGauges()
 	}
 	for r := 0; r < cfg.Nodes; r++ {
 		c.nodes[r] = &Node{Rank: r}
 	}
 	return c, nil
+}
+
+// buildNetwork assembles one transport stack of the configured kind for n
+// endpoints: base transport, fault layer, metered layer (outermost, so the
+// meter sees the same operations comm performs), receive deadline.
+// Recovery rebuilds networks — for the surviving subgroup and for the
+// full-width rejoin — because a sticky abort leaves the old one dead;
+// rebuilt stacks disarm the kill fault (disarmKill), since it models a
+// single crash event that already happened, while the stochastic fault
+// regime keeps applying.
+func (c *Cluster) buildNetwork(n int, disarmKill bool) (transport.Network, error) {
+	var net transport.Network
+	switch c.cfg.Transport {
+	case TCP:
+		tn, err := transport.NewTCP(n)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		net = tn
+	default:
+		net = transport.NewInproc(n)
+	}
+	if c.cfg.Fault != nil {
+		fc := *c.cfg.Fault
+		if disarmKill {
+			fc = fc.WithoutKill()
+		}
+		f := transport.NewFaulty(net, fc)
+		c.netMu.Lock()
+		c.faulties = append(c.faulties, f)
+		c.netMu.Unlock()
+		net = f
+	}
+	if c.metrics != nil {
+		net = transport.NewMetered(net, c.metrics)
+	}
+	to := c.cfg.RecvTimeout
+	if to == 0 {
+		to = DefaultRecvTimeout
+	}
+	if to > 0 {
+		for r := 0; r < n; r++ {
+			net.Conn(r).SetRecvTimeout(to)
+		}
+	}
+	return net, nil
 }
 
 // N returns the node count.
@@ -181,26 +219,61 @@ func (c *Cluster) Engine() Engine { return c.cfg.Engine }
 // Collective returns the cluster-level collective-schedule preference.
 func (c *Cluster) Collective() csched.Choice { return c.cfg.Collective }
 
+// Recovery returns the cluster-level elastic-recovery policy.
+func (c *Cluster) Recovery() recovery.Policy { return c.cfg.Recovery }
+
 // Node returns node r.
 func (c *Cluster) Node(r int) *Node { return c.nodes[r] }
 
-// Conn returns node r's transport endpoint.
-func (c *Cluster) Conn(r int) transport.Conn { return c.network.Conn(r) }
+// Conn returns node r's transport endpoint on the main (full-width)
+// network.
+func (c *Cluster) Conn(r int) transport.Conn {
+	c.netMu.Lock()
+	defer c.netMu.Unlock()
+	return c.network.Conn(r)
+}
 
 // Abort cancels the in-flight job: every pending transport receive on
-// every node unblocks with an error wrapping transport.ErrAborted.  The
-// abort is sticky — as after MPI_Abort, the cluster's transport is dead
-// afterwards and a fresh cluster is needed for further launches.
-func (c *Cluster) Abort(cause error) { c.network.Abort(cause) }
+// every node — on the main network and on any live recovery subgroup —
+// unblocks with an error wrapping transport.ErrAborted.  The abort is
+// sticky at the cluster level too: AdoptSubgroup refuses afterwards, so an
+// externally-cancelled job (e.g. a serve deadline) cannot recover its way
+// past the cancellation.
+func (c *Cluster) Abort(cause error) {
+	c.netMu.Lock()
+	if c.aborted == nil {
+		c.aborted = cause
+	}
+	net, sub := c.network, c.sub
+	c.netMu.Unlock()
+	net.Abort(cause)
+	if sub != nil {
+		sub.net.Abort(cause)
+	}
+}
 
 // Faults reports the injected-fault counters when the cluster was built
-// with Config.Fault (nil otherwise).
+// with Config.Fault (nil otherwise), summed over every network the cluster
+// has run — recovery rebuilds the transport stack for surviving subgroups
+// and rejoins, and faults injected before a crash must stay visible.
 func (c *Cluster) Faults() *transport.FaultStats {
-	if c.faulty != nil {
-		st := c.faulty.Stats()
-		return &st
+	c.netMu.Lock()
+	defer c.netMu.Unlock()
+	if len(c.faulties) == 0 {
+		return nil
 	}
-	return nil
+	var total transport.FaultStats
+	for _, f := range c.faulties {
+		st := f.Stats()
+		total.Drops += st.Drops
+		total.Delays += st.Delays
+		total.Duplicates += st.Duplicates
+		total.Corruptions += st.Corruptions
+		total.SendFailures += st.SendFailures
+		total.Retries += st.Retries
+		total.Kills += st.Kills
+	}
+	return &total
 }
 
 // Metrics returns the registry the cluster reports into (nil when metrics
@@ -213,18 +286,27 @@ func (c *Cluster) registerGauges() {
 	r := c.metrics
 	r.GaugeFunc("cluster.nodes", func() float64 { return float64(c.cfg.Nodes) })
 	r.GaugeFunc("cluster.heap_bytes_per_node", func() float64 { return float64(c.heapEnd) })
-	if c.faulty != nil {
-		r.GaugeFunc("transport.fault.drops", func() float64 { return float64(c.faulty.Stats().Drops) })
-		r.GaugeFunc("transport.fault.delays", func() float64 { return float64(c.faulty.Stats().Delays) })
-		r.GaugeFunc("transport.fault.duplicates", func() float64 { return float64(c.faulty.Stats().Duplicates) })
-		r.GaugeFunc("transport.fault.corruptions", func() float64 { return float64(c.faulty.Stats().Corruptions) })
-		r.GaugeFunc("transport.fault.send_failures", func() float64 { return float64(c.faulty.Stats().SendFailures) })
-		r.GaugeFunc("transport.fault.retries", func() float64 { return float64(c.faulty.Stats().Retries) })
+	if c.cfg.Fault != nil {
+		r.GaugeFunc("transport.fault.drops", func() float64 { return float64(c.Faults().Drops) })
+		r.GaugeFunc("transport.fault.delays", func() float64 { return float64(c.Faults().Delays) })
+		r.GaugeFunc("transport.fault.duplicates", func() float64 { return float64(c.Faults().Duplicates) })
+		r.GaugeFunc("transport.fault.corruptions", func() float64 { return float64(c.Faults().Corruptions) })
+		r.GaugeFunc("transport.fault.send_failures", func() float64 { return float64(c.Faults().SendFailures) })
+		r.GaugeFunc("transport.fault.retries", func() float64 { return float64(c.Faults().Retries) })
+		r.GaugeFunc("transport.fault.kills", func() float64 { return float64(c.Faults().Kills) })
 	}
 }
 
-// Close releases the cluster's transport.
-func (c *Cluster) Close() { c.network.Close() }
+// Close releases the cluster's transport (and any live recovery subgroup's).
+func (c *Cluster) Close() {
+	c.netMu.Lock()
+	net, sub := c.network, c.sub
+	c.netMu.Unlock()
+	net.Close()
+	if sub != nil && sub.owned {
+		sub.net.Close()
+	}
+}
 
 // Alloc reserves a buffer of count elements at the same offset on every
 // node (zero-initialized), the analogue of cudaMalloc in the CuCC host API.
@@ -322,31 +404,12 @@ func (c *Cluster) VerifyIdentical(b Buffer) error {
 //
 // A failing node triggers a cooperative cluster-wide abort: peers still
 // blocked in a collective receive unblock with transport.ErrAborted
-// instead of hanging the WaitGroup forever.  All node errors are joined —
-// under fault injection multi-rank failure is the common case and every
-// cause must stay visible.
+// instead of hanging the WaitGroup forever.  All node errors are joined as
+// NodeError values — under fault injection multi-rank failure is the
+// common case and every cause must stay visible, with its node attribution
+// intact for recovery's failure classification.
 func (c *Cluster) RunParallel(fn func(rank int, conn transport.Conn) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, c.N())
-	for r := 0; r < c.N(); r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			conn := c.network.Conn(r)
-			if err := fn(r, conn); err != nil {
-				errs[r] = err
-				conn.Abort(fmt.Errorf("node %d: %v", r, err))
-			}
-		}(r)
-	}
-	wg.Wait()
-	var joined []error
-	for r, err := range errs {
-		if err != nil {
-			joined = append(joined, fmt.Errorf("node %d: %w", r, err))
-		}
-	}
-	return errors.Join(joined...)
+	return c.FullGroup().RunParallel(fn)
 }
 
 // SyncClocksMax sets every node clock to the cluster-wide maximum plus dt

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -293,5 +294,147 @@ func TestClusterFaultInjection(t *testing.T) {
 	}
 	if newTestCluster(t, 2).Faults() != nil {
 		t.Error("Faults() non-nil on a fault-free cluster")
+	}
+}
+
+// TestRunParallelPreservesCauseIdentity: the cause a failing rank's error
+// carries must errors.Is/As-match on the surviving ranks' aborts and in the
+// joined error.  Before the %w fix, RunParallel aborted peers with
+// fmt.Errorf("node %d: %v", ...), flattening the cause to a string —
+// recovery's failure classification depends on the identity surviving.
+func TestRunParallelPreservesCauseIdentity(t *testing.T) {
+	sentinel := errors.New("simulated crash")
+	c, err := New(Config{
+		Nodes: 3, Machine: machine.Intel6226(), Net: simnet.IB100(),
+		RecvTimeout: 30 * time.Second, // backstop only; the abort must win
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var mu sync.Mutex
+	observed := make([]error, 3)
+	err = c.RunParallel(func(rank int, conn transport.Conn) error {
+		if rank == 1 {
+			return fmt.Errorf("phase 2: %w", sentinel)
+		}
+		_, rerr := conn.Recv(1, 9)
+		mu.Lock()
+		observed[rank] = rerr
+		mu.Unlock()
+		return rerr
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("joined error lost the cause: %v", err)
+	}
+	var ne *NodeError
+	if !errors.As(err, &ne) {
+		t.Fatalf("joined error carries no NodeError: %v", err)
+	}
+	for _, r := range []int{0, 2} {
+		if !errors.Is(observed[r], transport.ErrAborted) {
+			t.Errorf("rank %d error = %v, want ErrAborted", r, observed[r])
+		}
+		if !errors.Is(observed[r], sentinel) {
+			t.Errorf("rank %d abort flattened the cause: %v", r, observed[r])
+		}
+	}
+	// Classification-style attribution: exactly node 1 is the non-aborted
+	// failure in the join.
+	seen := map[int]bool{}
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if n, ok := e.(*NodeError); ok {
+			if !errors.Is(n, transport.ErrAborted) {
+				seen[n.Node] = true
+			}
+			return
+		}
+		if u, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, s := range u.Unwrap() {
+				walk(s)
+			}
+		}
+	}
+	walk(err)
+	if len(seen) != 1 || !seen[1] {
+		t.Errorf("non-aborted failures attributed to %v, want node 1 only", seen)
+	}
+}
+
+// TestSubgroupRunsAfterAbort: after a rank failure kills the main network,
+// AdoptSubgroup connects the survivors over a fresh transport that still
+// runs collectives, RejoinAll restores full width, and a cluster-level
+// abort (external cancellation) blocks regrouping for good.
+func TestSubgroupRunsAfterAbort(t *testing.T) {
+	c, err := New(Config{
+		Nodes: 4, Machine: machine.Intel6226(), Net: simnet.IB100(),
+		RecvTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	b := c.Alloc(kir.U8, 4*8)
+	err = c.RunParallel(func(rank int, conn transport.Conn) error {
+		if rank == 2 {
+			return errors.New("rank 2 crashed")
+		}
+		_, err := comm.AllgatherRing(conn, c.Region(rank, b), 8)
+		return err
+	})
+	if err == nil {
+		t.Fatal("want the crash to fail the full-width run")
+	}
+
+	g, err := c.AdoptSubgroup([]int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 || g.NodeOf(2) != 3 || g.Full() {
+		t.Fatalf("subgroup shape wrong: size=%d nodeOf(2)=%d full=%v", g.Size(), g.NodeOf(2), g.Full())
+	}
+	sb := c.Alloc(kir.U8, 3*8)
+	for m, node := range g.Nodes() {
+		for i := 0; i < 8; i++ {
+			c.Region(node, sb)[m*8+i] = byte(10 + m)
+		}
+	}
+	if err := g.RunParallel(func(m int, conn transport.Conn) error {
+		_, err := comm.AllgatherRing(conn, c.Region(g.NodeOf(m), sb), 8)
+		return err
+	}); err != nil {
+		t.Fatalf("subgroup collective failed on the fresh network: %v", err)
+	}
+	for _, node := range g.Nodes() {
+		for m := 0; m < 3; m++ {
+			if c.Region(node, sb)[m*8] != byte(10+m) {
+				t.Fatalf("node %d chunk %d not gathered", node, m)
+			}
+		}
+	}
+
+	if err := c.RejoinAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunParallel(func(rank int, conn transport.Conn) error {
+		if rank == 0 {
+			return conn.Send(1, 1, []byte("post-rejoin"))
+		}
+		if rank == 1 {
+			_, err := conn.RecvTimeout(0, 1, 5*time.Second)
+			return err
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("full-width run after rejoin failed: %v", err)
+	}
+
+	c.Abort(errors.New("deadline"))
+	if _, err := c.AdoptSubgroup([]int{0, 1}); err == nil {
+		t.Fatal("AdoptSubgroup after a cluster-level abort must refuse")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"cucc/internal/lang"
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
+	"cucc/internal/recovery"
 	"cucc/internal/trace"
 	"cucc/internal/vm"
 )
@@ -180,6 +181,11 @@ var DefaultEngine cluster.Engine
 // ring collectives.
 var DefaultCollective csched.Choice
 
+// DefaultRecovery is the process-wide default elastic-recovery policy used
+// when neither the session nor the cluster sets one.  CLI tools set it from
+// -recover; unset, launches fail on rank loss as before.
+var DefaultRecovery recovery.Policy
+
 // EffectiveWorkers resolves the configured width to a concrete worker
 // count (>= 1).
 func (e ExecConfig) EffectiveWorkers() int {
@@ -223,6 +229,13 @@ type Stats struct {
 	// OverlapSec is the simulated time saved by overlapping phase-3
 	// callback blocks with in-flight Allgather chunks (0 without overlap).
 	OverlapSec float64
+	// Restores counts checkpoint restores the launch needed (0 for a
+	// fault-free run); the reported phase figures are those of the final,
+	// successful attempt.
+	Restores int
+	// LostNodes lists the cluster nodes that crashed and were excluded by
+	// recovery (repaired and rejoined after the launch completed).
+	LostNodes []int
 	// Work is the measured/estimated per-block work.
 	Work machine.BlockWork
 }
@@ -239,6 +252,9 @@ type Session struct {
 	// defers to the cluster, then DefaultCollective, then the legacy
 	// hand-written ring).
 	Collective csched.Choice
+	// Recovery selects the elastic-recovery policy (the zero value defers
+	// to the cluster, then DefaultRecovery, ultimately disabled).
+	Recovery recovery.Policy
 	// Verify re-checks cross-node memory consistency after every launch.
 	Verify bool
 	// Trace, when non-nil, records a simulated-time timeline of every
@@ -289,6 +305,23 @@ func (s *Session) EffectiveCollective() csched.Choice {
 		}
 	}
 	return DefaultCollective
+}
+
+// EffectiveRecovery resolves the layered elastic-recovery policy (session,
+// then cluster, then process default); the zero value — disabled — when
+// nothing is configured.  The first non-zero layer wins entirely, so an
+// explicit Policy{Enabled: false} at a higher layer overrides an enabled
+// default below it, mirroring EffectiveCollective.
+func (s *Session) EffectiveRecovery() recovery.Policy {
+	if s.Recovery != (recovery.Policy{}) {
+		return s.Recovery
+	}
+	if s.Cluster != nil {
+		if p := s.Cluster.Recovery(); p != (recovery.Policy{}) {
+			return p
+		}
+	}
+	return DefaultRecovery
 }
 
 // launchState carries the resolved launch context.

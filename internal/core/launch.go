@@ -16,6 +16,7 @@ import (
 	"cucc/internal/interp"
 	"cucc/internal/kir"
 	"cucc/internal/machine"
+	"cucc/internal/recovery"
 	"cucc/internal/transport"
 	"cucc/internal/vm"
 )
@@ -83,58 +84,180 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 		tail = 1
 		stats.TailDivergent = true
 	}
-	part := partitionBlocks(totalBlocks, tail, n, spec.Remainder)
-	callbacks := totalBlocks - part.distEnd
 	stats.Distributed = true
 	s.registry().Counter(MetricLaunchesDistributed).Inc()
+
+	pol := s.EffectiveRecovery()
+	regions, err := writtenRegions(st)
+	if err != nil {
+		return nil, err
+	}
+	recEnabled := pol.Enabled && len(regions) > 0
+
+	g := c.ActiveGroup()
+
+	// Host-side launch overhead is paid once per launch on every
+	// participating node.
+	for _, node := range g.Nodes() {
+		s.emit(trace.Event{StartSec: c.Node(node).Clock, DurSec: KernelLaunchOverheadSec,
+			Node: node, Phase: trace.PhaseLaunch, Kernel: st.kernel.Name})
+		c.Node(node).Clock += KernelLaunchOverheadSec
+	}
+
+	// Checkpoint the launch-entry barrier: before phase 1 touches them,
+	// all participating nodes hold identical written-buffer contents, so
+	// one snapshot restores any of them.
+	var cp *recovery.Checkpoint
+	if recEnabled {
+		cp = s.captureCheckpoint(recovery.CursorStart, 0, regions, g)
+	}
+
+	// Attempt loop: each iteration runs the three phases from the current
+	// checkpoint cursor on the current group.  On a rank loss (and an
+	// enabled policy), the failure is classified, the survivors regroup
+	// over a fresh transport, the checkpoint is restored, and the attempt
+	// replays — re-partitioned when replaying from the start cursor.
+	// Deterministic block execution over checkpointed barrier state makes
+	// the recovered result bitwise identical to a fault-free run.
+	restores := 0
+	for {
+		aerr := s.runPhases(st, stats, g, totalBlocks, tail, cp, regions)
+		if aerr == nil {
+			break
+		}
+		if !recEnabled {
+			s.emitFailure(st.kernel.Name, aerr)
+			return nil, aerr
+		}
+		failed, ok := recovery.Classify(aerr)
+		surv := recovery.Survivors(g.Nodes(), failed)
+		if !ok || restores >= pol.EffectiveMaxRestores() ||
+			len(surv) == 0 || len(surv) < pol.EffectiveMinRanks() {
+			s.emitFailure(st.kernel.Name, aerr)
+			return nil, aerr
+		}
+		ng, gerr := c.AdoptSubgroup(surv)
+		if gerr != nil {
+			s.emitFailure(st.kernel.Name, aerr)
+			return nil, errors.Join(aerr, gerr)
+		}
+		g = ng
+		s.restoreCheckpoint(cp, g)
+		restores++
+		stats.Restores = restores
+		stats.LostNodes = missingNodes(n, g.Nodes())
+		s.registry().Counter(recovery.MetricRestores).Inc()
+		if cp.Cursor == recovery.CursorStart {
+			s.registry().Counter(recovery.MetricRepartitions).Inc()
+		}
+		s.emit(trace.Event{StartSec: g.MaxClock(), Node: -1, Phase: trace.PhaseRecovery,
+			Kernel: st.kernel.Name,
+			Detail: fmt.Sprintf("restore @%s: lost nodes %v, replaying over %d ranks",
+				cp.Cursor, failed, len(surv))})
+	}
+
+	// Rank replacement: a crashed node was consistent at the last barrier
+	// and the replay wrote only the checkpointed write-set regions, so
+	// copying those regions from any survivor repairs it; then the full
+	// cluster width rejoins over a fresh transport for later launches.
+	if !g.Full() {
+		src := g.NodeOf(0)
+		top := g.MaxClock()
+		for _, node := range stats.LostNodes {
+			for _, rgn := range regions {
+				copy(c.HeapBytes(node, rgn.Off, rgn.Len), c.HeapBytes(src, rgn.Off, rgn.Len))
+			}
+			c.Node(node).Clock = top
+		}
+		if err := c.RejoinAll(); err != nil {
+			return nil, fmt.Errorf("core: rejoining after recovery: %w", err)
+		}
+		s.registry().Counter(recovery.MetricRejoins).Add(int64(len(stats.LostNodes)))
+	}
+
+	stats.TotalSec = c.MaxClock() - startClock
+	if s.Verify {
+		if err := s.verifyConsistency(st); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+// runPhases executes one attempt of the three-phase workflow on the group
+// g.  It is checkpoint-aware: resuming from a gathered checkpoint skips
+// straight to the callback range recorded there; otherwise the attempt
+// partitions the grid over the group's members, runs phase 1, the
+// Allgather (advancing the checkpoint to the gathered barrier on the
+// non-overlapped path), and the callbacks.  Transport ranks are member
+// indices; g.NodeOf maps them to cluster nodes for memory, clocks, and
+// trace attribution.
+func (s *Session) runPhases(st *launchState, stats *Stats, g *cluster.Group, totalBlocks, tail int, cp *recovery.Checkpoint, regions []recovery.Region) error {
+	c := s.Cluster
+	n := g.Size()
+	md := st.md
+	spec := st.spec
+	reg := s.registry()
+
+	if cp != nil && cp.Cursor == recovery.CursorGathered {
+		// Phases 1-2 completed at the checkpointed barrier — possibly
+		// under a different partition width, which is why DistEnd was
+		// recorded in the checkpoint.  Only the callback range replays;
+		// the pre-barrier stats figures stand from the attempt that
+		// reached the barrier.
+		stats.CallbackBlocks = totalBlocks - cp.DistEnd
+		return s.runCallbacks(st, stats, g, cp.DistEnd, totalBlocks)
+	}
+
+	// Phase figures describe one attempt from the start cursor: a replay
+	// overwrites the failed attempt's partial numbers.
+	stats.Phase1Sec, stats.CommSec, stats.CallbackSec, stats.OverlapSec = 0, 0, 0, 0
+	stats.CommBytesPerNode, stats.CommMsgs = 0, 0
+	stats.CollectiveAlgo = ""
+	stats.Work = machine.BlockWork{}
+
+	part := partitionBlocks(totalBlocks, tail, n, spec.Remainder)
+	callbacks := totalBlocks - part.distEnd
 	stats.BlocksByNode = append([]int(nil), part.counts...)
 	stats.BlocksPerNode = maxCount(part.counts)
 	stats.CallbackBlocks = callbacks
-
-	// Host-side launch overhead is paid once per launch on every node.
-	for rank := 0; rank < n; rank++ {
-		s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: KernelLaunchOverheadSec,
-			Node: rank, Phase: trace.PhaseLaunch, Kernel: st.kernel.Name})
-		c.Node(rank).Clock += KernelLaunchOverheadSec
-	}
 
 	// --- Phase 1: partial block execution ---
 	workPerNode := make([]machine.BlockWork, n)
 	workerCounts := make([][]int, n)
 	if part.distEnd > 0 {
-		reg := s.registry()
 		wallStart := time.Now()
-		err := c.RunParallel(func(rank int, _ transport.Conn) error {
-			lo := part.starts[rank]
-			w, wc, err := s.runBlocks(st, rank, lo, lo+part.counts[rank])
+		err := g.RunParallel(func(m int, _ transport.Conn) error {
+			lo := part.starts[m]
+			w, wc, err := s.runBlocks(st, g.NodeOf(m), lo, lo+part.counts[m])
 			if err != nil {
 				return err
 			}
-			workPerNode[rank] = w
-			workerCounts[rank] = wc
+			workPerNode[m] = w
+			workerCounts[m] = wc
 			return nil
 		})
 		reg.Histogram(MetricPartialWallSec).Observe(time.Since(wallStart).Seconds())
 		if err != nil {
-			s.emitFailure(st.kernel.Name, err)
-			return nil, err
+			return err
 		}
 		// Advance clocks by the modeled phase time.
-		for rank := 0; rank < n; rank++ {
-			cnt := part.counts[rank]
+		for m := 0; m < n; m++ {
+			cnt := part.counts[m]
 			if cnt == 0 {
 				continue
 			}
-			per := workPerNode[rank].Scale(1 / float64(cnt))
+			node := g.NodeOf(m)
+			per := workPerNode[m].Scale(1 / float64(cnt))
 			dt := c.Machine().PhaseTime(cnt, per, s.execConfig(st))
-			s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: dt, Node: rank,
+			s.emit(trace.Event{StartSec: c.Node(node).Clock, DurSec: dt, Node: node,
 				Phase: trace.PhasePartial, Kernel: st.kernel.Name,
 				Detail: fmt.Sprintf("%d blocks", cnt)})
-			s.emitWorkerSpans(c.Node(rank).Clock, dt, rank, st.kernel.Name, workerCounts[rank])
+			s.emitWorkerSpans(c.Node(node).Clock, dt, node, st.kernel.Name, workerCounts[m])
 			reg.Histogram(MetricPartialSimSec).Observe(dt)
-			recordWorkerCounts(reg, workerCounts[rank])
-			c.Node(rank).Clock += dt
-			if rank == 0 {
+			recordWorkerCounts(reg, workerCounts[m])
+			c.Node(node).Clock += dt
+			if m == 0 {
 				stats.Phase1Sec = dt
 				stats.Work = per
 			}
@@ -147,9 +270,11 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 	// imbalanced remainder strategy).  When a collective choice is
 	// configured, the schedule compiler selects among ring, recursive
 	// doubling, two-level, and chunked-pipelined schedules per (bytes,
-	// nranks) instead, and — with overlap enabled and a kernel whose
-	// callbacks don't read gathered data — phase-3 callback blocks run
-	// while later Allgather chunks are still in flight.
+	// nranks) instead — csched parameterizes schedules by rank count, so a
+	// recovered subgroup compiles its own m-rank schedule — and, with
+	// overlap enabled and a kernel whose callbacks don't read gathered
+	// data, phase-3 callback blocks run while later Allgather chunks are
+	// still in flight.
 	choice := s.EffectiveCollective()
 	schedActive := choice.Active() && part.distEnd > 0
 	wantOverlap := schedActive && choice.Overlap && callbacks > 0 && !st.readsWritten
@@ -175,35 +300,35 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 	for _, bm := range md.Buffers {
 		buf, base, unit, err := st.bufferRegion(bm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if part.distEnd == 0 {
 			continue
 		}
 		elem := bm.Elem.Size()
 		if int(base)+int(unit)*part.distEnd > buf.Count {
-			return nil, fmt.Errorf("core: kernel %s writes past buffer %s (%d elems > %d)",
+			return fmt.Errorf("core: kernel %s writes past buffer %s (%d elems > %d)",
 				st.kernel.Name, bm.ParamName, int(base)+int(unit)*part.distEnd, buf.Count)
 		}
-		g := gatherOp{
+		op := gatherOp{
 			regionStart: buf.Off + int(base)*elem,
 			regionLen:   int(unit) * part.distEnd * elem,
 			offs:        make([]int, n+1),
 			chunks:      make([]int64, n),
 		}
 		for r := 0; r < n; r++ {
-			g.chunks[r] = int64(part.counts[r]) * unit * int64(elem)
-			g.offs[r+1] = g.offs[r] + int(g.chunks[r])
+			op.chunks[r] = int64(part.counts[r]) * unit * int64(elem)
+			op.offs[r+1] = op.offs[r] + int(op.chunks[r])
 		}
 		if schedActive {
 			sel, err := csched.Select(csched.Request{
-				Ranks: n, RankBytes: g.chunks, Model: c.Net(),
+				Ranks: n, RankBytes: op.chunks, Model: c.Net(),
 				Choice: choice, CallbackSec: cbHint,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			g.sel = sel
+			op.sel = sel
 			if len(gathers) == 0 {
 				// Overlap starts once the first buffer's first chunk has
 				// landed on every rank.
@@ -212,27 +337,26 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 			}
 			commSec += sel.Eval.CostSec
 		} else if part.balanced {
-			commSec += c.Net().RingAllgather(n, g.chunks[0])
+			commSec += c.Net().RingAllgather(n, op.chunks[0])
 		} else {
-			commSec += c.Net().AllgatherV(g.chunks)
+			commSec += c.Net().AllgatherV(op.chunks)
 		}
-		stats.CommBytesPerNode += g.chunks[0]
-		gathers = append(gathers, g)
+		stats.CommBytesPerNode += op.chunks[0]
+		gathers = append(gathers, op)
 	}
 	overlapped := wantOverlap && len(gathers) > 0
 
-	runGather := func(rank int, conn transport.Conn, g gatherOp) (comm.Stats, error) {
-		region := nodeBytes(c, rank, g.regionStart, g.regionLen)
-		if g.sel != nil {
-			return csched.Execute(conn, region, g.sel.Offs, g.sel.Schedule)
+	runGather := func(m int, conn transport.Conn, op gatherOp) (comm.Stats, error) {
+		region := nodeBytes(c, g.NodeOf(m), op.regionStart, op.regionLen)
+		if op.sel != nil {
+			return csched.Execute(conn, region, op.sel.Offs, op.sel.Schedule)
 		}
 		if part.balanced {
-			return comm.AllgatherRing(conn, region, int(g.chunks[0]))
+			return comm.AllgatherRing(conn, region, int(op.chunks[0]))
 		}
-		return comm.AllgatherVRing(conn, region, g.offs)
+		return comm.AllgatherVRing(conn, region, op.offs)
 	}
 
-	reg := s.registry()
 	allgatherDetail := func() string {
 		d := fmt.Sprintf("%d bytes/node, %d msgs", stats.CommBytesPerNode, commMsgs)
 		if stats.CollectiveAlgo != "" {
@@ -242,157 +366,234 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 	}
 
 	if !overlapped {
-		for _, g := range gathers {
+		for _, op := range gathers {
 			var msgs int64
-			err := c.RunParallel(func(rank int, conn transport.Conn) error {
-				cs, err := runGather(rank, conn, g)
+			err := g.RunParallel(func(m int, conn transport.Conn) error {
+				cs, err := runGather(m, conn, op)
 				if err != nil {
 					return err
 				}
-				c.Node(rank).Comm.Add(cs)
+				c.Node(g.NodeOf(m)).Comm.Add(cs)
 				atomic.AddInt64(&msgs, cs.Msgs)
 				return nil
 			})
 			if err != nil {
-				s.emitFailure(st.kernel.Name, err)
-				return nil, err
+				return err
 			}
 			commMsgs += msgs
 		}
 		// The Allgather synchronizes the nodes: clocks meet at the maximum,
 		// then all pay the collective cost.
-		s.emit(trace.Event{StartSec: c.MaxClock(), DurSec: commSec, Node: -1,
+		s.emit(trace.Event{StartSec: g.MaxClock(), DurSec: commSec, Node: -1,
 			Phase: trace.PhaseAllgather, Kernel: st.kernel.Name,
 			Detail: allgatherDetail()})
-		c.SyncClocksMax(commSec)
+		g.SyncClocksMax(commSec)
 		stats.CommSec = commSec
 		stats.CommMsgs = commMsgs
 		reg.Histogram(MetricAllgatherSimSec).Observe(commSec)
+
+		// Gathered barrier: every member holds identical written-buffer
+		// contents again.  Advance the checkpoint in place so a failure in
+		// the callback phase replays only the callbacks, not the whole
+		// launch.
+		if cp != nil {
+			*cp = *s.captureCheckpoint(recovery.CursorGathered, part.distEnd, regions, g)
+		}
 
 		// --- Phase 3: callback block execution on every node ---
-		if callbacks > 0 {
-			cbWork := make([]machine.BlockWork, n)
-			cbCounts := make([][]int, n)
-			wallStart := time.Now()
-			err := c.RunParallel(func(rank int, _ transport.Conn) error {
-				w, wc, err := s.runBlocks(st, rank, part.distEnd, totalBlocks)
-				if err != nil {
-					return err
-				}
-				cbWork[rank] = w
-				cbCounts[rank] = wc
-				return nil
-			})
-			reg.Histogram(MetricCallbackWallSec).Observe(time.Since(wallStart).Seconds())
-			if err != nil {
-				s.emitFailure(st.kernel.Name, err)
-				return nil, err
-			}
-			for rank := 0; rank < n; rank++ {
-				per := cbWork[rank].Scale(1 / float64(callbacks))
-				dt := c.Machine().PhaseTime(callbacks, per, s.execConfig(st))
-				s.emit(trace.Event{StartSec: c.Node(rank).Clock, DurSec: dt, Node: rank,
-					Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
-					Detail: fmt.Sprintf("%d blocks", callbacks)})
-				s.emitWorkerSpans(c.Node(rank).Clock, dt, rank, st.kernel.Name, cbCounts[rank])
-				reg.Histogram(MetricCallbackSimSec).Observe(dt)
-				recordWorkerCounts(reg, cbCounts[rank])
-				c.Node(rank).Clock += dt
-				if rank == 0 {
-					stats.CallbackSec = dt
-				}
-			}
-		}
-	} else {
-		// --- Overlapped phases 2+3: each rank drives its collective
-		// schedule while a concurrent goroutine executes the callback
-		// blocks.  Safe because callbacks write only block regions past
-		// part.distEnd — disjoint from every gathered chunk — and the
-		// readsWritten gate proved they never load gathered data; the
-		// result is bitwise identical to the barrier ordering.
-		cbWork := make([]machine.BlockWork, n)
-		cbCounts := make([][]int, n)
-		wallStart := time.Now()
-		err := c.RunParallel(func(rank int, conn transport.Conn) error {
-			var wg sync.WaitGroup
-			var cbErr error
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				w, wc, err := s.runBlocks(st, rank, part.distEnd, totalBlocks)
-				if err != nil {
-					cbErr = err
-					return
-				}
-				cbWork[rank] = w
-				cbCounts[rank] = wc
-			}()
-			var commErr error
-			for _, g := range gathers {
-				cs, err := runGather(rank, conn, g)
-				if err != nil {
-					commErr = err
-					break
-				}
-				c.Node(rank).Comm.Add(cs)
-				atomic.AddInt64(&commMsgs, cs.Msgs)
-			}
-			// Always join the callback goroutine before returning: the
-			// cluster may tear the launch down on error, and the blocks
-			// must not outlive it.
-			wg.Wait()
-			return errors.Join(commErr, cbErr)
-		})
-		reg.Histogram(MetricCallbackWallSec).Observe(time.Since(wallStart).Seconds())
-		if err != nil {
-			s.emitFailure(st.kernel.Name, err)
-			return nil, err
-		}
-		// Clock model: the collective still synchronizes every rank at
-		// phase-1 max, but callbacks start at firstRecvSec — the modeled
-		// point every rank has its first chunk — instead of after the full
-		// collective; each rank finishes at whichever of the two overlapped
-		// activities ends later.
-		base := c.MaxClock()
-		s.emit(trace.Event{StartSec: base, DurSec: commSec, Node: -1,
-			Phase: trace.PhaseAllgather, Kernel: st.kernel.Name,
-			Detail: allgatherDetail()})
-		stats.CommSec = commSec
-		stats.CommMsgs = commMsgs
-		reg.Histogram(MetricAllgatherSimSec).Observe(commSec)
-		maxDt := 0.0
-		for rank := 0; rank < n; rank++ {
-			per := cbWork[rank].Scale(1 / float64(callbacks))
-			dt := c.Machine().PhaseTime(callbacks, per, s.execConfig(st))
-			s.emit(trace.Event{StartSec: base + firstRecvSec, DurSec: dt, Node: rank,
-				Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
-				Detail: fmt.Sprintf("%d blocks (overlapped)", callbacks)})
-			s.emitWorkerSpans(base+firstRecvSec, dt, rank, st.kernel.Name, cbCounts[rank])
-			reg.Histogram(MetricCallbackSimSec).Observe(dt)
-			recordWorkerCounts(reg, cbCounts[rank])
-			end := base + commSec
-			if cb := base + firstRecvSec + dt; cb > end {
-				end = cb
-			}
-			c.Node(rank).Clock = end
-			if dt > maxDt {
-				maxDt = dt
-			}
-			if rank == 0 {
-				stats.CallbackSec = dt
-			}
-		}
-		stats.OverlapSec = (base + commSec + maxDt) - c.MaxClock()
+		return s.runCallbacks(st, stats, g, part.distEnd, totalBlocks)
 	}
 
-	stats.TotalSec = c.MaxClock() - startClock
-	if s.Verify {
-		if err := s.verifyConsistency(st); err != nil {
-			return nil, err
+	// --- Overlapped phases 2+3: each rank drives its collective
+	// schedule while a concurrent goroutine executes the callback
+	// blocks.  Safe because callbacks write only block regions past
+	// part.distEnd — disjoint from every gathered chunk — and the
+	// readsWritten gate proved they never load gathered data; the
+	// result is bitwise identical to the barrier ordering.  The
+	// checkpoint is not advanced mid-flight: a failure here replays
+	// from the start cursor.
+	cbWork := make([]machine.BlockWork, n)
+	cbCounts := make([][]int, n)
+	wallStart := time.Now()
+	err := g.RunParallel(func(m int, conn transport.Conn) error {
+		var wg sync.WaitGroup
+		var cbErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, wc, err := s.runBlocks(st, g.NodeOf(m), part.distEnd, totalBlocks)
+			if err != nil {
+				cbErr = err
+				return
+			}
+			cbWork[m] = w
+			cbCounts[m] = wc
+		}()
+		var commErr error
+		for _, op := range gathers {
+			cs, err := runGather(m, conn, op)
+			if err != nil {
+				commErr = err
+				break
+			}
+			c.Node(g.NodeOf(m)).Comm.Add(cs)
+			atomic.AddInt64(&commMsgs, cs.Msgs)
+		}
+		// Always join the callback goroutine before returning: the
+		// cluster may tear the launch down on error, and the blocks
+		// must not outlive it.
+		wg.Wait()
+		return errors.Join(commErr, cbErr)
+	})
+	reg.Histogram(MetricCallbackWallSec).Observe(time.Since(wallStart).Seconds())
+	if err != nil {
+		return err
+	}
+	// Clock model: the collective still synchronizes every rank at
+	// phase-1 max, but callbacks start at firstRecvSec — the modeled
+	// point every rank has its first chunk — instead of after the full
+	// collective; each rank finishes at whichever of the two overlapped
+	// activities ends later.
+	base := g.MaxClock()
+	s.emit(trace.Event{StartSec: base, DurSec: commSec, Node: -1,
+		Phase: trace.PhaseAllgather, Kernel: st.kernel.Name,
+		Detail: allgatherDetail()})
+	stats.CommSec = commSec
+	stats.CommMsgs = commMsgs
+	reg.Histogram(MetricAllgatherSimSec).Observe(commSec)
+	maxDt := 0.0
+	for m := 0; m < n; m++ {
+		node := g.NodeOf(m)
+		per := cbWork[m].Scale(1 / float64(callbacks))
+		dt := c.Machine().PhaseTime(callbacks, per, s.execConfig(st))
+		s.emit(trace.Event{StartSec: base + firstRecvSec, DurSec: dt, Node: node,
+			Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
+			Detail: fmt.Sprintf("%d blocks (overlapped)", callbacks)})
+		s.emitWorkerSpans(base+firstRecvSec, dt, node, st.kernel.Name, cbCounts[m])
+		reg.Histogram(MetricCallbackSimSec).Observe(dt)
+		recordWorkerCounts(reg, cbCounts[m])
+		end := base + commSec
+		if cb := base + firstRecvSec + dt; cb > end {
+			end = cb
+		}
+		c.Node(node).Clock = end
+		if dt > maxDt {
+			maxDt = dt
+		}
+		if m == 0 {
+			stats.CallbackSec = dt
 		}
 	}
-	return stats, nil
+	stats.OverlapSec = (base + commSec + maxDt) - g.MaxClock()
+	return nil
 }
+
+// runCallbacks executes the phase-3 callback range [distEnd, totalBlocks)
+// on every group member — the barriered (non-overlapped) variant, shared by
+// the normal path and the gathered-checkpoint resume.
+func (s *Session) runCallbacks(st *launchState, stats *Stats, g *cluster.Group, distEnd, totalBlocks int) error {
+	callbacks := totalBlocks - distEnd
+	if callbacks <= 0 {
+		return nil
+	}
+	c := s.Cluster
+	n := g.Size()
+	reg := s.registry()
+	cbWork := make([]machine.BlockWork, n)
+	cbCounts := make([][]int, n)
+	wallStart := time.Now()
+	err := g.RunParallel(func(m int, _ transport.Conn) error {
+		w, wc, err := s.runBlocks(st, g.NodeOf(m), distEnd, totalBlocks)
+		if err != nil {
+			return err
+		}
+		cbWork[m] = w
+		cbCounts[m] = wc
+		return nil
+	})
+	reg.Histogram(MetricCallbackWallSec).Observe(time.Since(wallStart).Seconds())
+	if err != nil {
+		return err
+	}
+	for m := 0; m < n; m++ {
+		node := g.NodeOf(m)
+		per := cbWork[m].Scale(1 / float64(callbacks))
+		dt := c.Machine().PhaseTime(callbacks, per, s.execConfig(st))
+		s.emit(trace.Event{StartSec: c.Node(node).Clock, DurSec: dt, Node: node,
+			Phase: trace.PhaseCallback, Kernel: st.kernel.Name,
+			Detail: fmt.Sprintf("%d blocks", callbacks)})
+		s.emitWorkerSpans(c.Node(node).Clock, dt, node, st.kernel.Name, cbCounts[m])
+		reg.Histogram(MetricCallbackSimSec).Observe(dt)
+		recordWorkerCounts(reg, cbCounts[m])
+		c.Node(node).Clock += dt
+		if m == 0 {
+			stats.CallbackSec = dt
+		}
+	}
+	return nil
+}
+
+// writtenRegions lists the heap spans of every buffer the kernel writes —
+// the state a checkpoint must capture.  Buffers the kernel only reads are
+// never modified by the launch, so the pre-launch copy every node already
+// holds is authoritative for them.
+func writtenRegions(st *launchState) ([]recovery.Region, error) {
+	seen := map[int]bool{}
+	var regions []recovery.Region
+	for _, bm := range st.md.Buffers {
+		buf, _, _, err := st.bufferRegion(bm)
+		if err != nil {
+			return nil, err
+		}
+		if seen[buf.Off] {
+			continue
+		}
+		seen[buf.Off] = true
+		regions = append(regions, recovery.Region{Off: buf.Off, Len: buf.Bytes()})
+	}
+	return regions, nil
+}
+
+// captureCheckpoint snapshots the write-set regions from the group's first
+// member — every member holds identical contents at a barrier, so one copy
+// serves all — and counts the capture.
+func (s *Session) captureCheckpoint(cur recovery.Cursor, distEnd int, regions []recovery.Region, g *cluster.Group) *recovery.Checkpoint {
+	c := s.Cluster
+	src := g.NodeOf(0)
+	cp := recovery.Capture(cur, distEnd, regions, func(r recovery.Region) []byte {
+		return c.HeapBytes(src, r.Off, r.Len)
+	})
+	s.registry().Counter(recovery.MetricCheckpoints).Inc()
+	return cp
+}
+
+// restoreCheckpoint writes the checkpointed regions into every member of
+// the (re-formed) group, re-establishing the barrier state the replay
+// resumes from.
+func (s *Session) restoreCheckpoint(cp *recovery.Checkpoint, g *cluster.Group) {
+	c := s.Cluster
+	for _, node := range g.Nodes() {
+		cp.Restore(func(r recovery.Region, data []byte) {
+			copy(c.HeapBytes(node, r.Off, r.Len), data)
+		})
+	}
+}
+
+// missingNodes lists the cluster nodes absent from the group members.
+func missingNodes(n int, members []int) []int {
+	in := make([]bool, n)
+	for _, m := range members {
+		in[m] = true
+	}
+	var out []int
+	for node := 0; node < n; node++ {
+		if !in[node] {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
 
 // nodeBytes returns a slice of node r's raw memory as a byte-granular
 // region.

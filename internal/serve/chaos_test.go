@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"cucc/internal/recovery"
 	"cucc/internal/transport"
 )
 
@@ -20,6 +21,9 @@ import (
 
 // chaosCRCs runs the deterministic VecAdd source job n times against a
 // server with the given fault config and returns the per-job responses.
+// Recovery is explicitly disabled: these tests pin the pre-recovery
+// contract (faults either absorbed or surfaced as clean errors); the
+// recovery-enabled serving path has its own test below.
 func chaosResponses(t *testing.T, fc *transport.FaultConfig, n int) []*Response {
 	t.Helper()
 	srv := NewServer(Config{
@@ -28,6 +32,7 @@ func chaosResponses(t *testing.T, fc *transport.FaultConfig, n int) []*Response 
 		Workers:     1,
 		RecvTimeout: 5 * time.Second,
 		Fault:       fc,
+		Recovery:    &recovery.Policy{},
 	})
 	defer srv.Drain()
 	out := make([]*Response, n)
@@ -112,5 +117,61 @@ func TestChaosLossyFaults(t *testing.T) {
 	}
 	if errCount == 0 {
 		t.Error("lossy schedule produced no failures; raise Corrupt to exercise the error path")
+	}
+}
+
+// TestChaosRankLossRecovered drives the recovery-enabled serving path (the
+// default policy) with a deterministic rank kill inside every job's
+// cluster: jobs must complete StatusOK with checksums bitwise identical to
+// a fault-free server's, and the per-job counters must show the restore
+// actually happened rather than a lucky fault-free schedule.
+func TestChaosRankLossRecovered(t *testing.T) {
+	runWith := func(fc *transport.FaultConfig) *Response {
+		srv := NewServer(Config{
+			Executors:   1,
+			Workers:     1,
+			RecvTimeout: 5 * time.Second,
+			Fault:       fc,
+		})
+		defer srv.Drain()
+		// A 16-block grid so the partition distributes blocks (the 4-block
+		// quickstart shape degenerates to callbacks-only on 4 nodes, which
+		// never touches the transport and so never reaches the kill).
+		req := &Request{
+			Tenant: "recover",
+			Source: vecAddSrc,
+			Kernel: "vecadd",
+			GridX:  16, BlockX: 64,
+			Args: []ArgSpec{
+				{Kind: "buf", Elem: "f32", Count: 1024},
+				{Kind: "buf", Elem: "f32", Count: 1024, Ramp: true},
+				{Kind: "buf", Elem: "f32", Count: 1024, Fill: 2},
+				{Kind: "int", Int: 1024},
+			},
+			Nodes: 4,
+		}
+		return srv.Submit(req)
+	}
+	clean := runWith(nil)
+	if clean.Status != StatusOK {
+		t.Fatalf("fault-free job: status %q err %q", clean.Status, clean.Err)
+	}
+	got := runWith(&transport.FaultConfig{Seed: 1, KillRank: 1, KillAtOp: 2})
+	if got.Status != StatusOK {
+		t.Fatalf("rank loss must be recovered by the serving layer, got %q err %q", got.Status, got.Err)
+	}
+	if n := got.Counters[recovery.MetricRestores]; n < 1 {
+		t.Fatalf("%s = %d, want >= 1 (recovery path not exercised)", recovery.MetricRestores, n)
+	}
+	if n := got.Counters[recovery.MetricRejoins]; n < 1 {
+		t.Errorf("%s = %d, want >= 1", recovery.MetricRejoins, n)
+	}
+	if len(got.BufCRCs) != len(clean.BufCRCs) {
+		t.Fatalf("CRC count %d, want %d", len(got.BufCRCs), len(clean.BufCRCs))
+	}
+	for i := range clean.BufCRCs {
+		if got.BufCRCs[i] != clean.BufCRCs[i] {
+			t.Errorf("buffer %d CRC %08x differs from fault-free %08x", i, got.BufCRCs[i], clean.BufCRCs[i])
+		}
 	}
 }

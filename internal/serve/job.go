@@ -119,6 +119,7 @@ func (s *Server) runJob(j *job) *Response {
 		RecvTimeout:     s.cfg.RecvTimeout,
 		Fault:           s.cfg.Fault,
 		Metrics:         jobReg,
+		Recovery:        *s.cfg.Recovery,
 	})
 	if err != nil {
 		return fail(StatusError, err.Error())

@@ -108,6 +108,9 @@ type Response struct {
 	// RetryAfterMs accompanies StatusRejected: the backpressure hint,
 	// derived from the observed service rate and queue depth.
 	RetryAfterMs int `json:"retry_after_ms,omitempty"`
+	// Queued accompanies StatusRejected: the admission queue depth at
+	// rejection time, so clients see the backlog behind the hint.
+	Queued int `json:"queued,omitempty"`
 
 	// QueueMs / RunMs split the job's wall time.
 	QueueMs float64 `json:"queue_ms,omitempty"`

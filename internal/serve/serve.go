@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cucc/internal/metrics"
+	"cucc/internal/recovery"
 	"cucc/internal/transport"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// fresh one.  Per-job registries are always isolated and merged into
 	// this one at job completion.
 	Metrics *metrics.Registry
+	// Recovery is the elastic fault-recovery policy applied to every job's
+	// cluster.  nil selects the enabled default — a serving layer should
+	// survive a rank loss rather than fail the job; point at a zero
+	// recovery.Policy to disable.
+	Recovery *recovery.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.New()
+	}
+	if c.Recovery == nil {
+		c.Recovery = &recovery.Policy{Enabled: true}
 	}
 	return c
 }
@@ -237,12 +246,14 @@ func (s *Server) Submit(req *Request) *Response {
 	}
 	if s.queued >= s.cfg.QueueCap {
 		retry := s.retryAfterLocked()
+		queued := s.queued
 		s.mu.Unlock()
 		s.reg.Counter(MetricJobsRejected).Inc()
 		return &Response{
 			ID: req.ID, Status: StatusRejected,
-			Err:          fmt.Sprintf("admission queue full (%d queued)", s.cfg.QueueCap),
+			Err:          fmt.Sprintf("admission queue full (%d queued)", queued),
 			RetryAfterMs: retry,
+			Queued:       queued,
 		}
 	}
 	s.nextJobID++
@@ -388,6 +399,13 @@ func (s *Server) finishLocked(j *job, resp *Response) {
 			delete(s.jobStates, s.doneStates[0])
 			s.doneStates = s.doneStates[1:]
 		}
+	}
+	// Only completed jobs feed the EWMA.  Failures finish fast (compile
+	// errors, validation, aborts), and folding their near-zero run times in
+	// used to collapse the retry-after hint during a failure burst — exactly
+	// when honest backpressure matters most.
+	if resp.Status != StatusOK {
+		return
 	}
 	run := resp.RunMs / 1e3
 	if run > 0 {

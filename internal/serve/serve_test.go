@@ -470,3 +470,115 @@ func TestJobsPage(t *testing.T) {
 		t.Errorf("/metrics page missing server counters:\n%s", rr.Body.String())
 	}
 }
+
+// TestEWMAIgnoresFailedJobs pins the retry-after regression: failed jobs
+// finish near-instantly, and folding their run times into the service-rate
+// EWMA used to collapse the backpressure hint exactly during failure
+// bursts.  Only StatusOK jobs may move the EWMA.
+func TestEWMAIgnoresFailedJobs(t *testing.T) {
+	srv := NewServer(Config{Executors: 2, Nodes: 1, Workers: 1})
+	defer srv.Drain()
+
+	srv.mu.Lock()
+	srv.lastRunSecs = 0.5
+	srv.finishLocked(&job{id: 1000}, &Response{Status: StatusError, RunMs: 1})
+	srv.finishLocked(&job{id: 1001}, &Response{Status: StatusRejected, RunMs: 1})
+	if srv.lastRunSecs != 0.5 {
+		t.Errorf("EWMA moved on non-OK jobs: %g, want 0.5", srv.lastRunSecs)
+	}
+	srv.finishLocked(&job{id: 1002}, &Response{Status: StatusOK, RunMs: 1000})
+	want := 0.8*0.5 + 0.2*1.0
+	if diff := srv.lastRunSecs - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("EWMA after OK job = %g, want %g", srv.lastRunSecs, want)
+	}
+	srv.mu.Unlock()
+
+	// End to end: a burst of fast-failing jobs must leave the EWMA alone.
+	srv.mu.Lock()
+	srv.lastRunSecs = 2.0
+	srv.mu.Unlock()
+	for i := 0; i < 5; i++ {
+		if resp := srv.Submit(&Request{Tenant: "burst", Program: "NoSuchProgram"}); resp.Status != StatusError {
+			t.Fatalf("expected failing job, got %q", resp.Status)
+		}
+	}
+	srv.mu.Lock()
+	got := srv.lastRunSecs
+	srv.mu.Unlock()
+	if got != 2.0 {
+		t.Errorf("EWMA after failure burst = %g, want 2.0 (failures must not feed it)", got)
+	}
+}
+
+// TestRetryAfterHintFormula pins the published backpressure formula: the
+// hint is the time for the executors to work the present backlog off at
+// the observed service rate, and the rejection reports the backlog depth.
+func TestRetryAfterHintFormula(t *testing.T) {
+	srv := NewServer(Config{Executors: 2, Nodes: 1, Workers: 1})
+	defer srv.Drain()
+	srv.mu.Lock()
+	srv.lastRunSecs = 2.0
+	srv.queued = 5
+	want := int(2.0 * float64(5+1) / 2.0 * 1e3)
+	got := srv.retryAfterLocked()
+	srv.queued = 0
+	srv.mu.Unlock()
+	if got != want {
+		t.Errorf("retryAfterLocked = %d, want %d", got, want)
+	}
+
+	// The queue-full rejection carries both the hint and the depth, and
+	// /metrics exports the depth gauge.
+	g := installGate()
+	defer removeGate()
+	srvQ := NewServer(Config{Executors: 1, Nodes: 1, Workers: 1, QueueCap: 1})
+	defer func() {
+		srvQ.Drain()
+		removeGate()
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); srvQ.Submit(&Request{Tenant: "a", Program: "VecAdd", Nodes: 1}) }()
+	<-g.started
+	wg.Add(1)
+	go func() { defer wg.Done(); srvQ.Submit(&Request{Tenant: "a", Program: "VecAdd", Nodes: 1}) }()
+	deadline := time.After(5 * time.Second)
+	for {
+		srvQ.mu.Lock()
+		q := srvQ.queued
+		srvQ.mu.Unlock()
+		if q == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	resp := srvQ.Submit(&Request{Tenant: "a", Program: "VecAdd", Nodes: 1})
+	if resp.Status != StatusRejected {
+		t.Fatalf("over-admission: status %q, want rejected", resp.Status)
+	}
+	if resp.Queued != 1 {
+		t.Errorf("rejection Queued = %d, want 1", resp.Queued)
+	}
+	if resp.RetryAfterMs <= 0 {
+		t.Errorf("rejection RetryAfterMs = %d, want > 0", resp.RetryAfterMs)
+	}
+	rr := httptest.NewRecorder()
+	srvQ.HTTPMux().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "serve.queue.depth") {
+		t.Errorf("/metrics missing serve.queue.depth gauge:\n%s", rr.Body.String())
+	}
+	g.release <- struct{}{}
+	for i := 0; i < 1; i++ {
+		select {
+		case <-g.started:
+			g.release <- struct{}{}
+		case <-time.After(10 * time.Second):
+			t.Fatal("backlog never drained")
+		}
+	}
+	wg.Wait()
+}

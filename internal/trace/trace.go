@@ -31,6 +31,11 @@ const (
 	// PhaseTimeout marks a launch that failed because a transport
 	// receive deadline expired (a peer stopped participating).
 	PhaseTimeout = "recv-timeout"
+	// PhaseRecovery marks an elastic-recovery restore: a rank loss was
+	// classified, a checkpoint restored, and the launch replayed over the
+	// surviving subgroup; Detail carries the cursor, lost nodes, and the
+	// surviving rank count.
+	PhaseRecovery = "recovery"
 )
 
 // Event is one timeline span in simulated time.

@@ -208,6 +208,36 @@ func TestConformanceAbortUnblocks(t *testing.T) {
 	})
 }
 
+// TestConformanceAbortCausePropagation: the cause a failing rank aborts
+// with keeps its error identity on every surviving rank — the error a
+// survivor's receive reports must errors.Is-match both ErrAborted and the
+// originating cause.  Recovery's failure classification unwraps the abort a
+// survivor observed to tell crashed ranks from abort victims, so a cause
+// flattened to a string (%v instead of %w anywhere on the path) breaks it.
+func TestConformanceAbortCausePropagation(t *testing.T) {
+	cause := errors.New("simulated rank failure")
+	forEachTransport(t, 3, func(t *testing.T, net Network) {
+		errs := ranksErr(3, net.Conn, func(c Conn) error {
+			if c.Rank() == 1 {
+				// Abort the way cluster.RunParallel does on a rank error:
+				// the rank's failure wrapped with node attribution.
+				c.Abort(fmt.Errorf("node 1: %w", cause))
+				return nil
+			}
+			_, err := c.RecvTimeout(1, 7, 30*time.Second)
+			return err
+		})
+		for _, r := range []int{0, 2} {
+			if !errors.Is(errs[r], ErrAborted) {
+				t.Errorf("rank %d error = %v, want ErrAborted", r, errs[r])
+			}
+			if !errors.Is(errs[r], cause) {
+				t.Errorf("rank %d abort flattened the cause: %v", r, errs[r])
+			}
+		}
+	})
+}
+
 // TestInprocSendToClosedPeer: the in-process transport reports an error
 // when the destination mailbox is closed (previously the message silently
 // vanished).

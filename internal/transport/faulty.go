@@ -21,6 +21,10 @@ var (
 	ErrCorrupt = errors.New("transport: frame corrupted")
 	// ErrDropped is returned when a sequence gap proves frames were lost.
 	ErrDropped = errors.New("transport: frame(s) dropped")
+	// ErrKilled is returned by every transport operation of a rank that the
+	// kill-rank-at-step fault has crashed.  Unlike the stochastic faults it
+	// is terminal, not transient: the rank never communicates again.
+	ErrKilled = errors.New("transport: rank killed (injected)")
 )
 
 // FaultConfig parameterizes the fault-injecting transport decorator.  All
@@ -55,11 +59,29 @@ type FaultConfig struct {
 	// RetryBackoff is the initial backoff, doubling per retry
 	// (default 50µs).
 	RetryBackoff time.Duration
+	// KillRank and KillAtOp arm the deterministic kill-rank-at-step fault
+	// (active when KillAtOp > 0): rank KillRank's KillAtOp-th transport
+	// operation — sends and receives counted together, per endpoint — and
+	// every operation after it fail with ErrKilled.  A rank's operation
+	// order is its own program order, so a given (KillRank, KillAtOp)
+	// crashes at the same point of the run regardless of how the other
+	// ranks' goroutines interleave.
+	KillRank int
+	KillAtOp int
+}
+
+// WithoutKill returns a copy of the config with the kill fault disarmed.
+// The kill models a single crash event; recovery rebuilds networks for the
+// surviving subgroup under the same stochastic fault regime, and re-arming
+// the kill there would deterministically crash an innocent survivor.
+func (cfg FaultConfig) WithoutKill() FaultConfig {
+	cfg.KillRank, cfg.KillAtOp = 0, 0
+	return cfg
 }
 
 // FaultStats counts the faults a FaultyNetwork injected.
 type FaultStats struct {
-	Drops, Delays, Duplicates, Corruptions, SendFailures, Retries int64
+	Drops, Delays, Duplicates, Corruptions, SendFailures, Retries, Kills int64
 }
 
 // FaultyNetwork decorates a Network with seeded fault injection.  Payloads
@@ -73,7 +95,7 @@ type FaultyNetwork struct {
 	cfg   FaultConfig
 	conns []*faultyConn
 
-	drops, delays, dups, corrupts, sendFails, retries atomic.Int64
+	drops, delays, dups, corrupts, sendFails, retries, kills atomic.Int64
 }
 
 // NewFaulty wraps a network with fault injection.
@@ -120,6 +142,7 @@ func (f *FaultyNetwork) Stats() FaultStats {
 		Corruptions:  f.corrupts.Load(),
 		SendFailures: f.sendFails.Load(),
 		Retries:      f.retries.Load(),
+		Kills:        f.kills.Load(),
 	}
 }
 
@@ -156,9 +179,29 @@ type faultyConn struct {
 	net   *FaultyNetwork
 	inner Conn
 
+	ops atomic.Int64 // transport operations issued, for the kill fault
+
 	mu   sync.Mutex
 	send map[streamKey]*sendStream
 	recv map[streamKey]*recvStream
+}
+
+// killCheck counts this endpoint's transport operations and, once the
+// configured kill point is reached on the victim rank, fails this and every
+// later operation with ErrKilled.  The crash itself is counted once.
+func (c *faultyConn) killCheck() error {
+	cfg := &c.net.cfg
+	if cfg.KillAtOp <= 0 || c.Rank() != cfg.KillRank {
+		return nil
+	}
+	n := c.ops.Add(1)
+	if n < int64(cfg.KillAtOp) {
+		return nil
+	}
+	if n == int64(cfg.KillAtOp) {
+		c.net.kills.Add(1)
+	}
+	return fmt.Errorf("transport: rank %d crashed at op %d: %w", c.Rank(), cfg.KillAtOp, ErrKilled)
 }
 
 func (c *faultyConn) Rank() int                      { return c.inner.Rank() }
@@ -194,6 +237,9 @@ func (c *faultyConn) recvStream(from, tag int) *recvStream {
 func (c *faultyConn) Send(to, tag int, data []byte) error {
 	if to < 0 || to >= c.Size() {
 		return c.inner.Send(to, tag, data) // let the inner transport report it
+	}
+	if err := c.killCheck(); err != nil {
+		return err
 	}
 	cfg := &c.net.cfg
 	s := c.sendStream(to, tag)
@@ -257,6 +303,9 @@ func (c *faultyConn) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, 
 func (c *faultyConn) recvFrame(from, tag int, next func() ([]byte, error)) ([]byte, error) {
 	if from < 0 || from >= c.Size() {
 		return next() // let the inner transport report it
+	}
+	if err := c.killCheck(); err != nil {
+		return nil, err
 	}
 	s := c.recvStream(from, tag)
 	s.mu.Lock()

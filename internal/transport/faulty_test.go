@@ -238,3 +238,52 @@ func TestFaultyOverTCP(t *testing.T) {
 		return nil
 	})
 }
+
+// TestFaultyKillRankAtOp: the kill fault crashes exactly the configured
+// rank at exactly the configured operation index, stays terminal, never
+// touches other ranks, and a WithoutKill copy disarms it.
+func TestFaultyKillRankAtOp(t *testing.T) {
+	net := NewFaulty(NewInproc(2), FaultConfig{Seed: 3, KillRank: 1, KillAtOp: 3})
+	defer net.Close()
+	victim, peer := net.Conn(1), net.Conn(0)
+
+	// Ops 1 and 2 on the victim succeed.
+	for i := 0; i < 2; i++ {
+		if err := victim.Send(0, 1, []byte{byte(i)}); err != nil {
+			t.Fatalf("op %d before the kill point failed: %v", i+1, err)
+		}
+	}
+	// Op 3 crashes, and the crash is sticky across both send and recv.
+	if err := victim.Send(0, 1, []byte("x")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("op at kill point: err = %v, want ErrKilled", err)
+	}
+	if _, err := victim.RecvTimeout(0, 1, time.Second); !errors.Is(err, ErrKilled) {
+		t.Fatalf("recv after kill: err = %v, want ErrKilled", err)
+	}
+	if got := net.Stats().Kills; got != 1 {
+		t.Fatalf("Stats().Kills = %d, want 1 (crash counted once)", got)
+	}
+
+	// The surviving rank is unaffected: it still drains the two frames the
+	// victim sent before crashing, and its own sends succeed.
+	for i := 0; i < 2; i++ {
+		b, err := peer.RecvTimeout(1, 1, time.Second)
+		if err != nil || !bytes.Equal(b, []byte{byte(i)}) {
+			t.Fatalf("survivor recv %d = %q, %v", i, b, err)
+		}
+	}
+	if err := peer.Send(1, 1, []byte("ok")); err != nil {
+		t.Fatalf("survivor send failed: %v", err)
+	}
+
+	// WithoutKill disarms the fault and keeps everything else.
+	cfg := FaultConfig{Seed: 3, Drop: 0.5, KillRank: 1, KillAtOp: 1}.WithoutKill()
+	if cfg.KillAtOp != 0 || cfg.Drop != 0.5 || cfg.Seed != 3 {
+		t.Fatalf("WithoutKill mangled the config: %+v", cfg)
+	}
+	net2 := NewFaulty(NewInproc(2), FaultConfig{Seed: 3, KillRank: 1}.WithoutKill())
+	defer net2.Close()
+	if err := net2.Conn(1).Send(0, 1, []byte("alive")); err != nil {
+		t.Fatalf("disarmed kill still fired: %v", err)
+	}
+}

@@ -47,6 +47,7 @@ func NewTCP(n int) (*TCPNetwork, error) {
 	tn := &TCPNetwork{conns: make([]*tcpConn, n)}
 	for i := 0; i < n; i++ {
 		c := &tcpConn{
+			net:      tn,
 			rank:     i,
 			size:     n,
 			addrs:    addrs,
@@ -93,6 +94,7 @@ type tcpPeer struct {
 }
 
 type tcpConn struct {
+	net      *TCPNetwork
 	rank     int
 	size     int
 	addrs    []string
@@ -215,12 +217,15 @@ func (c *tcpConn) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, err
 	return c.box.get(from, tag, timeout)
 }
 
-// Abort cancels the job: the local mailbox is poisoned directly and every
-// peer is sent an abort control frame (best effort) so their pending
-// receives unblock too.
+// Abort cancels the job: every in-process mailbox is poisoned with the
+// error value itself — so the cause keeps its identity for errors.Is/As on
+// surviving ranks — and every peer is additionally sent an abort control
+// frame (best effort), the path a multi-process deployment would rely on.
+// The wire copy necessarily flattens the cause to a string; its arrival is
+// absorbed by the mailbox's first-cause-wins abort.
 func (c *tcpConn) Abort(cause error) {
 	err := abortError(cause)
-	c.box.abortWith(err)
+	c.net.Abort(err)
 	msg := []byte(err.Error())
 	for to := 0; to < c.size; to++ {
 		if to == c.rank {

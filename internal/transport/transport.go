@@ -77,6 +77,9 @@ type Network interface {
 }
 
 // abortError wraps a cause into an ErrAborted-matching error, idempotently.
+// The cause is wrapped with %w, not flattened with %v: survivors classify a
+// peer failure by unwrapping the abort they observed (errors.Is/As on the
+// original cause), so its identity must survive propagation.
 func abortError(cause error) error {
 	if cause == nil {
 		return ErrAborted
@@ -84,7 +87,7 @@ func abortError(cause error) error {
 	if errors.Is(cause, ErrAborted) {
 		return cause
 	}
-	return fmt.Errorf("%w: %v", ErrAborted, cause)
+	return fmt.Errorf("%w: %w", ErrAborted, cause)
 }
 
 type msgKey struct {
