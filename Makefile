@@ -1,6 +1,6 @@
 # Tier-1 gate: everything `make check` runs must stay green.  CI and
 # pre-merge checks use this target; see ROADMAP.md.
-.PHONY: check build vet test race chaos bench prof bench-compare
+.PHONY: check build vet test race chaos bench prof bench-compare slo
 
 check: build vet test race
 
@@ -16,7 +16,7 @@ test:
 	go test -timeout 120s ./...
 
 race:
-	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/cluster/ ./internal/comm/ ./internal/csched/ ./internal/transport/ ./internal/metrics/ ./internal/trace/ ./internal/prof/ ./internal/recovery/ ./internal/serve/ ./internal/throughput/
+	go test -race -timeout 120s ./internal/interp/ ./internal/vm/ ./internal/core/ ./internal/cluster/ ./internal/comm/ ./internal/csched/ ./internal/transport/ ./internal/metrics/ ./internal/trace/ ./internal/prof/ ./internal/recovery/ ./internal/serve/ ./internal/throughput/ ./internal/obs/
 
 # Fault-injection suite under the race detector: seeded transport faults
 # (benign, lossy, and the deterministic rank kill) across the cluster chaos
@@ -24,6 +24,12 @@ race:
 # Seeds are fixed in the test code, so this is deterministic per build.
 chaos:
 	go test -race -timeout 300s -run 'Chaos' ./internal/suites/ ./internal/serve/
+
+# SLO smoke: a short self-hosted cuccload sweep with the journal and a
+# default objective on, asserting the /slo page renders in both formats and
+# every tenant's error-budget burn comes out finite.
+slo:
+	go run ./cmd/cuccload -rates 40 -jobs 24 -slo-check
 
 # Run-and-diagnose the evaluation suite: critical path, stragglers, and
 # what-if estimates per program, plus the VM opcode profile of one kernel.

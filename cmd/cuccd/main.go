@@ -8,11 +8,17 @@
 // Usage:
 //
 //	cuccd -addr :9091                          # serve jobs on :9091
-//	cuccd -addr :9091 -http localhost:9092     # plus /metrics and /jobs
+//	cuccd -addr :9091 -http localhost:9092     # plus the operational pages
 //	cuccd -executors 4 -queue-cap 128          # wider admission
+//	cuccd -slo tenant-a:250:0.99               # per-tenant latency SLO
+//	cuccd -postmortem-dir /var/tmp/cucc        # flight-recorder dumps
 //
-// SIGINT/SIGTERM drains gracefully: in-flight jobs finish, queued jobs
-// are rejected, then the process exits.
+// The HTTP address serves /metrics, /jobs, /events (the structured event
+// journal), /slo (per-tenant attainment and error-budget burn plus the
+// sampled qps/bytes/queue/restore series), and /healthz (503 once
+// draining).  SIGINT/SIGTERM drains gracefully: in-flight jobs finish,
+// queued jobs are rejected, then the process exits; /healthz flips to 503
+// the moment the drain begins.
 package main
 
 import (
@@ -21,16 +27,46 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"cucc/internal/obs"
 	"cucc/internal/recovery"
 	"cucc/internal/serve"
 )
 
+// parseSLOSpec parses the -slo flag: a comma-separated list of
+// tenant:latency_ms[:target] entries, e.g. "tenant-a:250:0.99,tenant-b:500".
+func parseSLOSpec(spec string) (map[string]obs.Objective, error) {
+	out := map[string]obs.Objective{}
+	if spec == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 3 || parts[0] == "" {
+			return nil, fmt.Errorf("bad -slo entry %q (want tenant:latency_ms[:target])", entry)
+		}
+		lat, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -slo latency in %q: %v", entry, err)
+		}
+		o := obs.Objective{LatencyMs: lat}
+		if len(parts) == 3 {
+			if o.Target, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, fmt.Errorf("bad -slo target in %q: %v", entry, err)
+			}
+		}
+		out[parts[0]] = o
+	}
+	return out, nil
+}
+
 func main() {
 	addr := flag.String("addr", "localhost:9091", "TCP address to serve the job protocol on")
-	httpAddr := flag.String("http", "", "serve /metrics and /jobs on this HTTP address (empty = disabled)")
+	httpAddr := flag.String("http", "", "serve /metrics, /jobs, /events, /slo, /healthz on this HTTP address (empty = disabled)")
 	queueCap := flag.Int("queue-cap", 64, "admission queue bound; submissions past it are rejected with a retry-after hint")
 	executors := flag.Int("executors", 2, "jobs run concurrently")
 	nodes := flag.Int("nodes", 4, "default job cluster size")
@@ -40,7 +76,28 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-job deadline (queue wait + execution)")
 	traceCap := flag.Int("trace-cap", 4096, "per-job trace capture bound (events)")
 	recover := flag.Bool("recover", true, "elastic fault recovery for every job's cluster: on a rank loss, restore the barrier checkpoint and replay over the survivors instead of failing the job")
+	journalCap := flag.Int("journal-cap", obs.DefaultJournalCap, "structured event journal retention (events; 0 = default, negative = disabled)")
+	sloSpec := flag.String("slo", "", "per-tenant SLOs as tenant:latency_ms[:target],... (e.g. tenant-a:250:0.99)")
+	sloDefault := flag.Float64("slo-default", 0, "default latency objective in ms for tenants without an -slo entry (0 = success-only SLO)")
+	sampleEvery := flag.Duration("sample-every", 5*time.Second, "metrics sampling interval for the /slo time series (0 = disabled)")
+	postmortemDir := flag.String("postmortem-dir", "", "write flight-recorder dumps (postmortem-job<id>.json) here on job failure or recovery")
 	flag.Parse()
+
+	tenantSLOs, err := parseSLOSpec(*sloSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuccd:", err)
+		os.Exit(2)
+	}
+	var journal *obs.Journal
+	if *journalCap >= 0 {
+		journal = obs.NewJournal(*journalCap)
+	}
+	if *postmortemDir != "" {
+		if err := os.MkdirAll(*postmortemDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "cuccd:", err)
+			os.Exit(2)
+		}
+	}
 
 	srv := serve.NewServer(serve.Config{
 		QueueCap:        *queueCap,
@@ -52,6 +109,13 @@ func main() {
 		DefaultDeadline: *deadline,
 		TraceCap:        *traceCap,
 		Recovery:        &recovery.Policy{Enabled: *recover},
+		Journal:         journal,
+		SLO: obs.SLOConfig{
+			Default: obs.Objective{LatencyMs: *sloDefault},
+			Tenants: tenantSLOs,
+		},
+		SampleEvery:   *sampleEvery,
+		PostmortemDir: *postmortemDir,
 	})
 
 	bound, err := srv.Listen(*addr)
@@ -69,13 +133,15 @@ func main() {
 				fmt.Fprintln(os.Stderr, "cuccd: http:", err)
 			}
 		}()
-		fmt.Printf("cuccd: /metrics and /jobs on http://%s\n", *httpAddr)
+		fmt.Printf("cuccd: /metrics /jobs /events /slo /healthz on http://%s\n", *httpAddr)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	got := <-sig
 	fmt.Printf("cuccd: %s, draining\n", got)
+	// Drain flips /healthz to 503 immediately; the HTTP endpoint stays up
+	// through the drain so load balancers and operators can watch it land.
 	srv.Drain()
 	if httpSrv != nil {
 		httpSrv.Close()

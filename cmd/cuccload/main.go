@@ -9,16 +9,30 @@
 //	cuccload -addr localhost:9091 -rates 50,200          # drive a running cuccd
 //	cuccload -rates 25,100,400 -jobs 200                 # self-hosted server on loopback
 //	cuccload -mix tenant-a:VecAdd:3,tenant-b:FIR:1       # weighted tenant mix
+//	cuccload -rates 40 -jobs 24 -slo-check               # SLO smoke: fetch /slo,
+//	                                                     # assert finite budgets
+//
+// Each sweep row reports the exact sample quantiles (p50/p99/p999) plus
+// the bucket-resolution histogram quantiles (hp50/hp90/hp99 — upper bound
+// of the log2 bucket, the same estimator the /slo page uses).  With
+// -slo-check the run self-hosts a journaled server, serves its /slo page
+// on loopback, and exits nonzero unless every tenant's error-budget burn
+// is finite and the page renders in both text and JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"cucc/internal/obs"
 	"cucc/internal/serve"
 	"cucc/internal/throughput"
 )
@@ -33,6 +47,9 @@ func main() {
 	executors := flag.Int("executors", 4, "self-hosted server: jobs run concurrently")
 	queueCap := flag.Int("queue-cap", 32, "self-hosted server: admission queue bound")
 	nodes := flag.Int("nodes", 2, "self-hosted server: default job cluster size")
+	sloCheck := flag.Bool("slo-check", false, "self-host with a journal and SLOs, fetch /slo after the sweep, and fail unless it renders with finite error budgets")
+	sloLatencyMs := flag.Float64("slo-latency-ms", 250, "latency objective applied to every tenant under -slo-check")
+	sloTarget := flag.Float64("slo-target", 0.99, "attainment target under -slo-check")
 	flag.Parse()
 
 	rates, err := parseRates(*ratesFlag)
@@ -45,15 +62,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *sloCheck && *addr != "" {
+		fmt.Fprintln(os.Stderr, "cuccload: -slo-check needs the self-hosted server (drop -addr)")
+		os.Exit(2)
+	}
 
 	target := *addr
+	var httpBase string
 	if target == "" {
-		srv := serve.NewServer(serve.Config{
+		cfg := serve.Config{
 			QueueCap:  *queueCap,
 			Executors: *executors,
 			Nodes:     *nodes,
 			Workers:   1,
-		})
+		}
+		if *sloCheck {
+			cfg.Journal = obs.NewJournal(0)
+			cfg.SLO = obs.SLOConfig{Default: obs.Objective{LatencyMs: *sloLatencyMs, Target: *sloTarget}}
+			cfg.SampleEvery = 500 * time.Millisecond
+		}
+		srv := serve.NewServer(cfg)
 		bound, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -63,6 +91,17 @@ func main() {
 		target = bound
 		fmt.Printf("cuccload: self-hosted cuccd on %s (queue %d, executors %d)\n",
 			bound, *queueCap, *executors)
+		if *sloCheck {
+			httpSrv := &http.Server{Handler: srv.HTTPMux()}
+			hb, err := serveHTTP(httpSrv)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer httpSrv.Close()
+			httpBase = hb
+			fmt.Printf("cuccload: /slo and /events on http://%s\n", hb)
+		}
 	}
 
 	client, err := serve.Dial(target)
@@ -80,13 +119,81 @@ func main() {
 	}
 	results := throughput.SweepLoad(serve.ClientSubmitter{Client: client}, base, rates)
 
-	fmt.Printf("%8s %8s %10s %10s %10s %10s %8s %8s\n",
-		"rate/s", "offered", "qps", "p50 ms", "p99 ms", "p999 ms", "reject", "errors")
+	fmt.Printf("%8s %8s %10s %10s %10s %10s %9s %9s %9s %8s %8s\n",
+		"rate/s", "offered", "qps", "p50 ms", "p99 ms", "p999 ms",
+		"hp50 ms", "hp90 ms", "hp99 ms", "reject", "errors")
 	for _, r := range results {
-		fmt.Printf("%8.0f %8d %10.1f %10.2f %10.2f %10.2f %7.1f%% %8d\n",
+		fmt.Printf("%8.0f %8d %10.1f %10.2f %10.2f %10.2f %9.2f %9.2f %9.2f %7.1f%% %8d\n",
 			r.RatePerSec, r.Offered, r.QPS, r.P50Ms, r.P99Ms, r.P999Ms,
+			r.Latency.P50()*1e3, r.Latency.P90()*1e3, r.Latency.P99()*1e3,
 			r.RejectRate*100, r.Errors)
 	}
+
+	if *sloCheck {
+		if err := checkSLO(httpBase); err != nil {
+			fmt.Fprintln(os.Stderr, "cuccload: slo check FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("cuccload: slo check ok")
+	}
+}
+
+// serveHTTP binds a loopback listener for the observability mux and serves
+// it in the background, returning the bound address.
+func serveHTTP(srv *http.Server) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// checkSLO is the `make slo` smoke assertion: the /slo page renders as
+// text, parses as JSON, lists every tenant that saw traffic, and reports a
+// finite, non-negative error-budget burn for each.
+func checkSLO(base string) error {
+	text, err := httpGet("http://" + base + "/slo")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(text), "tenant") {
+		return fmt.Errorf("/slo page did not render a tenant table:\n%s", text)
+	}
+	body, err := httpGet("http://" + base + "/slo?format=json")
+	if err != nil {
+		return err
+	}
+	rows, err := obs.ParseSLO(body)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("/slo reported no tenants after the sweep")
+	}
+	for _, row := range rows {
+		if math.IsInf(row.BudgetBurn, 0) || math.IsNaN(row.BudgetBurn) || row.BudgetBurn < 0 {
+			return fmt.Errorf("tenant %s: error-budget burn %v is not finite and non-negative", row.Tenant, row.BudgetBurn)
+		}
+		if row.Attainment < 0 || row.Attainment > 1 {
+			return fmt.Errorf("tenant %s: attainment %v outside [0,1]", row.Tenant, row.Attainment)
+		}
+		fmt.Printf("cuccload: slo %-12s attainment %6.2f%%  burn %.2f\n",
+			row.Tenant, row.Attainment*100, row.BudgetBurn)
+	}
+	return nil
+}
+
+func httpGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 func parseRates(s string) ([]float64, error) {

@@ -11,8 +11,12 @@
 //	cuccprof -prog FIR -nodes 4 -vmprofile           # also collect the VM opcode profile
 //	cuccprof -compare old.json new.json              # diff two cuccbench -json or metrics
 //	                                                 # snapshots; exit 1 on regressions
+//	cuccprof -postmortem postmortem-job7.json        # render a cuccd flight-recorder
+//	                                                 # dump as a failure timeline
 //
 // Exit codes: 0 clean, 1 regressions or failed runs, 2 usage / input errors.
+// A -postmortem dump that parses exits 0: the dump records an already-handled
+// failure or recovery, so rendering it is not itself a failure.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"cucc/internal/core"
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
+	"cucc/internal/obs"
 	"cucc/internal/prof"
 	"cucc/internal/simnet"
 	"cucc/internal/suites"
@@ -44,6 +49,7 @@ func main() {
 	vmProfile := flag.Bool("vmprofile", false, "collect the VM opcode profile during -prog/-suite (forces the IR path)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of the human table")
 	compare := flag.Bool("compare", false, "compare two report files (cuccbench -json or metrics snapshots): cuccprof -compare old.json new.json")
+	postmortem := flag.String("postmortem", "", "render a cuccd flight-recorder dump (postmortem-job<id>.json) as a failure timeline")
 	threshold := flag.Float64("threshold", 0.10, "fractional regression threshold for -compare (0.10 = 10%)")
 	traceOut := flag.String("trace-out", "", "with -prog/-suite: also write the recorded Chrome trace here")
 	allowTruncated := flag.Bool("allow-truncated", false, "analyze a -trace file even if its capped recorder dropped events (figures then cover only the retained window)")
@@ -56,6 +62,8 @@ func main() {
 			fatalf(2, "-compare needs exactly two files: cuccprof -compare old.json new.json")
 		}
 		os.Exit(runCompare(args[0], args[1], *threshold, *jsonOut))
+	case *postmortem != "":
+		os.Exit(runPostmortem(*postmortem, *jsonOut))
 	case *tracePath != "":
 		os.Exit(runTraceDiagnosis(*tracePath, *metricsPath, *jsonOut, *allowTruncated))
 	case *progName != "" || *suite:
@@ -294,6 +302,37 @@ func vmProfileTable(profiles []vm.KernelProfile) string {
 		}
 	}
 	return b.String()
+}
+
+// --- post-mortem mode ---
+
+// runPostmortem renders a flight-recorder dump written by cuccd: the job's
+// journal window as a failure timeline, the recovery/launch counters, and
+// the trace diagnosis over the retained trace window.  A dump that parses
+// exits 0 — it documents a failure the server already handled.
+func runPostmortem(path string, jsonOut bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	dump, err := obs.ParseDump(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cuccprof: %s: %v\n", path, err)
+		return 2
+	}
+	rep := prof.AnalyzePostmortem(dump)
+	if jsonOut {
+		raw, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Println(string(raw))
+	} else {
+		fmt.Print(rep.Table())
+	}
+	return 0
 }
 
 // --- compare mode ---

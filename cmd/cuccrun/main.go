@@ -88,12 +88,17 @@ func main() {
 		}()
 	}
 	if *metricsHTTP != "" {
-		addr, stop, err := metrics.Serve(*metricsHTTP, reg)
+		addr, stop, errc, err := metrics.Serve(*metricsHTTP, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer stop()
+		go func() {
+			for serr := range errc {
+				fmt.Fprintf(os.Stderr, "metrics endpoint: %v\n", serr)
+			}
+		}()
 		fmt.Printf("metrics served on http://%s/metrics\n", addr)
 	}
 

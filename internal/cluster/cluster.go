@@ -23,6 +23,7 @@ import (
 	"cucc/internal/kir"
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
+	"cucc/internal/obs"
 	"cucc/internal/recovery"
 	"cucc/internal/simnet"
 	"cucc/internal/transport"
@@ -83,6 +84,10 @@ type Config struct {
 	// are registered.  Nil falls back to metrics.Default(); when that is
 	// also nil, metrics are fully disabled and the transport is unwrapped.
 	Metrics *metrics.Registry
+	// Journal, when enabled, records cluster-level lifecycle events (abort,
+	// subgroup regroup) into the structured event journal.  The zero Scope
+	// is disabled and costs one nil check per event site.
+	Journal obs.Scope
 }
 
 // DefaultRecvTimeout is the process-wide default receive deadline applied
@@ -241,11 +246,15 @@ func (c *Cluster) Conn(r int) transport.Conn {
 // past the cancellation.
 func (c *Cluster) Abort(cause error) {
 	c.netMu.Lock()
-	if c.aborted == nil {
+	first := c.aborted == nil
+	if first {
 		c.aborted = cause
 	}
 	net, sub := c.network, c.sub
 	c.netMu.Unlock()
+	if first && c.cfg.Journal.On() {
+		c.cfg.Journal.Record(obs.EvAbort, -1, "", cause.Error())
+	}
 	net.Abort(cause)
 	if sub != nil {
 		sub.net.Abort(cause)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cucc/internal/obs"
 	"cucc/internal/transport"
 )
 
@@ -96,6 +97,9 @@ func (c *Cluster) AdoptSubgroup(nodes []int) (*Group, error) {
 	c.netMu.Unlock()
 	if old != nil && old.owned {
 		old.net.Close()
+	}
+	if c.cfg.Journal.On() {
+		c.cfg.Journal.Record(obs.EvRegroup, -1, "", fmt.Sprintf("adopted subgroup %v over fresh transport", nodes))
 	}
 	return g, nil
 }

@@ -25,6 +25,7 @@ import (
 	"cucc/internal/lang"
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
+	"cucc/internal/obs"
 	"cucc/internal/recovery"
 	"cucc/internal/trace"
 	"cucc/internal/vm"
@@ -265,6 +266,11 @@ type Session struct {
 	// Recording never changes a simulated figure or the computed data —
 	// the suites-level equivalence test enforces it.
 	Metrics *metrics.Registry
+	// Obs, when enabled, records launch-lifecycle events (launch phases,
+	// checkpoints, rank losses, restores, rejoins) into the structured
+	// event journal (see internal/obs).  The zero Scope is disabled; the
+	// same never-moves-a-figure invariant as Metrics applies.
+	Obs obs.Scope
 }
 
 // NewSession builds a session with default execution config.

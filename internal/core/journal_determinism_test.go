@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cucc/internal/interp"
+	"cucc/internal/kir"
+	"cucc/internal/obs"
+)
+
+// journalOneRun executes one multi-node launch with the event journal wired
+// and returns the exported journal.
+func journalOneRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	prog := MustCompile(workerScaleSrc)
+	c := newCluster(t, 3)
+	src := c.Alloc(kir.F32, 13*64)
+	dst := c.Alloc(kir.F32, 13*64)
+	vals := make([]float32, 13*64)
+	for i := range vals {
+		vals[i] = float32(i % 101)
+	}
+	if err := c.WriteAllF32(src, vals); err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(c, prog)
+	sess.Host.Workers = workers
+	j := obs.NewJournal(0)
+	sess.Obs = obs.Scope{J: j, Tenant: "det", Job: 1}
+	if _, err := sess.Launch(LaunchSpec{
+		Kernel: "scale",
+		Grid:   interp.Dim1(13),
+		Block:  interp.Dim1(64),
+		Args:   []Arg{BufArg(src), BufArg(dst), IntArg(13*64 - 5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := j.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestJournalDeterministicAcrossRuns: two identical multi-worker launches
+// must export byte-identical event journals — the journal analogue of
+// TestTraceDeterministicAcrossRuns.  This holds because events carry no
+// wall-clock timestamps (only the monotonic sequence number) and every
+// Detail string is a deterministic function of the run.
+func TestJournalDeterministicAcrossRuns(t *testing.T) {
+	first := journalOneRun(t, 4)
+	if !bytes.Contains(first, []byte(obs.EvLaunchPhase)) {
+		t.Fatalf("journal recorded no launch-phase events:\n%s", first)
+	}
+	for i := 0; i < 3; i++ {
+		if again := journalOneRun(t, 4); !bytes.Equal(first, again) {
+			t.Fatalf("run %d produced a different journal:\n%s\nvs\n%s", i+2, again, first)
+		}
+	}
+}

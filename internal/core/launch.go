@@ -16,6 +16,7 @@ import (
 	"cucc/internal/interp"
 	"cucc/internal/kir"
 	"cucc/internal/machine"
+	"cucc/internal/obs"
 	"cucc/internal/recovery"
 	"cucc/internal/transport"
 	"cucc/internal/vm"
@@ -65,6 +66,11 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 	stats = &Stats{Work: machine.BlockWork{}}
 	startClock := c.MaxClock()
 
+	if s.Obs.On() {
+		s.Obs.Record(obs.EvLaunchPhase, -1, st.kernel.Name,
+			fmt.Sprintf("start: blocks=%d nodes=%d distributed=%v", totalBlocks, n, distributable))
+	}
+
 	if !distributable {
 		s.registry().Counter(MetricLaunchesTrivial).Inc()
 		if err := s.runTrivial(st, stats); err != nil {
@@ -75,6 +81,9 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 			if err := s.verifyConsistency(st); err != nil {
 				return nil, err
 			}
+		}
+		if s.Obs.On() {
+			s.Obs.Record(obs.EvLaunchPhase, -1, st.kernel.Name, "trivial replicated execution complete")
 		}
 		return stats, nil
 	}
@@ -110,6 +119,9 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 	var cp *recovery.Checkpoint
 	if recEnabled {
 		cp = s.captureCheckpoint(recovery.CursorStart, 0, regions, g)
+		if s.Obs.On() {
+			s.Obs.RecordEvent(recovery.CheckpointEvent(st.kernel.Name, cp))
+		}
 	}
 
 	// Attempt loop: each iteration runs the three phases from the current
@@ -131,6 +143,9 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 		}
 		failed, ok := recovery.Classify(aerr)
 		surv := recovery.Survivors(g.Nodes(), failed)
+		if ok && s.Obs.On() {
+			s.Obs.RecordEvent(recovery.RankLossEvent(st.kernel.Name, failed, surv))
+		}
 		if !ok || restores >= pol.EffectiveMaxRestores() ||
 			len(surv) == 0 || len(surv) < pol.EffectiveMinRanks() {
 			s.emitFailure(st.kernel.Name, aerr)
@@ -154,6 +169,9 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 			Kernel: st.kernel.Name,
 			Detail: fmt.Sprintf("restore @%s: lost nodes %v, replaying over %d ranks",
 				cp.Cursor, failed, len(surv))})
+		if s.Obs.On() {
+			s.Obs.RecordEvent(recovery.RestoreEvent(st.kernel.Name, cp, len(surv)))
+		}
 	}
 
 	// Rank replacement: a crashed node was consistent at the last barrier
@@ -173,6 +191,9 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 			return nil, fmt.Errorf("core: rejoining after recovery: %w", err)
 		}
 		s.registry().Counter(recovery.MetricRejoins).Add(int64(len(stats.LostNodes)))
+		if s.Obs.On() {
+			s.Obs.RecordEvent(recovery.RejoinEvent(st.kernel.Name, stats.LostNodes))
+		}
 	}
 
 	stats.TotalSec = c.MaxClock() - startClock
@@ -180,6 +201,10 @@ func (s *Session) Launch(spec LaunchSpec) (stats *Stats, err error) {
 		if err := s.verifyConsistency(st); err != nil {
 			return nil, err
 		}
+	}
+	if s.Obs.On() {
+		s.Obs.Record(obs.EvLaunchPhase, -1, st.kernel.Name,
+			fmt.Sprintf("distributed execution complete: restores=%d", stats.Restores))
 	}
 	return stats, nil
 }

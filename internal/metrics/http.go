@@ -36,20 +36,29 @@ func (r *Registry) Publish(name string) {
 }
 
 // Serve starts an HTTP listener exposing the registry on /metrics and the
-// expvar variables on /debug/vars, returning the bound address and a stop
-// function.  This is the opt-in live-inspection endpoint behind the CLI
-// -metrics-http flag; errors after startup are ignored (the endpoint is
-// diagnostic, never load-bearing).
-func Serve(addr string, r *Registry) (string, func() error, error) {
+// expvar variables on /debug/vars, returning the bound address, a stop
+// function, and a channel surfacing any post-startup serve error.  This is
+// the opt-in live-inspection endpoint behind the CLI -metrics-http flag;
+// the endpoint is diagnostic, never load-bearing, so callers typically
+// just log what the channel delivers.  The channel is buffered and closed
+// when the serve loop exits; a clean stop delivers nothing (ErrServerClosed
+// is filtered out).
+func Serve(addr string, r *Registry) (string, func() error, <-chan error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	r.Publish("cucc")
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r)
 	mux.Handle("/debug/vars", expvar.Handler())
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Close, nil
+	errc := make(chan error, 1)
+	go func() {
+		defer close(errc)
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			errc <- serr
+		}
+	}()
+	return ln.Addr().String(), srv.Close, errc, nil
 }

@@ -187,11 +187,16 @@ func TestQuantile(t *testing.T) {
 func TestServeHTTP(t *testing.T) {
 	r := New()
 	r.Counter("served").Add(9)
-	addr, stop, err := Serve("127.0.0.1:0", r)
+	addr, stop, errc, err := Serve("127.0.0.1:0", r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer stop()
+	defer func() {
+		stop()
+		if serr, ok := <-errc; ok {
+			t.Errorf("unexpected post-startup serve error: %v", serr)
+		}
+	}()
 	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {
 		t.Fatal(err)

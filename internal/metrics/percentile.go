@@ -1,0 +1,58 @@
+package metrics
+
+// Percentile helpers over snapshot histograms and raw sample slices.
+//
+// HistValue quantiles are bucket-resolution estimates with
+// upper-bound-of-bucket semantics: the returned value is the inclusive
+// upper bound of the log2 bucket holding the rank-th sample, so it never
+// understates the true quantile but may overstate it by up to 2x (the
+// bucket width).  They are the right tool for SLO accounting — "at least
+// this fraction finished within the bound" stays conservative — and the
+// wrong tool for tight latency comparison, where PercentileSorted over the
+// raw samples is exact.
+
+// P50 returns the median estimate: the upper bound of the bucket holding
+// the ceil(0.50*count)-th sample.  0 when empty.
+func (hv HistValue) P50() float64 { return hv.Quantile(0.50) }
+
+// P90 returns the 90th-percentile estimate (upper-bound-of-bucket
+// semantics; see P50).  0 when empty.
+func (hv HistValue) P90() float64 { return hv.Quantile(0.90) }
+
+// P99 returns the 99th-percentile estimate (upper-bound-of-bucket
+// semantics; see P50).  0 when empty.
+func (hv HistValue) P99() float64 { return hv.Quantile(0.99) }
+
+// CountLE returns the number of samples certainly at or below bound: the
+// summed count of every bucket whose upper bound is <= bound.  Samples in
+// the bucket straddling the bound are NOT counted (they may exceed it), so
+// the result is a conservative lower bound — an SLO attainment computed
+// from it never overstates compliance.
+func (hv HistValue) CountLE(bound float64) int64 {
+	var n int64
+	for _, b := range hv.Buckets {
+		if b.UpperBound > bound {
+			break
+		}
+		n += b.Count
+	}
+	return n
+}
+
+// PercentileSorted returns the exact q-quantile (0 <= q <= 1) of an
+// ascending-sorted sample slice by truncated-index rank; 0 when empty.
+// This is the exact counterpart to HistValue.Quantile for callers that
+// kept the raw samples (the load generator's latency report).
+func PercentileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"cucc/internal/metrics"
+	"cucc/internal/trace"
+)
+
+func dumpFixture() *Dump {
+	reg := metrics.New()
+	reg.Counter("recovery.restores").Inc()
+	return &Dump{
+		Schema: DumpSchemaVersion,
+		Reason: DumpReasonRecovery,
+		Tenant: "tenant-a",
+		Job:    7,
+		What:   "source:vecadd",
+		Journal: []Event{
+			{Seq: 1, Type: EvAdmit, Tenant: "tenant-a", Job: 7, Rank: -1},
+			{Seq: 2, Type: EvRankLoss, Tenant: "tenant-a", Job: 7, Rank: 1, Detail: "lost nodes [1], 3 survivors"},
+		},
+		Metrics: reg.Snapshot(),
+		Trace: []trace.Event{
+			{Phase: trace.PhaseLaunch, Node: -1, DurSec: 0.01},
+		},
+		TraceDropped: 2,
+	}
+}
+
+// TestDumpRoundTrip: JSON and ParseDump invert each other.
+func TestDumpRoundTrip(t *testing.T) {
+	d := dumpFixture()
+	raw, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDump(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != d.Reason || got.Tenant != d.Tenant || got.Job != d.Job || got.What != d.What {
+		t.Errorf("metadata diverged: %+v", got)
+	}
+	if len(got.Journal) != 2 || got.Journal[1].Rank != 1 {
+		t.Errorf("journal window diverged: %+v", got.Journal)
+	}
+	if len(got.Trace) != 1 || got.TraceDropped != 2 {
+		t.Errorf("trace window diverged: %d events, %d dropped", len(got.Trace), got.TraceDropped)
+	}
+	if got.Metrics.Counters["recovery.restores"] != 1 {
+		t.Errorf("metrics snapshot diverged: %+v", got.Metrics.Counters)
+	}
+}
+
+// TestParseDumpRejects: dumps from a newer schema, reason-less JSON, and
+// garbage are all refused with telling errors.
+func TestParseDumpRejects(t *testing.T) {
+	if _, err := ParseDump([]byte(`{"schema_version": 99, "reason": "failure"}`)); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Errorf("future schema: err = %v, want version refusal", err)
+	}
+	if _, err := ParseDump([]byte(`{"schema_version": 1}`)); err == nil || !strings.Contains(err.Error(), "reason") {
+		t.Errorf("missing reason: err = %v, want reason refusal", err)
+	}
+	if _, err := ParseDump([]byte("not json")); err == nil {
+		t.Error("garbage accepted as a dump")
+	}
+}

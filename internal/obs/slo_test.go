@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cucc/internal/metrics"
+)
+
+// sloFixture records three tenants' traffic the way the serving layer does:
+// tenant-a has one slow completion past its 250ms objective, tenant-b has a
+// failure but no latency objective, and "idle" saw only rejections.
+func sloFixture() metrics.Snapshot {
+	reg := metrics.New()
+	reg.Counter(TenantMetric("tenant-a", TenantFieldCompleted)).Add(10)
+	lat := reg.Histogram(TenantMetric("tenant-a", TenantFieldLatency))
+	for i := 0; i < 9; i++ {
+		lat.Observe(0.01) // well within 250ms
+	}
+	lat.Observe(10) // one outlier
+
+	reg.Counter(TenantMetric("tenant-b", TenantFieldCompleted)).Add(5)
+	reg.Counter(TenantMetric("tenant-b", TenantFieldFailed)).Add(1)
+	reg.Counter(TenantMetric("tenant-b", TenantFieldRejected)).Add(2)
+	blat := reg.Histogram(TenantMetric("tenant-b", TenantFieldLatency))
+	for i := 0; i < 5; i++ {
+		blat.Observe(0.02)
+	}
+
+	reg.Counter(TenantMetric("idle", TenantFieldRejected)).Add(3)
+	return reg.Snapshot()
+}
+
+func sloFixtureConfig() SLOConfig {
+	return SLOConfig{
+		Default: Objective{LatencyMs: 250, Target: 0.99},
+		Tenants: map[string]Objective{"tenant-b": {Target: 0.5}},
+	}
+}
+
+func approx(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+// TestComputeSLO pins the SLO arithmetic end to end: the denominator
+// (completed+failed, rejections excluded), the conservative latency
+// attainment, the idle-tenant convention, and the burn-rate formula.
+func TestComputeSLO(t *testing.T) {
+	rows := ComputeSLO(sloFixture(), sloFixtureConfig())
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
+	}
+	// Rows sort by tenant name.
+	if rows[0].Tenant != "idle" || rows[1].Tenant != "tenant-a" || rows[2].Tenant != "tenant-b" {
+		t.Fatalf("row order %s,%s,%s; want idle,tenant-a,tenant-b",
+			rows[0].Tenant, rows[1].Tenant, rows[2].Tenant)
+	}
+
+	idle := rows[0]
+	if idle.Requests != 0 || idle.Rejected != 3 {
+		t.Errorf("idle accounting: %+v", idle)
+	}
+	if idle.Attainment != 1 || idle.BudgetBurn != 0 {
+		t.Errorf("idle tenant must burn nothing: attainment %g burn %g", idle.Attainment, idle.BudgetBurn)
+	}
+
+	a := rows[1]
+	if a.Requests != 10 || a.Completed != 10 || a.Failed != 0 {
+		t.Errorf("tenant-a accounting: %+v", a)
+	}
+	if a.Attained != 9 {
+		t.Errorf("tenant-a Attained = %d, want 9 (the outlier misses 250ms)", a.Attained)
+	}
+	if !approx(a.Attainment, 0.9) {
+		t.Errorf("tenant-a Attainment = %g, want 0.9", a.Attainment)
+	}
+	if !approx(a.BudgetBurn, 0.1/0.01) {
+		t.Errorf("tenant-a BudgetBurn = %g, want 10", a.BudgetBurn)
+	}
+	if a.P99Ms <= a.P50Ms {
+		t.Errorf("tenant-a p99 %gms <= p50 %gms despite the outlier", a.P99Ms, a.P50Ms)
+	}
+
+	b := rows[2]
+	if b.Requests != 6 || b.Rejected != 2 {
+		t.Errorf("tenant-b accounting: %+v (rejections must not enter Requests)", b)
+	}
+	if b.Attained != 5 {
+		t.Errorf("tenant-b Attained = %d, want 5 (no latency objective: completions attain)", b.Attained)
+	}
+	if !approx(b.Attainment, 5.0/6) {
+		t.Errorf("tenant-b Attainment = %g, want 5/6", b.Attainment)
+	}
+	if !approx(b.BudgetBurn, (1.0/6)/0.5) {
+		t.Errorf("tenant-b BudgetBurn = %g, want 1/3", b.BudgetBurn)
+	}
+
+	for _, r := range rows {
+		if math.IsInf(r.BudgetBurn, 0) || math.IsNaN(r.BudgetBurn) {
+			t.Errorf("tenant %s: burn %v not finite", r.Tenant, r.BudgetBurn)
+		}
+	}
+}
+
+// TestEffectiveTargetClamp: the effective target stays strictly inside
+// (0, 1) so the error budget is never zero and the burn never infinite.
+func TestEffectiveTargetClamp(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{0, DefaultSLOTarget},
+		{-1, DefaultSLOTarget},
+		{0.5, 0.5},
+		{0.9999, 0.9999},
+		{1, 0.9999},
+		{2, 0.9999},
+	} {
+		if got := (Objective{Target: tc.in}).EffectiveTarget(); got != tc.want {
+			t.Errorf("EffectiveTarget(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	// Even a tenant missing every request at a target of 1 burns finitely.
+	reg := metrics.New()
+	reg.Counter(TenantMetric("t", TenantFieldFailed)).Add(4)
+	rows := ComputeSLO(reg.Snapshot(), SLOConfig{Default: Objective{Target: 1}})
+	if len(rows) != 1 || math.IsInf(rows[0].BudgetBurn, 0) {
+		t.Fatalf("all-failure tenant burn = %+v, want finite", rows)
+	}
+}
+
+// TestSLOExportRoundTrip: the /slo?format=json payload parses back to the
+// same rows, and identical snapshots export identical bytes.
+func TestSLOExportRoundTrip(t *testing.T) {
+	rows := ComputeSLO(sloFixture(), sloFixtureConfig())
+	raw, err := ExportSLOJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ExportSLOJSON(ComputeSLO(sloFixture(), sloFixtureConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(again) {
+		t.Error("identical snapshots exported different SLO JSON")
+	}
+	got, err := ParseSLO(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, rows)
+	}
+	if _, err := ParseSLO([]byte("nope")); err == nil {
+		t.Error("ParseSLO accepted garbage")
+	}
+	if raw, err := ExportSLOJSON(nil); err != nil || string(raw) != "[]" {
+		t.Errorf("nil rows export = %q, %v; want empty array", raw, err)
+	}
+}
+
+// TestSLOTable: the text rendering names every tenant and handles the
+// empty report.
+func TestSLOTable(t *testing.T) {
+	out := SLOTable(ComputeSLO(sloFixture(), sloFixtureConfig()))
+	for _, want := range []string{"tenant-a", "tenant-b", "idle", "250ms", "burn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SLO table missing %q:\n%s", want, out)
+		}
+	}
+	if empty := SLOTable(nil); !strings.Contains(empty, "no tenant traffic") {
+		t.Errorf("empty table rendering: %q", empty)
+	}
+}

@@ -21,7 +21,11 @@ import (
 // qps, latency quantiles, reject rate per scenario/rate point); engine rows
 // are unchanged, so v2-vs-v3 comparisons warn and the service keys appear
 // under only-new.
-const BenchSchemaVersion = 3
+// Version 4 added SLO attainment and error-budget burn to the service rows
+// (slo_attainment, slo_burn); the columns are optional (omitempty) and the
+// SLO comparison rows are only produced when both sides carry them, so
+// v3-vs-v4 comparisons warn and diff the shared figures.
+const BenchSchemaVersion = 4
 
 // BenchConfig pins the run configuration a benchmark report was produced
 // under.  Two reports with differing configs measure different things, so
@@ -64,6 +68,12 @@ type ServiceResult struct {
 	P999Ms float64 `json:"p999_ms"`
 	// RejectRate is rejected / offered (admission backpressure).
 	RejectRate float64 `json:"reject_rate"`
+	// SLOAttainment is the fraction of requests meeting the scenario's
+	// latency objective (schema v4; 0 when the report predates it).
+	SLOAttainment float64 `json:"slo_attainment,omitempty"`
+	// SLOBurn is the error-budget burn rate over the run:
+	// (1-attainment)/(1-target) (schema v4).
+	SLOBurn float64 `json:"slo_burn,omitempty"`
 }
 
 // BenchReport mirrors the cuccbench -json engine-benchmark report.
@@ -217,6 +227,27 @@ func compareService(cmp *Comparison, old, new *BenchReport, threshold float64) {
 		}
 		qps.Regression = qps.DeltaFrac < -threshold
 		cmp.Rows = append(cmp.Rows, qps)
+
+		// SLO figures exist only from schema v4 on; require them on both
+		// sides so a v3 baseline (attainment 0) never flags a false
+		// regression.  Attainment shrink and burn growth are regressions.
+		if or.SLOAttainment > 0 && nr.SLOAttainment > 0 {
+			att := CompareRow{Key: k + "/slo_attainment", Old: or.SLOAttainment, New: nr.SLOAttainment}
+			att.DeltaFrac = (att.New - att.Old) / att.Old
+			att.Regression = att.DeltaFrac < -threshold
+			cmp.Rows = append(cmp.Rows, att)
+
+			burn := CompareRow{Key: k + "/slo_burn", Old: or.SLOBurn, New: nr.SLOBurn}
+			if or.SLOBurn > 0 {
+				burn.DeltaFrac = (burn.New - burn.Old) / burn.Old
+				burn.Regression = burn.DeltaFrac > threshold
+			} else if nr.SLOBurn > 0 {
+				// A budget that was not burning and now is: always flag.
+				burn.DeltaFrac = math.Inf(1)
+				burn.Regression = true
+			}
+			cmp.Rows = append(cmp.Rows, burn)
+		}
 	}
 	for k := range oldBy {
 		if !seen[k] {

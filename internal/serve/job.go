@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"cucc/internal/kir"
 	"cucc/internal/machine"
 	"cucc/internal/metrics"
+	"cucc/internal/obs"
 	"cucc/internal/simnet"
 	"cucc/internal/suites"
 	"cucc/internal/trace"
@@ -33,13 +36,14 @@ type sourceEntry struct {
 }
 
 // compileSource resolves source text through the server's bounded compile
-// cache.  Compile errors are cached too: a tenant hammering a broken
-// kernel must not pay (or charge the server) a fresh parse per retry.
-func (s *Server) compileSource(src string) (*core.Program, error) {
+// cache, reporting whether the result came from the cache.  Compile errors
+// are cached too: a tenant hammering a broken kernel must not pay (or
+// charge the server) a fresh parse per retry.
+func (s *Server) compileSource(src string) (*core.Program, bool, error) {
 	s.mu.Lock()
 	if e, ok := s.sourceProgs[src]; ok {
 		s.mu.Unlock()
-		return e.prog, e.err
+		return e.prog, true, e.err
 	}
 	s.mu.Unlock()
 
@@ -48,7 +52,7 @@ func (s *Server) compileSource(src string) (*core.Program, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.sourceProgs[src]; ok {
-		return e.prog, e.err // a racer compiled it; share the winner
+		return e.prog, true, e.err // a racer compiled it; share the winner
 	}
 	s.sourceProgs[src] = &sourceEntry{prog: prog, err: err}
 	s.sourceOrder = append(s.sourceOrder, src)
@@ -56,7 +60,7 @@ func (s *Server) compileSource(src string) (*core.Program, error) {
 		delete(s.sourceProgs, s.sourceOrder[0])
 		s.sourceOrder = s.sourceOrder[1:]
 	}
-	return prog, err
+	return prog, false, err
 }
 
 // runJob executes one admitted job on a fresh cluster with an isolated
@@ -71,6 +75,7 @@ func (s *Server) runJob(j *job) *Response {
 	start := time.Now()
 	queueMs := start.Sub(j.enqueued).Seconds() * 1e3
 	s.reg.Histogram(MetricQueueSec).Observe(start.Sub(j.enqueued).Seconds())
+	sc := s.scope(j.tenant, j.id)
 
 	resp := &Response{ID: j.req.ID, JobID: j.id, QueueMs: queueMs}
 	fail := func(status, msg string) *Response {
@@ -79,6 +84,8 @@ func (s *Server) runJob(j *job) *Response {
 		resp.RunMs = time.Since(start).Seconds() * 1e3
 		s.reg.Histogram(MetricRunSec).Observe(time.Since(start).Seconds())
 		s.reg.Counter(MetricJobsFailed).Inc()
+		s.reg.Counter(obs.TenantMetric(j.tenant, obs.TenantFieldFailed)).Inc()
+		sc.Record(obs.EvFail, -1, describe(j.req), msg)
 		return resp
 	}
 
@@ -120,6 +127,7 @@ func (s *Server) runJob(j *job) *Response {
 		Fault:           s.cfg.Fault,
 		Metrics:         jobReg,
 		Recovery:        *s.cfg.Recovery,
+		Journal:         sc,
 	})
 	if err != nil {
 		return fail(StatusError, err.Error())
@@ -141,9 +149,9 @@ func (s *Server) runJob(j *job) *Response {
 	var stats *core.Stats
 	var runErr error
 	if j.req.Program != "" {
-		stats, runErr = s.runSuiteJob(j, c, rec, jobReg, eng, coll, workers)
+		stats, runErr = s.runSuiteJob(j, c, rec, jobReg, sc, eng, coll, workers)
 	} else {
-		stats, runErr = s.runSourceJob(j, c, rec, jobReg, eng, coll, workers, resp)
+		stats, runErr = s.runSourceJob(j, c, rec, jobReg, sc, eng, coll, workers, resp)
 	}
 
 	timer.Stop()
@@ -161,6 +169,12 @@ func (s *Server) runJob(j *job) *Response {
 	// the job's own view.
 	s.reg.Merge(jobReg.Snapshot())
 
+	// Flight recorder: a failed job — or one that only completed by
+	// restoring from a checkpoint — leaves a post-mortem bundle.
+	if runErr != nil || (stats != nil && stats.Restores > 0) {
+		s.flightRecord(j, runErr, stats, jobReg, rec)
+	}
+
 	if runErr != nil {
 		if deadlineHit.Load() {
 			s.reg.Counter(MetricJobsDeadline).Inc()
@@ -170,12 +184,67 @@ func (s *Server) runJob(j *job) *Response {
 	}
 	resp.Status = StatusOK
 	s.reg.Counter(MetricJobsCompleted).Inc()
+	s.reg.Counter(obs.TenantMetric(j.tenant, obs.TenantFieldCompleted)).Inc()
+	s.reg.Histogram(obs.TenantMetric(j.tenant, obs.TenantFieldLatency)).
+		Observe(time.Since(j.enqueued).Seconds())
+	if sc.On() {
+		restores := 0
+		if stats != nil {
+			restores = stats.Restores
+		}
+		sc.Record(obs.EvComplete, -1, describe(j.req),
+			fmt.Sprintf("ok: restores=%d", restores))
+	}
 	return resp
+}
+
+// dumpJournalWindow is how many recent journal events a flight-recorder
+// dump captures: enough causal context around the failure without shipping
+// the whole ring.
+const dumpJournalWindow = 256
+
+// flightRecord bundles the recent journal window, the job's isolated
+// metrics snapshot, and its capped trace into a post-mortem dump: retained
+// in memory (LastDump) and, when PostmortemDir is set, written to
+// postmortem-job<id>.json for cuccprof -postmortem.
+func (s *Server) flightRecord(j *job, runErr error, stats *core.Stats, jobReg *metrics.Registry, rec *trace.Recorder) {
+	if s.journal == nil && s.cfg.PostmortemDir == "" {
+		return
+	}
+	d := &obs.Dump{
+		Schema:       obs.DumpSchemaVersion,
+		Reason:       obs.DumpReasonRecovery,
+		Tenant:       j.tenant,
+		Job:          j.id,
+		What:         describe(j.req),
+		Journal:      s.journal.Tail(dumpJournalWindow),
+		Metrics:      jobReg.Snapshot(),
+		TraceDropped: rec.Dropped(),
+	}
+	if runErr != nil {
+		d.Reason = obs.DumpReasonFailure
+		d.Err = runErr.Error()
+	}
+	d.Trace = append(d.Trace, rec.Events()...)
+	trace.SortEvents(d.Trace)
+	s.lastDump.Store(d)
+	s.reg.Counter(MetricDumps).Inc()
+	if s.cfg.PostmortemDir == "" {
+		return
+	}
+	data, err := d.JSON()
+	if err == nil {
+		path := filepath.Join(s.cfg.PostmortemDir, fmt.Sprintf("postmortem-job%d.json", j.id))
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		s.reg.Counter(MetricDumpErrors).Inc()
+	}
 }
 
 // runSuiteJob builds a named evaluation program at Small scale, launches
 // it, and verifies the output against the Go reference.
-func (s *Server) runSuiteJob(j *job, c *cluster.Cluster, rec *trace.Recorder, reg *metrics.Registry, eng cluster.Engine, coll csched.Choice, workers int) (*core.Stats, error) {
+func (s *Server) runSuiteJob(j *job, c *cluster.Cluster, rec *trace.Recorder, reg *metrics.Registry, sc obs.Scope, eng cluster.Engine, coll csched.Choice, workers int) (*core.Stats, error) {
 	p, ok := suites.ByName(j.req.Program)
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown program %q", j.req.Program)
@@ -187,6 +256,7 @@ func (s *Server) runSuiteJob(j *job, c *cluster.Cluster, rec *trace.Recorder, re
 	sess := core.NewSession(c, p.Compiled)
 	sess.Metrics = reg
 	sess.Trace = rec
+	sess.Obs = sc
 	sess.Host.Workers = workers
 	sess.Host.Engine = eng
 	sess.Collective = coll
@@ -204,8 +274,18 @@ func (s *Server) runSuiteJob(j *job, c *cluster.Cluster, rec *trace.Recorder, re
 // cache), allocates its buffer arguments, launches, and checksums every
 // buffer on node 0 so the client — and the chaos tests — can compare
 // results bitwise across runs.
-func (s *Server) runSourceJob(j *job, c *cluster.Cluster, rec *trace.Recorder, reg *metrics.Registry, eng cluster.Engine, coll csched.Choice, workers int, resp *Response) (*core.Stats, error) {
-	prog, err := s.compileSource(j.req.Source)
+func (s *Server) runSourceJob(j *job, c *cluster.Cluster, rec *trace.Recorder, reg *metrics.Registry, sc obs.Scope, eng cluster.Engine, coll csched.Choice, workers int, resp *Response) (*core.Stats, error) {
+	prog, cached, err := s.compileSource(j.req.Source)
+	if sc.On() {
+		how := "compiled"
+		if cached {
+			how = "cached"
+		}
+		if err != nil {
+			how += " (error)"
+		}
+		sc.Record(obs.EvCompile, -1, j.req.Kernel, how)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +330,7 @@ func (s *Server) runSourceJob(j *job, c *cluster.Cluster, rec *trace.Recorder, r
 	sess := core.NewSession(c, prog)
 	sess.Metrics = reg
 	sess.Trace = rec
+	sess.Obs = sc
 	sess.Host.Workers = workers
 	sess.Host.Engine = eng
 	sess.Collective = coll

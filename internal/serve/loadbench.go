@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"cucc/internal/obs"
 	"cucc/internal/prof"
 	"cucc/internal/throughput"
 )
@@ -67,6 +68,14 @@ type ServiceBenchConfig struct {
 	Seed int64
 	// Quiet suppresses the per-row progress print.
 	Quiet bool
+	// SLOLatencyMs is the latency objective the schema-v4 attainment and
+	// burn columns are computed against (<= 0 selects 250ms — generous
+	// against the ~3ms baseline p99, so the bench rows stay stable and a
+	// flagged attainment drop means a real service regression).
+	SLOLatencyMs float64
+	// SLOTarget is the attainment target for the burn column (<= 0 selects
+	// obs.DefaultSLOTarget).
+	SLOTarget float64
 }
 
 func (c ServiceBenchConfig) withDefaults() ServiceBenchConfig {
@@ -81,6 +90,9 @@ func (c ServiceBenchConfig) withDefaults() ServiceBenchConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.SLOLatencyMs <= 0 {
+		c.SLOLatencyMs = 250
 	}
 	return c
 }
@@ -121,6 +133,7 @@ func ServiceBench(cfg ServiceBenchConfig) ([]prof.ServiceResult, error) {
 	}
 	results := throughput.SweepLoad(ClientSubmitter{Client: client}, base, cfg.Rates)
 
+	objective := obs.Objective{LatencyMs: cfg.SLOLatencyMs, Target: cfg.SLOTarget}
 	rows := make([]prof.ServiceResult, 0, len(results))
 	for _, r := range results {
 		row := prof.ServiceResult{
@@ -135,10 +148,23 @@ func ServiceBench(cfg ServiceBenchConfig) ([]prof.ServiceResult, error) {
 			P999Ms:     r.P999Ms,
 			RejectRate: r.RejectRate,
 		}
+		// Client-side SLO accounting over the generator's latency histogram:
+		// attained = completions certainly within the objective (conservative
+		// bucket-upper-bound count); errors count against the budget,
+		// rejections do not (matching obs.ComputeSLO).
+		if requests := int64(r.Completed + r.Errors); requests > 0 {
+			attained := r.Latency.CountLE(objective.LatencyMs / 1e3)
+			if c := int64(r.Completed); attained > c {
+				attained = c
+			}
+			row.SLOAttainment = float64(attained) / float64(requests)
+			row.SLOBurn = (1 - row.SLOAttainment) / (1 - objective.EffectiveTarget())
+		}
 		rows = append(rows, row)
 		if !cfg.Quiet {
-			fmt.Printf("  %-22s rate %6.0f/s  qps %7.1f  p50 %7.2fms  p99 %7.2fms  reject %4.1f%%\n",
-				row.Scenario, row.TargetRate, row.QPS, row.P50Ms, row.P99Ms, row.RejectRate*100)
+			fmt.Printf("  %-22s rate %6.0f/s  qps %7.1f  p50 %7.2fms  p99 %7.2fms  reject %4.1f%%  slo %5.1f%%  burn %5.2f\n",
+				row.Scenario, row.TargetRate, row.QPS, row.P50Ms, row.P99Ms, row.RejectRate*100,
+				row.SLOAttainment*100, row.SLOBurn)
 		}
 	}
 	return rows, nil

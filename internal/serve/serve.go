@@ -6,9 +6,11 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cucc/internal/metrics"
+	"cucc/internal/obs"
 	"cucc/internal/recovery"
 	"cucc/internal/transport"
 )
@@ -27,6 +29,9 @@ const (
 	MetricJobsDeadline  = "serve.jobs.deadline_exceeded"
 	MetricQueueSec      = "serve.job.queue_seconds"
 	MetricRunSec        = "serve.job.run_seconds"
+	MetricQueueDepth    = "serve.queue.depth"
+	MetricDumps         = "serve.postmortem.dumps"
+	MetricDumpErrors    = "serve.postmortem.errors"
 )
 
 // Config tunes the daemon.
@@ -68,6 +73,23 @@ type Config struct {
 	// survive a rank loss rather than fail the job; point at a zero
 	// recovery.Policy to disable.
 	Recovery *recovery.Policy
+	// Journal, when non-nil, is the structured event journal every stage of
+	// the serving path records into (admission, dispatch, compile, launch
+	// phases, recovery, drain).  Nil disables journaling at zero cost.
+	Journal *obs.Journal
+	// SLO configures per-tenant service-level objectives for the /slo page
+	// (the zero value yields latency-free objectives at the default
+	// attainment target).
+	SLO obs.SLOConfig
+	// SampleEvery, when > 0, starts a background sampler snapshotting the
+	// aggregate registry on this interval into a bounded delta ring (the
+	// qps / bytes-per-sec / queue-depth / restore-rate series on /slo).
+	SampleEvery time.Duration
+	// PostmortemDir, when non-empty, is where flight-recorder dumps are
+	// written on job failure or recovery (postmortem-job<id>.json, readable
+	// by cuccprof -postmortem).  The most recent dump is always retained in
+	// memory regardless (Server.LastDump).
+	PostmortemDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -144,8 +166,14 @@ var testJobStart func(*job)
 // Server schedules compile+launch jobs over a bounded multi-tenant queue
 // onto a pool of executor goroutines.
 type Server struct {
-	cfg Config
-	reg *metrics.Registry
+	cfg     Config
+	reg     *metrics.Registry
+	journal *obs.Journal
+	sampler *obs.Sampler
+
+	// lastDump retains the most recent flight-recorder dump (nil until a
+	// job fails or recovers), independent of PostmortemDir.
+	lastDump atomic.Pointer[obs.Dump]
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -183,6 +211,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:         cfg,
 		reg:         cfg.Metrics,
+		journal:     cfg.Journal,
 		tenants:     map[string]*tenantQueue{},
 		sourceProgs: map[string]*sourceEntry{},
 		sourceCap:   64,
@@ -190,7 +219,11 @@ func NewServer(cfg Config) *Server {
 		conns:       map[net.Conn]struct{}{},
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.reg.GaugeFunc("serve.queue.depth", func() float64 {
+	if cfg.SampleEvery > 0 {
+		s.sampler = obs.NewSampler(s.reg, cfg.SampleEvery, 0)
+		s.sampler.Start()
+	}
+	s.reg.GaugeFunc(MetricQueueDepth, func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(s.queued)
@@ -211,19 +244,45 @@ func NewServer(cfg Config) *Server {
 // every finished job's merged counters and histograms).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
+// Journal returns the server's structured event journal (nil when
+// journaling is disabled).
+func (s *Server) Journal() *obs.Journal { return s.journal }
+
+// Sampler returns the server's time-series sampler (nil when sampling is
+// disabled).
+func (s *Server) Sampler() *obs.Sampler { return s.sampler }
+
+// LastDump returns the most recent flight-recorder dump, nil until a job
+// has failed or recovered.
+func (s *Server) LastDump() *obs.Dump { return s.lastDump.Load() }
+
+// Draining reports whether the server has entered graceful drain (the
+// /healthz readiness signal).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// scope returns the journal handle stamped with one job's identity.
+func (s *Server) scope(tenant string, id uint64) obs.Scope {
+	return obs.Scope{J: s.journal, Tenant: tenant, Job: id}
+}
+
 // Submit runs one job through admission, scheduling, and execution,
 // blocking until it finishes or is rejected.  Safe for concurrent use; this
 // is the in-process entry the connection handlers and the load generator
 // share.
 func (s *Server) Submit(req *Request) *Response {
 	s.reg.Counter(MetricJobsSubmitted).Inc()
-	if err := validate(req); err != nil {
-		s.reg.Counter(MetricJobsInvalid).Inc()
-		return &Response{ID: req.ID, Status: StatusError, Err: err.Error()}
-	}
 	tenant := req.Tenant
 	if tenant == "" {
 		tenant = "default"
+	}
+	if err := validate(req); err != nil {
+		s.reg.Counter(MetricJobsInvalid).Inc()
+		s.scope(tenant, 0).Record(obs.EvReject, -1, "", "invalid: "+err.Error())
+		return &Response{ID: req.ID, Status: StatusError, Err: err.Error()}
 	}
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMs > 0 {
@@ -241,14 +300,19 @@ func (s *Server) Submit(req *Request) *Response {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.reg.Counter(MetricJobsRejected).Inc()
+		s.rejectTenant(tenant)
+		s.scope(tenant, 0).Record(obs.EvReject, -1, "", "server draining")
 		return &Response{ID: req.ID, Status: StatusRejected, Err: "server draining"}
 	}
 	if s.queued >= s.cfg.QueueCap {
 		retry := s.retryAfterLocked()
 		queued := s.queued
 		s.mu.Unlock()
-		s.reg.Counter(MetricJobsRejected).Inc()
+		s.rejectTenant(tenant)
+		sc := s.scope(tenant, 0)
+		if sc.On() {
+			sc.Record(obs.EvReject, -1, "", fmt.Sprintf("admission queue full (%d queued)", queued))
+		}
 		return &Response{
 			ID: req.ID, Status: StatusRejected,
 			Err:          fmt.Sprintf("admission queue full (%d queued)", queued),
@@ -271,15 +335,27 @@ func (s *Server) Submit(req *Request) *Response {
 	}
 	tq.jobs = append(tq.jobs, j)
 	s.queued++
+	depth := s.queued
 	s.jobStates[j.id] = &jobState{
 		ID: j.id, Tenant: tenant, What: describe(req),
 		State: "queued", Enqueued: now,
 	}
 	s.mu.Unlock()
 	s.reg.Counter(MetricJobsAdmitted).Inc()
+	sc := s.scope(tenant, j.id)
+	if sc.On() {
+		sc.Record(obs.EvAdmit, -1, describe(req), fmt.Sprintf("queued (depth %d)", depth))
+	}
 	s.cond.Signal()
 
 	return <-j.done
+}
+
+// rejectTenant records one admission rejection against both the
+// server-level counter and the tenant's SLO accounting.
+func (s *Server) rejectTenant(tenant string) {
+	s.reg.Counter(MetricJobsRejected).Inc()
+	s.reg.Counter(obs.TenantMetric(tenant, obs.TenantFieldRejected)).Inc()
 }
 
 // retryAfterLocked estimates when a rejected client should retry: the time
@@ -336,6 +412,7 @@ func (s *Server) executor() {
 			st.QueueMs = time.Since(j.enqueued).Seconds() * 1e3
 		}
 		s.mu.Unlock()
+		s.scope(j.tenant, j.id).Record(obs.EvDispatch, -1, describe(j.req), "")
 
 		if testJobStart != nil {
 			testJobStart(j)
@@ -507,6 +584,10 @@ func (s *Server) Drain() {
 	if already {
 		return
 	}
+	if s.journal != nil {
+		s.journal.Record(obs.Event{Type: obs.EvDrain, Rank: -1,
+			Detail: fmt.Sprintf("draining: %d queued jobs rejected", len(rejected))})
+	}
 
 	s.lnMu.Lock()
 	for _, ln := range s.listeners {
@@ -516,7 +597,8 @@ func (s *Server) Drain() {
 	s.lnMu.Unlock()
 
 	for _, j := range rejected {
-		s.reg.Counter(MetricJobsRejected).Inc()
+		s.rejectTenant(j.tenant)
+		s.scope(j.tenant, j.id).Record(obs.EvReject, -1, "", "server draining")
 		j.done <- &Response{ID: j.req.ID, Status: StatusRejected, Err: "server draining"}
 	}
 	s.cond.Broadcast()
@@ -539,4 +621,5 @@ func (s *Server) Drain() {
 	s.lnMu.Lock()
 	s.conns = nil
 	s.lnMu.Unlock()
+	s.sampler.Stop()
 }

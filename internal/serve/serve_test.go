@@ -148,7 +148,10 @@ func TestPerJobRegistryIsolation(t *testing.T) {
 		}
 	}
 	for k, v := range agg.Counters {
-		if strings.HasPrefix(k, "serve.") {
+		// serve.* and tenant.* are service-level accounting (queue time,
+		// admission outcomes) written to the aggregate directly — they are
+		// not part of any per-job registry.
+		if strings.HasPrefix(k, "serve.") || strings.HasPrefix(k, "tenant.") {
 			continue
 		}
 		if v != perJobSums[k] {

@@ -1,0 +1,81 @@
+package suites
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cucc/internal/cluster"
+	"cucc/internal/core"
+	"cucc/internal/kir"
+	"cucc/internal/machine"
+	"cucc/internal/obs"
+	"cucc/internal/simnet"
+)
+
+// journalRun executes one program at Small scale with the given journal
+// scope wired through both the session (launch-path events) and the cluster
+// (abort/regroup events), returning the stats and every node's full heap.
+func journalRun(t *testing.T, p *Program, n int, sc obs.Scope) (*core.Stats, [][]byte) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Nodes: n, Machine: machine.Intel6226(), Net: simnet.IB100(),
+		Journal: sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	inst, err := p.Build(c, p.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession(c, p.Compiled)
+	sess.Verify = true
+	sess.Obs = sc
+	stats, err := sess.Launch(inst.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	heaps := make([][]byte, n)
+	all := cluster.Buffer{Off: 0, Elem: kir.U8, Count: c.BytesPerNode()}
+	for r := 0; r < n; r++ {
+		heaps[r] = append([]byte(nil), c.Region(r, all)...)
+	}
+	return stats, heaps
+}
+
+// TestJournalNeverMovesFigures: the event journal on vs off changes nothing
+// observable about the computation — not one simulated figure, not one byte
+// of any node's memory.  The journal analogue of
+// TestMetricsNeverMoveFigures.
+func TestJournalNeverMovesFigures(t *testing.T) {
+	const n = 4
+	for _, p := range allWithVecAdd() {
+		t.Run(p.Name, func(t *testing.T) {
+			off, offHeaps := journalRun(t, p, n, obs.Scope{})
+			j := obs.NewJournal(0)
+			on, onHeaps := journalRun(t, p, n, obs.Scope{J: j, Tenant: "suite", Job: 1})
+			if !reflect.DeepEqual(off, on) {
+				t.Errorf("stats diverge:\n  off: %+v\n  on:  %+v", off, on)
+			}
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(offHeaps[r], onHeaps[r]) {
+					t.Errorf("node %d heap differs between journaled and unjournaled runs", r)
+				}
+			}
+			// The journaled run must actually have recorded the launch.
+			if j.Len() == 0 {
+				t.Error("journaled run recorded no events")
+			}
+			for _, ev := range j.Events() {
+				if ev.Tenant != "suite" || ev.Job != 1 {
+					t.Errorf("event not stamped with the scope identity: %+v", ev)
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"cucc/internal/metrics"
 )
 
 // This file extends the closed-form Figure-12 model into a measuring
@@ -67,10 +69,15 @@ type LoadResult struct {
 	ElapsedSec float64
 	// QPS is completed jobs per second of wall time.
 	QPS float64
-	// Latency quantiles over completed jobs, milliseconds.
+	// Latency quantiles over completed jobs, milliseconds (exact,
+	// nearest-rank over the raw samples).
 	P50Ms, P99Ms, P999Ms, MeanMs float64
 	// RejectRate is Rejected / Offered.
 	RejectRate float64
+	// Latency is the log2 histogram of completed jobs' latencies in
+	// seconds — the bucket-resolution form SLO accounting consumes
+	// (metrics.HistValue.CountLE / P99).
+	Latency metrics.HistValue
 }
 
 // RunLoad offers cfg.Jobs arrivals to s at the target Poisson rate and
@@ -128,6 +135,8 @@ func RunLoad(s Submitter, cfg LoadConfig) LoadResult {
 	elapsed := time.Since(start).Seconds()
 
 	out := LoadResult{RatePerSec: cfg.RatePerSec, Offered: cfg.Jobs, ElapsedSec: elapsed}
+	latReg := metrics.New()
+	latHist := latReg.Histogram("load.latency_seconds")
 	var lats []float64
 	var sum float64
 	for _, r := range results {
@@ -136,6 +145,7 @@ func RunLoad(s Submitter, cfg LoadConfig) LoadResult {
 			out.Completed++
 			lats = append(lats, r.LatencySec)
 			sum += r.LatencySec
+			latHist.Observe(r.LatencySec)
 		case r.Rejected:
 			out.Rejected++
 		default:
@@ -150,11 +160,12 @@ func RunLoad(s Submitter, cfg LoadConfig) LoadResult {
 	}
 	if len(lats) > 0 {
 		sort.Float64s(lats)
-		out.P50Ms = percentile(lats, 0.50) * 1e3
-		out.P99Ms = percentile(lats, 0.99) * 1e3
-		out.P999Ms = percentile(lats, 0.999) * 1e3
+		out.P50Ms = metrics.PercentileSorted(lats, 0.50) * 1e3
+		out.P99Ms = metrics.PercentileSorted(lats, 0.99) * 1e3
+		out.P999Ms = metrics.PercentileSorted(lats, 0.999) * 1e3
 		out.MeanMs = sum / float64(len(lats)) * 1e3
 	}
+	out.Latency = latReg.Snapshot().Histograms["load.latency_seconds"]
 	return out
 }
 
@@ -170,13 +181,4 @@ func SweepLoad(s Submitter, base LoadConfig, rates []float64) []LoadResult {
 		out = append(out, RunLoad(s, cfg))
 	}
 	return out
-}
-
-// percentile is the nearest-rank quantile over a sorted sample.
-func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
 }
